@@ -1,0 +1,80 @@
+"""Figure 8 — tag proportions per similarity bin.
+
+Regenerates the tag-vs-similarity analysis: candidate pairs from the
+blocking stage are binned by similarity (0.1 .. 1.0) and the proportion
+of each expert tag within the bin is reported.
+
+Expected shape: the Yes share grows monotonically with similarity, the
+No share dominates the low bins, and the aberrations the paper hunted
+for (high-similarity No, low-similarity Yes) are rare.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from bench_common import emit
+
+from repro.datagen import ExpertTagger, Tag
+from repro.evaluation import format_table
+
+BIN_EDGES = [i / 10 for i in range(1, 11)]
+
+
+def _bin_of(similarity: float) -> float:
+    for edge in BIN_EDGES:
+        if similarity <= edge + 1e-9:
+            return edge
+    return 1.0
+
+
+def test_fig08_tag_similarity(italy, italy_blocking, italy_tagged, benchmark):
+    dataset, _persons = italy
+    tag_of = {entry.pair: entry.tag for entry in italy_tagged}
+
+    def compute():
+        by_bin = defaultdict(Counter)
+        for pair, similarity in italy_blocking.pair_scores.items():
+            tag = tag_of.get(pair)
+            if tag is not None:
+                by_bin[_bin_of(similarity)][tag] += 1
+        return by_bin
+
+    by_bin = benchmark(compute)
+
+    rows = []
+    order = [Tag.NO, Tag.PROBABLY_NO, Tag.MAYBE, Tag.PROBABLY_YES, Tag.YES]
+    for edge in BIN_EDGES:
+        counts = by_bin.get(edge, Counter())
+        total = sum(counts.values())
+        row = [edge, total]
+        for tag in order:
+            share = counts[tag] / total if total else 0.0
+            row.append(f"{share:.0%}")
+        rows.append(row)
+    table = format_table(
+        ["similarity <=", "pairs", "No", "Prob-No", "Maybe", "Prob-Yes", "Yes"],
+        rows,
+        title="Figure 8 analogue - tag proportion by similarity bin",
+    )
+    emit("fig08_tag_similarity", table)
+
+    # Shape: Yes-share is (weakly) increasing across populated bins,
+    # No-share decreasing; top bin is Yes-dominated, bottom No-dominated.
+    populated = [
+        (edge, by_bin[edge]) for edge in BIN_EDGES
+        if sum(by_bin.get(edge, Counter()).values()) >= 10
+    ]
+    assert len(populated) >= 3
+    yes_shares = [
+        (c[Tag.YES] + c[Tag.PROBABLY_YES]) / sum(c.values())
+        for _e, c in populated
+    ]
+    no_shares = [
+        (c[Tag.NO] + c[Tag.PROBABLY_NO]) / sum(c.values())
+        for _e, c in populated
+    ]
+    assert yes_shares[-1] > 0.5
+    assert no_shares[0] > 0.5
+    assert yes_shares[-1] > yes_shares[0]
+    assert no_shares[-1] < no_shares[0]

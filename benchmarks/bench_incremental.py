@@ -1,0 +1,75 @@
+"""Supplementary — incremental vs. batch resolution.
+
+Yad Vashem keeps receiving testimonies (30k/year in the 1990s); a
+deployed system must absorb them without re-blocking the full database.
+This benchmark streams the second half of a corpus into an
+:class:`~repro.core.incremental.IncrementalResolver` built on the first
+half and checks that (a) per-record absorption is far cheaper than a
+full batch re-run and (b) the streamed resolution's recall lands near
+the batch pipeline's.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_common import emit
+
+from repro.core import PipelineConfig, UncertainERPipeline
+from repro.core.incremental import IncrementalResolver
+from repro.evaluation import GoldStandard, format_table
+
+
+def test_incremental_vs_batch(italy, italy_gold, benchmark):
+    dataset, _persons = italy
+    ids = sorted(dataset.record_ids)
+    head = dataset.subset(ids[: len(ids) // 2], name="italy-head")
+    tail = [dataset[rid] for rid in ids[len(ids) // 2:]]
+    config = PipelineConfig(max_minsup=5, ng=3.0, expert_weighting=True)
+
+    # Batch baseline over the full corpus.
+    start = time.perf_counter()
+    batch = UncertainERPipeline(config).run(dataset)
+    batch_seconds = time.perf_counter() - start
+    batch_quality = italy_gold.evaluate(batch.pairs)
+
+    # Incremental: build on the head, stream the tail.
+    resolver = IncrementalResolver(head, config)
+    start = time.perf_counter()
+    for record in tail:
+        resolver.add_record(record)
+    stream_seconds = time.perf_counter() - start
+    per_record_ms = 1000.0 * stream_seconds / len(tail)
+    incremental_quality = italy_gold.evaluate(resolver.resolution().pairs)
+
+    table = format_table(
+        ["mode", "recall", "precision", "seconds"],
+        [
+            ["batch re-run", batch_quality.recall,
+             batch_quality.precision, batch_seconds],
+            [f"incremental ({len(tail)} arrivals)",
+             incremental_quality.recall,
+             incremental_quality.precision, stream_seconds],
+        ],
+        title=(f"Incremental vs batch resolution "
+               f"({len(dataset)} records; {per_record_ms:.1f} ms/arrival)"),
+    )
+    emit("incremental", table)
+
+    # Absorbing one arrival must be far cheaper than a batch re-run.
+    assert per_record_ms / 1000.0 < batch_seconds / 20.0
+    # And the streamed resolution must stay in the batch quality's band.
+    assert incremental_quality.recall > batch_quality.recall * 0.75
+    assert incremental_quality.precision > batch_quality.precision * 0.5
+
+    # Time one absorption for pytest-benchmark (fresh id each round).
+    counter = iter(range(10_000_000, 11_000_000))
+
+    def absorb():
+        record = tail[0]
+        clone = type(record)(
+            **{**record.__dict__, "book_id": next(counter)}
+        )
+        resolver.add_record(clone)
+
+    benchmark.pedantic(absorb, rounds=20, iterations=1)

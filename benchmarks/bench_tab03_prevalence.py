@@ -1,0 +1,51 @@
+"""Table 3 — item-type prevalence.
+
+Regenerates the prevalence table (records holding each item type, and
+the fraction) for the Italy-style and RandomSet-style corpora side by
+side. Expected shape: last/first name near-universal; gender high; DOB
+around two-thirds; father's name markedly higher in the Italian
+community ("a person's father name was a major part of their identity in
+this community"); maiden names rare.
+"""
+
+from __future__ import annotations
+
+from bench_common import emit
+
+from repro.evaluation import format_table
+from repro.records.patterns import item_type_prevalence
+
+
+def test_tab03_item_type_prevalence(italy, random_set, benchmark):
+    italy_dataset, _ = italy
+    random_dataset, _ = random_set
+
+    italy_rows = benchmark(item_type_prevalence, italy_dataset)
+    random_rows = item_type_prevalence(random_dataset)
+
+    rows = []
+    for (label, italy_n, italy_f), (_l2, rand_n, rand_f) in zip(
+        italy_rows, random_rows
+    ):
+        rows.append([label, italy_n, f"{italy_f:.0%}", rand_n, f"{rand_f:.0%}"])
+    table = format_table(
+        ["Item Type", "Italy #", "Italy %", "Random #", "Random %"],
+        rows,
+        title=(f"Table 3 analogue - item type prevalence "
+               f"(Italy {len(italy_dataset)}, Random {len(random_dataset)} records)"),
+    )
+    emit("tab03_prevalence", table)
+
+    italy_f = {label: frac for label, _n, frac in italy_rows}
+    random_f = {label: frac for label, _n, frac in random_rows}
+
+    # Shape assertions mirroring Table 3's ordering.
+    for fractions in (italy_f, random_f):
+        assert fractions["Last Name"] > 0.9
+        assert fractions["First Name"] > 0.9
+        assert fractions["Gender"] > 0.6
+        assert 0.3 < fractions["DOB"] < 0.95
+        assert fractions["Maiden Name"] < 0.35
+        assert fractions["Mother's Maiden"] < 0.35
+        assert fractions["Spouse Name"] < fractions["Mother's Name"] + 0.25
+        assert fractions["Permanent Place"] > fractions["Death Place"]

@@ -1,0 +1,57 @@
+"""Table 4 — item-type cardinality.
+
+Regenerates the cardinality table: distinct items and the average number
+of records per item, for the Italy-style and RandomSet-style corpora.
+Expected shape: gender has exactly 2 items with huge records/item;
+names have high cardinality with few records each; date components are
+bounded (<=31 days, <=12 months); the multi-community RandomSet has a
+larger name vocabulary than the homogeneous Italy set.
+"""
+
+from __future__ import annotations
+
+from bench_common import emit
+
+from repro.evaluation import format_table
+from repro.records.itembag import ItemType
+from repro.records.patterns import item_type_cardinality
+
+
+def test_tab04_item_type_cardinality(italy, random_set, benchmark):
+    italy_dataset, _ = italy
+    random_dataset, _ = random_set
+
+    italy_rows = benchmark(item_type_cardinality, italy_dataset)
+    random_rows = item_type_cardinality(random_dataset)
+    italy_by_type = {row.item_type: row for row in italy_rows}
+    random_by_type = {row.item_type: row for row in random_rows}
+
+    rows = []
+    for item_type in ItemType:
+        italy_row = italy_by_type[item_type]
+        random_row = random_by_type[item_type]
+        rows.append([
+            item_type.name.replace("_", " ").title(),
+            italy_row.n_items, round(italy_row.records_per_item, 1),
+            random_row.n_items, round(random_row.records_per_item, 1),
+        ])
+    table = format_table(
+        ["Item Type", "Italy items", "Italy rec/item",
+         "Random items", "Random rec/item"],
+        rows,
+        title="Table 4 analogue - item type cardinality",
+        float_format=".1f",
+    )
+    emit("tab04_cardinality", table)
+
+    for by_type in (italy_by_type, random_by_type):
+        assert by_type[ItemType.GENDER].n_items == 2
+        assert by_type[ItemType.BIRTH_DAY].n_items <= 31
+        assert by_type[ItemType.BIRTH_MONTH].n_items <= 12
+        # names: many values, few records per value
+        assert by_type[ItemType.LAST_NAME].n_items > 20
+        assert (by_type[ItemType.LAST_NAME].records_per_item
+                < by_type[ItemType.GENDER].records_per_item)
+    # the stratified multi-community sample has a broader vocabulary
+    assert (random_by_type[ItemType.LAST_NAME].n_items
+            > italy_by_type[ItemType.LAST_NAME].n_items)

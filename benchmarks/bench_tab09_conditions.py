@@ -1,0 +1,116 @@
+"""Table 9 — quality under varying conditions.
+
+Reproduces the experiment grid: Base, Expert Weighting, ExpertSim,
+SameSrc, Cls, SameSrc+Cls, each averaged over NG in {3, 3.5, 4} with
+MaxMinSup=5 (the paper's protocol). Per the paper, Expert Weighting is
+kept on for the later conditions.
+
+Expected shapes:
+
+* Expert Weighting lifts recall over Base;
+* SameSrc trades recall for precision;
+* Cls sharply lifts precision at a modest recall cost;
+* SameSrc+Cls achieves the best F-1.
+
+Absolute precision runs higher than the published numbers because our
+synthetic gold standard is *complete*, while the paper's tagged gold
+standard famously missed true matches (94 of 100 sampled "false
+positives" were real; Section 6.5).
+"""
+
+from __future__ import annotations
+
+import pytest
+from bench_common import emit
+
+from repro.classify import PairClassifier
+from repro.core import PipelineConfig, UncertainERPipeline
+from repro.datagen import build_gazetteer
+from repro.evaluation import format_table
+
+NG_VALUES = (3.0, 3.5, 4.0)
+
+
+def _conditions(geo_lookup):
+    return [
+        ("Base", PipelineConfig(max_minsup=5)),
+        ("Expert Weighting", PipelineConfig(max_minsup=5, expert_weighting=True)),
+        ("ExpertSim", PipelineConfig(
+            max_minsup=5, expert_weighting=True, expert_sim=True,
+            geo_lookup=geo_lookup,
+        )),
+        ("SameSrc", PipelineConfig(
+            max_minsup=5, expert_weighting=True, same_source_discard=True,
+        )),
+        ("Cls", PipelineConfig(
+            max_minsup=5, expert_weighting=True, classify=True,
+        )),
+        ("SameSrc + Cls", PipelineConfig(
+            max_minsup=5, expert_weighting=True, same_source_discard=True,
+            classify=True,
+        )),
+    ]
+
+
+@pytest.fixture(scope="module")
+def classifier(italy, italy_labels):
+    dataset, _persons = italy
+    return PairClassifier(dataset).fit(italy_labels)
+
+
+def test_tab09_conditions(italy, italy_gold, classifier, benchmark):
+    dataset, _persons = italy
+    geo_lookup = build_gazetteer(["italy"]).lookup
+
+    measurements = {}
+
+    def run_condition(config):
+        qualities = []
+        for ng in NG_VALUES:
+            resolution = UncertainERPipeline(config.with_ng(ng)).run(
+                dataset, classifier=classifier if config.classify else None
+            )
+            qualities.append(italy_gold.evaluate(resolution.pairs))
+        recall = sum(q.recall for q in qualities) / len(qualities)
+        precision = sum(q.precision for q in qualities) / len(qualities)
+        f1 = sum(q.f1 for q in qualities) / len(qualities)
+        return recall, precision, f1
+
+    conditions = _conditions(geo_lookup)
+    for name, config in conditions:
+        if name == "Base":
+            measurements[name] = benchmark.pedantic(
+                run_condition, args=(config,), rounds=1, iterations=1
+            )
+        else:
+            measurements[name] = run_condition(config)
+
+    rows = [
+        [name, *measurements[name]] for name, _config in conditions
+    ]
+    table = format_table(
+        ["Condition", "Recall", "Precision", "F-1"], rows,
+        title=(f"Table 9 analogue - quality under varying conditions "
+               f"(avg over NG {NG_VALUES}, MaxMinSup=5, "
+               f"{len(dataset)} records)"),
+    )
+    emit("tab09_conditions", table)
+
+    base = measurements["Base"]
+    weighting = measurements["Expert Weighting"]
+    same_src = measurements["SameSrc"]
+    cls = measurements["Cls"]
+    both = measurements["SameSrc + Cls"]
+
+    # Expert weighting lifts recall.
+    assert weighting[0] > base[0]
+    # SameSrc trades recall for (no worse) precision vs weighting.
+    assert same_src[0] < weighting[0]
+    assert same_src[1] >= weighting[1] - 0.02
+    # Cls sharply lifts precision and F-1.
+    assert cls[1] > weighting[1] * 1.5
+    assert cls[2] > weighting[2]
+    # The combined condition is the best F-1 overall (as in the paper),
+    # allowing a tiny tie margin with Cls alone.
+    best_f1 = max(m[2] for m in measurements.values())
+    assert both[2] >= best_f1 - 0.02

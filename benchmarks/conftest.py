@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it prints
+the same rows/series the paper reports (run pytest with ``-s`` to see
+them) and also writes the rendered text to ``benchmarks/results/``.
+The ``benchmark`` fixture times the experiment's computational kernel so
+``pytest benchmarks/ --benchmark-only`` doubles as a performance suite.
+
+Corpus scales are chosen so the whole harness finishes in minutes on a
+laptop; the *shapes* of the published results are what we reproduce (see
+EXPERIMENTS.md), not absolute magnitudes from the authors' 6.5M-record
+production data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PipelineConfig, UncertainERPipeline
+from repro.datagen import ExpertTagger, build_corpus, build_italy_set, simplify_tags
+from repro.evaluation import GoldStandard
+
+@pytest.fixture(scope="session")
+def italy(request):
+    """ItalySet analogue at bench scale (~1,400 records incl. MV)."""
+    dataset, persons = build_italy_set(scale=0.15, seed=23)
+    return dataset, persons
+
+
+@pytest.fixture(scope="session")
+def italy_gold(italy):
+    dataset, _persons = italy
+    return GoldStandard.from_dataset(dataset)
+
+
+@pytest.fixture(scope="session")
+def italy_blocking(italy):
+    """One blocking pass over the Italy corpus (candidate-pair source)."""
+    dataset, _persons = italy
+    pipeline = UncertainERPipeline(
+        PipelineConfig(max_minsup=5, ng=3.5, expert_weighting=True)
+    )
+    return pipeline.block(dataset)
+
+
+@pytest.fixture(scope="session")
+def italy_tagged(italy, italy_blocking):
+    """Expert tags over the Italy candidate pairs (the paper's ~10k set)."""
+    dataset, _persons = italy
+    tagger = ExpertTagger(dataset, seed=97)
+    return tagger.tag_pairs(italy_blocking.candidate_pairs)
+
+
+@pytest.fixture(scope="session")
+def italy_labels(italy_tagged):
+    """Binary labels with Maybe omitted (the paper's preferred setup)."""
+    return simplify_tags(italy_tagged, maybe_as=None)
+
+
+@pytest.fixture(scope="session")
+def random_set(request):
+    """RandomSet analogue: six communities, bench scale (~2,300 records)."""
+    dataset, persons = build_corpus(
+        n_persons=1000, seed=29, name="random-set-bench"
+    )
+    return dataset, persons

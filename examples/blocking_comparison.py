@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Compare MFIBlocks against the ten baseline blockers (Table 10 style).
+
+Runs every blocking technique on the same corpus and prints recall,
+precision, and comparison counts — the precision/recall tradeoff that
+motivates MFIBlocks for *uncertain* ER, where blocking is the final
+clustering step and precision matters.
+
+Run:  python examples/blocking_comparison.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import GoldStandard, MFIBlocks, MFIBlocksConfig, build_corpus
+from repro.blocking.baselines import ALL_BASELINES
+from repro.evaluation import format_table, reduction_ratio
+
+
+def main() -> None:
+    dataset, _persons = build_corpus(
+        n_persons=250, communities=("germany", "ussr"), seed=55,
+        name="blocking-comparison",
+    )
+    gold = GoldStandard.from_dataset(dataset)
+    print(f"Corpus: {len(dataset)} records, {len(gold)} true pairs\n")
+
+    algorithms = [MFIBlocks(MFIBlocksConfig(max_minsup=5, ng=3.0))]
+    algorithms.extend(cls() for cls in ALL_BASELINES)
+
+    rows = []
+    for algorithm in algorithms:
+        start = time.perf_counter()
+        result = algorithm.run(dataset)
+        elapsed = time.perf_counter() - start
+        quality = gold.evaluate(result.candidate_pairs)
+        rows.append([
+            algorithm.name,
+            quality.recall,
+            quality.precision,
+            quality.n_candidates,
+            reduction_ratio(quality.n_candidates, len(dataset)),
+            elapsed,
+        ])
+
+    rows.sort(key=lambda row: -row[2])  # by precision, like the paper's story
+    print(format_table(
+        ["algorithm", "recall", "precision", "pairs", "reduction", "sec"],
+        rows,
+        title="Blocking techniques compared (cf. Table 10)",
+    ))
+    print("\nMFIBlocks trades some recall for a precision no baseline "
+          "approaches — the balanced tradeoff uncertain ER needs, since "
+          "here blocking doubles as the final soft clustering.")
+
+
+if __name__ == "__main__":
+    main()

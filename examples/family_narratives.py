@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Family-level resolution: the Capelluto scenario (Figures 13-14).
+
+Sibling reports — shared last name, father, mother, and home town — are
+false positives for person-level ER but exactly what a family-narrative
+researcher wants. This example runs the same corpus at person and family
+granularity and prints the family stories it recovers.
+
+Run:  python examples/family_narratives.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import (
+    GoldStandard,
+    PipelineConfig,
+    UncertainERPipeline,
+    build_corpus,
+    family_config,
+    family_gold_standard,
+)
+from repro.evaluation import format_table
+from repro.graph import merge_entity, narrative_for
+
+
+def main() -> None:
+    dataset, persons = build_corpus(
+        n_persons=300, communities=("greece",), seed=77, name="families"
+    )
+    person_gold = GoldStandard.from_dataset(dataset)
+    fam_gold = family_gold_standard(dataset, persons)
+    print(f"Corpus: {len(dataset)} reports; {len(person_gold)} person pairs, "
+          f"{len(fam_gold)} family pairs in the gold standard\n")
+
+    base = PipelineConfig(max_minsup=5, ng=2.5, expert_weighting=True,
+                          same_source_discard=True)
+    person_resolution = UncertainERPipeline(base).run(dataset)
+
+    loose = family_config(base)  # denser neighborhoods, no SameSrc
+    family_resolution = UncertainERPipeline(loose).run(dataset)
+
+    rows = []
+    for label, resolution in (("person-level", person_resolution),
+                              ("family-level", family_resolution)):
+        for gold_name, gold in (("person", person_gold), ("family", fam_gold)):
+            quality = gold.evaluate(resolution.pairs)
+            rows.append([label, gold_name, quality.recall, quality.precision])
+    print(format_table(
+        ["configuration", "gold standard", "recall", "precision"], rows,
+        title="Same pipeline, two granularities",
+    ))
+    print("\nThe loosened configuration recovers more *family* pairs — the "
+          "Capelluto-children effect the paper discusses.\n")
+
+    # Show a few recovered family clusters as narratives.
+    family_of = {p.person_id: p.family_id for p in persons}
+    printed = 0
+    for cluster in family_resolution.entities(certainty=0.25):
+        if len(cluster) < 3:
+            continue
+        families = Counter(
+            family_of.get(dataset[rid].person_id) for rid in cluster
+        )
+        family_id, _count = families.most_common(1)[0]
+        distinct_persons = {dataset[rid].person_id for rid in cluster}
+        if len(distinct_persons) < 2:
+            continue  # single person, not a family story
+        profile = merge_entity(printed, [dataset[rid] for rid in sorted(cluster)])
+        print(f"Family cluster (family #{family_id}, "
+              f"{len(distinct_persons)} members, {len(cluster)} reports):")
+        print(f"  {narrative_for(profile)}")
+        for rid in sorted(cluster):
+            record = dataset[rid]
+            print(f"    - {rid}: {' '.join(record.first)} "
+                  f"{' '.join(record.last)} "
+                  f"(father: {' '.join(record.father) or '?'})")
+        printed += 1
+        if printed >= 3:
+            break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — multi-source uncertain entity resolution.
+
+A from-scratch reproduction of *"Multi-Source Uncertain Entity
+Resolution: Transforming Holocaust Victim Reports into People"*
+(Sagi, Gal, Barkol, Bergman, Avram — SIGMOD 2016 / Information Systems
+extended version): the MFIBlocks soft-blocking algorithm over an
+FP-Growth/FPMax miner, an ADTree pair classifier, ranked
+certainty-tunable resolution, a synthetic Names-Project corpus
+generator, ten baseline blocking techniques, and the knowledge-graph /
+narrative layer the project motivates.
+
+Quickstart::
+
+    from repro import build_corpus, PipelineConfig, UncertainERPipeline
+
+    dataset, persons = build_corpus(n_persons=500, communities=("italy",))
+    pipeline = UncertainERPipeline(PipelineConfig(ng=3.5, expert_weighting=True))
+    resolution = pipeline.run(dataset)
+    for entity in resolution.entities(certainty=0.4):
+        print(sorted(entity))
+"""
+
+from repro.blocking import MFIBlocks, MFIBlocksConfig
+from repro.classify import ADTreeLearner, ADTreeModel, PairClassifier, render_tree
+from repro.core import (
+    GranularityLevel,
+    PairEvidence,
+    PipelineConfig,
+    ResolutionResult,
+    UncertainERPipeline,
+    family_config,
+    family_gold_standard,
+)
+from repro.datagen import (
+    ExpertTagger,
+    Tag,
+    build_corpus,
+    build_gazetteer,
+    build_italy_set,
+    build_random_set,
+    simplify_tags,
+)
+from repro.evaluation import GoldStandard, TaggedGoldStandard
+from repro.submitters import SubmitterGenerator, dedupe_submitters
+from repro.graph import build_knowledge_graph, narrative_for, ranked_narratives
+from repro.records import Dataset, VictimRecord
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MFIBlocks",
+    "MFIBlocksConfig",
+    "ADTreeLearner",
+    "ADTreeModel",
+    "PairClassifier",
+    "render_tree",
+    "GranularityLevel",
+    "PairEvidence",
+    "PipelineConfig",
+    "ResolutionResult",
+    "UncertainERPipeline",
+    "family_config",
+    "family_gold_standard",
+    "ExpertTagger",
+    "Tag",
+    "build_corpus",
+    "build_gazetteer",
+    "build_italy_set",
+    "build_random_set",
+    "simplify_tags",
+    "GoldStandard",
+    "SubmitterGenerator",
+    "dedupe_submitters",
+    "TaggedGoldStandard",
+    "build_knowledge_graph",
+    "narrative_for",
+    "ranked_narratives",
+    "Dataset",
+    "VictimRecord",
+    "__version__",
+]

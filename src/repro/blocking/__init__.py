@@ -1,0 +1,25 @@
+"""Blocking layer: MFIBlocks (Algorithm 1) and the Table-10 baselines."""
+
+from repro.blocking.base import Block, BlockingAlgorithm, BlockingResult, canonical_pair
+from repro.blocking.mfiblocks import MFIBlocks, MFIBlocksConfig
+from repro.blocking.scoring import (
+    DEFAULT_EXPERT_WEIGHTS,
+    BlockScorer,
+    ScoringMethod,
+    SparseNeighborhoodFilter,
+    neighborhood_cap,
+)
+
+__all__ = [
+    "Block",
+    "BlockingAlgorithm",
+    "BlockingResult",
+    "canonical_pair",
+    "MFIBlocks",
+    "MFIBlocksConfig",
+    "DEFAULT_EXPERT_WEIGHTS",
+    "BlockScorer",
+    "ScoringMethod",
+    "SparseNeighborhoodFilter",
+    "neighborhood_cap",
+]

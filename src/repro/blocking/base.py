@@ -1,0 +1,126 @@
+"""Common blocking types: blocks, candidate pairs, and the algorithm ABC.
+
+Terminology follows the paper: *blocking* creates (possibly overlapping)
+groups of records; the Cartesian product within each group yields the
+*candidate pairs* passed downstream. In the uncertain-ER model the
+blocking step doubles as the final soft clustering (Section 3.2), so
+blocks carry their key itemset and quality score.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Tuple
+
+from repro.records.dataset import Dataset
+from repro.records.itembag import Item
+
+__all__ = [
+    "Block",
+    "BlockingResult",
+    "BlockingAlgorithm",
+    "canonical_pair",
+    "pairs_of_block",
+]
+
+Pair = Tuple[int, int]
+
+
+def canonical_pair(a: int, b: int) -> Pair:
+    """Order a record-id pair canonically (smaller id first)."""
+    if a == b:
+        raise ValueError(f"a pair must join two distinct records, got {a} twice")
+    return (a, b) if a < b else (b, a)
+
+
+@dataclass(frozen=True)
+class Block:
+    """A block: its member record ids, optional key itemset, and score.
+
+    ``key`` is the MFI that generated the block for MFIBlocks, or a
+    human-readable surrogate for baseline algorithms (e.g. the blocking
+    key value). ``score`` is the block-quality score used by the CS/SN
+    filters; baselines that do not score blocks leave it at 0.
+    """
+
+    records: FrozenSet[int]
+    key: FrozenSet[Item] = frozenset()
+    score: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.records) < 2:
+            raise ValueError("a block must contain at least two records")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def pairs(self) -> Iterator[Pair]:
+        """All candidate pairs inside the block, canonicalized."""
+        members = sorted(self.records)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                yield (a, b)
+
+
+def pairs_of_block(records: Iterable[int]) -> Iterator[Pair]:
+    """Candidate pairs of an arbitrary record-id collection."""
+    members = sorted(set(records))
+    for i, a in enumerate(members):
+        for b in members[i + 1:]:
+            yield (a, b)
+
+
+@dataclass
+class BlockingResult:
+    """The outcome of a blocking run.
+
+    ``pair_scores`` maps each candidate pair to the best (highest) score
+    among the blocks that produced it — the ranked-resolution signal the
+    uncertain-ER model keeps instead of a crisp match decision.
+    """
+
+    blocks: List[Block] = field(default_factory=list)
+    pair_scores: Dict[Pair, float] = field(default_factory=dict)
+
+    @property
+    def candidate_pairs(self) -> FrozenSet[Pair]:
+        return frozenset(self.pair_scores)
+
+    def add_block(self, block: Block) -> None:
+        self.blocks.append(block)
+        for pair in block.pairs():
+            current = self.pair_scores.get(pair)
+            if current is None or block.score > current:
+                self.pair_scores[pair] = block.score
+
+    def ranked_pairs(self) -> List[Tuple[Pair, float]]:
+        """Candidate pairs sorted by descending score (ties: by pair id)."""
+        return sorted(self.pair_scores.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def comparisons(self) -> int:
+        """Number of distinct pairwise comparisons the blocking implies."""
+        return len(self.pair_scores)
+
+    def neighborhoods(self) -> Dict[int, int]:
+        """Per-record count of distinct records it is paired with."""
+        counts: Dict[int, set] = {}
+        for a, b in self.pair_scores:
+            counts.setdefault(a, set()).add(b)
+            counts.setdefault(b, set()).add(a)
+        return {rid: len(neighbors) for rid, neighbors in counts.items()}
+
+
+class BlockingAlgorithm(abc.ABC):
+    """Interface shared by MFIBlocks and the Table-10 baselines."""
+
+    #: Short name used in reports (e.g. "MFIBlocks", "StBl").
+    name: str = "blocking"
+
+    @abc.abstractmethod
+    def run(self, dataset: Dataset) -> BlockingResult:
+        """Block the dataset and return blocks plus scored candidate pairs."""
+
+    def candidate_pairs(self, dataset: Dataset) -> FrozenSet[Pair]:
+        """Convenience: just the candidate pair set."""
+        return self.run(dataset).candidate_pairs

@@ -1,0 +1,43 @@
+"""The ten baseline blocking techniques compared in Table 10."""
+
+from repro.blocking.baselines.canopy import CanopyClustering, ExtendedCanopyClustering
+from repro.blocking.baselines.neighborhood import (
+    ExtendedSortedNeighborhood,
+    ExtendedSuffixArraysBlocking,
+    SuffixArraysBlocking,
+)
+from repro.blocking.baselines.token_based import (
+    AttributeClustering,
+    ExtendedQGramsBlocking,
+    QGramsBlocking,
+    StandardBlocking,
+)
+from repro.blocking.baselines.typimatch import TYPiMatch
+
+#: Table 10 row order (excluding MFIBlocks itself).
+ALL_BASELINES = (
+    StandardBlocking,
+    AttributeClustering,
+    CanopyClustering,
+    ExtendedCanopyClustering,
+    QGramsBlocking,
+    ExtendedQGramsBlocking,
+    ExtendedSortedNeighborhood,
+    SuffixArraysBlocking,
+    ExtendedSuffixArraysBlocking,
+    TYPiMatch,
+)
+
+__all__ = [
+    "CanopyClustering",
+    "ExtendedCanopyClustering",
+    "ExtendedSortedNeighborhood",
+    "ExtendedSuffixArraysBlocking",
+    "SuffixArraysBlocking",
+    "AttributeClustering",
+    "ExtendedQGramsBlocking",
+    "QGramsBlocking",
+    "StandardBlocking",
+    "TYPiMatch",
+    "ALL_BASELINES",
+]

@@ -1,0 +1,129 @@
+"""Block-cleaning and comparison-cleaning steps (Papadakis et al.).
+
+Section 6.6 classifies blocking techniques into *block building*, *block
+cleaning* ("prune whole blocks") and *comparison cleaning* ("remove
+records from blocks"). The baselines in :mod:`repro.blocking.baselines`
+are block builders; this module supplies the cleaning stages of the
+survey's standard workflow so they can be composed with any builder:
+
+* :class:`BlockPurging` — drop oversized blocks (above a size chosen
+  from the block-size distribution);
+* :class:`BlockFiltering` — keep each record only in its ``ratio``
+  smallest (most discriminative) blocks;
+* :class:`WeightedEdgePruning` — meta-blocking: score each candidate
+  pair by its co-occurrence weight across blocks and keep pairs above
+  the mean weight (the survey's WEP with common-blocks weighting).
+
+The paper itself performs comparison cleaning "through a highly specific
+classification method" (the ADTree) instead; these utilities exist so
+the Table-10 comparison can also be run under the survey's own cleaning
+workflow (see ``bench_tab10_blocking``'s notes).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.blocking.base import Block, BlockingResult
+
+__all__ = ["BlockPurging", "BlockFiltering", "WeightedEdgePruning"]
+
+Pair = Tuple[int, int]
+
+
+@dataclass
+class BlockPurging:
+    """Drop blocks larger than a percentile of the size distribution.
+
+    ``percentile`` of 1.0 keeps everything; the survey default removes
+    the largest blocks whose comparisons dominate the workload while
+    contributing almost no matches.
+    """
+
+    percentile: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.percentile <= 1.0:
+            raise ValueError(
+                f"percentile must be in (0, 1], got {self.percentile}"
+            )
+
+    def apply(self, result: BlockingResult) -> BlockingResult:
+        if not result.blocks:
+            return BlockingResult()
+        sizes = sorted(len(block) for block in result.blocks)
+        index = min(len(sizes) - 1, int(math.ceil(self.percentile * len(sizes))) - 1)
+        max_size = sizes[max(0, index)]
+        cleaned = BlockingResult()
+        for block in result.blocks:
+            if len(block) <= max_size:
+                cleaned.add_block(block)
+        return cleaned
+
+
+@dataclass
+class BlockFiltering:
+    """Keep each record only in its smallest (most selective) blocks.
+
+    ``ratio`` is the fraction of a record's blocks retained (survey
+    default 0.8); blocks that lose all but one record disappear.
+    """
+
+    ratio: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {self.ratio}")
+
+    def apply(self, result: BlockingResult) -> BlockingResult:
+        # Rank each record's blocks by ascending size.
+        blocks_of: Dict[int, List[int]] = {}
+        for index, block in enumerate(result.blocks):
+            for rid in block.records:
+                blocks_of.setdefault(rid, []).append(index)
+        keep: Dict[int, set] = {}
+        for rid, indices in blocks_of.items():
+            indices.sort(key=lambda i: (len(result.blocks[i]), i))
+            kept = max(1, int(math.ceil(self.ratio * len(indices))))
+            keep[rid] = set(indices[:kept])
+
+        cleaned = BlockingResult()
+        for index, block in enumerate(result.blocks):
+            members = frozenset(
+                rid for rid in block.records if index in keep.get(rid, ())
+            )
+            if len(members) >= 2:
+                cleaned.add_block(
+                    Block(records=members, key=block.key, score=block.score)
+                )
+        return cleaned
+
+
+@dataclass
+class WeightedEdgePruning:
+    """Meta-blocking WEP: prune pairs below the mean co-occurrence weight.
+
+    The weight of a pair is the number of blocks it co-occurs in
+    (common-blocks scheme); pairs at or below the global mean weight are
+    discarded. Returns a new result whose blocks are the surviving pairs
+    themselves (meta-blocking abandons the original block structure).
+    """
+
+    def apply(self, result: BlockingResult) -> BlockingResult:
+        weights: Counter = Counter()
+        for block in result.blocks:
+            for pair in block.pairs():
+                weights[pair] += 1
+        if not weights:
+            return BlockingResult()
+        mean_weight = sum(weights.values()) / len(weights)
+        cleaned = BlockingResult()
+        for pair, weight in weights.items():
+            if weight > mean_weight:
+                cleaned.add_block(
+                    Block(records=frozenset(pair), score=float(weight))
+                )
+        return cleaned

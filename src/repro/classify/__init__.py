@@ -1,0 +1,43 @@
+"""ADTree classification substrate (Freund & Mason, as used via Weka in
+the paper): model, boosting learner, training harness, tree printer."""
+
+from repro.classify.adtree import (
+    ADTreeModel,
+    CategoricalCondition,
+    Condition,
+    NumericCondition,
+    PredictionNode,
+    SplitterNode,
+)
+from repro.classify.boosting import ADTreeLearner
+from repro.classify.cart import CartLearner, CartModel
+from repro.classify.printer import render_tree
+from repro.classify.training import (
+    EvaluationResult,
+    OneVsRestADTree,
+    PairClassifier,
+    cross_validate,
+    evaluate_model,
+    pair_features,
+    train_test_split,
+)
+
+__all__ = [
+    "ADTreeModel",
+    "CategoricalCondition",
+    "Condition",
+    "NumericCondition",
+    "PredictionNode",
+    "SplitterNode",
+    "ADTreeLearner",
+    "CartLearner",
+    "CartModel",
+    "render_tree",
+    "EvaluationResult",
+    "OneVsRestADTree",
+    "PairClassifier",
+    "cross_validate",
+    "evaluate_model",
+    "pair_features",
+    "train_test_split",
+]

@@ -1,0 +1,249 @@
+"""ADTree learning via boosting (Freund & Mason's Z-criterion).
+
+Each boosting round adds one splitter node: the (precondition, condition)
+pair minimizing
+
+    Z = 2 * ( sqrt(W+(c1 & c2) * W-(c1 & c2))
+            + sqrt(W+(c1 & !c2) * W-(c1 & !c2)) )
+        + W(!c1) + W(c1 & missing)
+
+where ``c1`` ranges over existing prediction-node paths, ``c2`` over base
+conditions (numeric thresholds and categorical equality tests), and
+weights are the boosting distribution. The two new prediction values are
+smoothed log-odds ``0.5 * ln((W+ + 1) / (W- + 1))`` — the same smoothing
+Weka's ADTree uses, so prediction values land in the same range as the
+paper's Tables 7-8. Instances with the test feature missing stay outside
+both branches (they keep skipping the splitter at prediction time too),
+which is how the algorithm tolerates the dataset's sparse patterns.
+
+The search is vectorized with numpy: condition satisfaction/presence is
+precomputed as float matrices and each round reduces to a handful of
+matrix-vector products, keeping 10 rounds over ~10k pairs sub-second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.classify.adtree import (
+    ADTreeModel,
+    CategoricalCondition,
+    Condition,
+    NumericCondition,
+    PredictionNode,
+    SplitterNode,
+)
+from repro.similarity.features import FeatureVector
+
+__all__ = ["ADTreeLearner"]
+
+
+@dataclass
+class _CandidateSet:
+    """Precomputed base conditions with their evaluation matrices."""
+
+    conditions: List[Condition]
+    satisfied: np.ndarray  # (n_cond, n) float32: test passes
+    present: np.ndarray  # (n_cond, n) float32: feature present
+
+
+class ADTreeLearner:
+    """Boosts an alternating decision tree from tagged feature vectors."""
+
+    def __init__(
+        self,
+        n_rounds: int = 10,
+        max_numeric_thresholds: int = 24,
+        smoothing: float = 1.0,
+    ) -> None:
+        if n_rounds < 1:
+            raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
+        if max_numeric_thresholds < 1:
+            raise ValueError("max_numeric_thresholds must be >= 1")
+        if smoothing <= 0:
+            raise ValueError(f"smoothing must be positive, got {smoothing}")
+        self.n_rounds = n_rounds
+        self.max_numeric_thresholds = max_numeric_thresholds
+        self.smoothing = smoothing
+
+    # -- public API ---------------------------------------------------------------
+
+    def fit(
+        self,
+        features: Sequence[FeatureVector],
+        labels: Sequence[bool],
+    ) -> ADTreeModel:
+        """Learn a tree from feature vectors and binary match labels."""
+        if len(features) != len(labels):
+            raise ValueError(
+                f"features ({len(features)}) and labels ({len(labels)}) disagree"
+            )
+        if not features:
+            raise ValueError("cannot fit on an empty training set")
+
+        n = len(features)
+        y = np.where(np.asarray(labels, dtype=bool), 1.0, -1.0)
+        candidates = self._build_candidates(features)
+
+        # Root prediction: smoothed prior log-odds.
+        weights = np.ones(n)
+        root_value = self._log_odds(
+            float(weights[y > 0].sum()), float(weights[y < 0].sum())
+        )
+        root = PredictionNode(root_value)
+        weights *= np.exp(-y * root_value)
+
+        if not candidates.conditions:
+            return ADTreeModel(root)
+
+        # Preconditions: (reachability mask, prediction node to attach to).
+        preconditions: List[Tuple[np.ndarray, PredictionNode]] = [
+            (np.ones(n), root)
+        ]
+
+        for round_index in range(1, self.n_rounds + 1):
+            placement = self._best_split(candidates, preconditions, weights, y)
+            if placement is None:
+                break
+            pre_index, cond_index, value_yes, value_no = placement
+            mask, parent = preconditions[pre_index]
+            condition = candidates.conditions[cond_index]
+            sat = candidates.satisfied[cond_index]
+            pres = candidates.present[cond_index]
+
+            mask_yes = mask * sat
+            mask_no = mask * pres * (1.0 - sat)
+            splitter = SplitterNode(
+                order=round_index,
+                condition=condition,
+                yes=PredictionNode(value_yes),
+                no=PredictionNode(value_no),
+            )
+            parent.splitters.append(splitter)
+            preconditions.append((mask_yes, splitter.yes))
+            preconditions.append((mask_no, splitter.no))
+
+            weights *= np.exp(-y * (value_yes * mask_yes + value_no * mask_no))
+
+        return ADTreeModel(root)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _log_odds(self, w_pos: float, w_neg: float) -> float:
+        return 0.5 * float(
+            np.log((w_pos + self.smoothing) / (w_neg + self.smoothing))
+        )
+
+    def _best_split(
+        self,
+        candidates: _CandidateSet,
+        preconditions: List[Tuple[np.ndarray, PredictionNode]],
+        weights: np.ndarray,
+        y: np.ndarray,
+    ) -> Optional[Tuple[int, int, float, float]]:
+        """Z-minimizing (precondition, condition) with its branch values."""
+        w_pos = weights * (y > 0)
+        w_neg = weights * (y < 0)
+        total = float(weights.sum())
+        not_satisfied = candidates.present - candidates.satisfied
+
+        best: Optional[Tuple[float, int, int, float, float]] = None
+        for pre_index, (mask, _node) in enumerate(preconditions):
+            wp_in = w_pos * mask
+            wn_in = w_neg * mask
+            w_in = wp_in + wn_in
+
+            wp_yes = candidates.satisfied @ wp_in
+            wn_yes = candidates.satisfied @ wn_in
+            wp_no = not_satisfied @ wp_in
+            wn_no = not_satisfied @ wn_in
+            w_reached = candidates.present @ w_in
+
+            z = (
+                2.0 * (np.sqrt(wp_yes * wn_yes) + np.sqrt(wp_no * wn_no))
+                + (total - w_reached)
+            )
+            cond_index = int(np.argmin(z))
+            z_value = float(z[cond_index])
+            if best is None or z_value < best[0] - 1e-12:
+                value_yes = self._log_odds(
+                    float(wp_yes[cond_index]), float(wn_yes[cond_index])
+                )
+                value_no = self._log_odds(
+                    float(wp_no[cond_index]), float(wn_no[cond_index])
+                )
+                best = (z_value, pre_index, cond_index, value_yes, value_no)
+        if best is None:
+            return None
+        _, pre_index, cond_index, value_yes, value_no = best
+        return pre_index, cond_index, value_yes, value_no
+
+    def _build_candidates(
+        self, features: Sequence[FeatureVector]
+    ) -> _CandidateSet:
+        """Enumerate base conditions and evaluate them over the data."""
+        names = self._feature_names(features)
+        n = len(features)
+        conditions: List[Condition] = []
+        satisfied_rows: List[np.ndarray] = []
+        present_rows: List[np.ndarray] = []
+
+        for name in names:
+            raw = [vector.get(name) for vector in features]
+            present = np.array([value is not None for value in raw], dtype=bool)
+            if not present.any():
+                continue
+            sample = next(value for value in raw if value is not None)
+            if isinstance(sample, (int, float)) and not isinstance(sample, bool):
+                values = np.array(
+                    [float(v) if v is not None else np.nan for v in raw]
+                )
+                for threshold in self._thresholds(values[present]):
+                    with np.errstate(invalid="ignore"):
+                        passes = (values < threshold) & present
+                    conditions.append(NumericCondition(name, float(threshold)))
+                    satisfied_rows.append(passes)
+                    present_rows.append(present)
+            else:
+                observed = sorted({str(v) for v in raw if v is not None})
+                for value in observed:
+                    passes = np.array(
+                        [v is not None and str(v) == value for v in raw],
+                        dtype=bool,
+                    )
+                    conditions.append(CategoricalCondition(name, value))
+                    satisfied_rows.append(passes)
+                    present_rows.append(present)
+
+        if not conditions:
+            empty = np.zeros((0, n), dtype=np.float64)
+            return _CandidateSet([], empty, empty)
+        satisfied = np.array(satisfied_rows, dtype=np.float64)
+        present = np.array(present_rows, dtype=np.float64)
+        return _CandidateSet(conditions, satisfied, present)
+
+    def _thresholds(self, present_values: np.ndarray) -> List[float]:
+        """Candidate thresholds: midpoints of unique values, quantile-capped."""
+        unique = np.unique(present_values)
+        if unique.size < 2:
+            return []
+        midpoints = (unique[:-1] + unique[1:]) / 2.0
+        if midpoints.size <= self.max_numeric_thresholds:
+            return [float(m) for m in midpoints]
+        quantiles = np.linspace(0, 1, self.max_numeric_thresholds + 2)[1:-1]
+        picked = np.quantile(midpoints, quantiles)
+        return [float(m) for m in np.unique(picked)]
+
+    @staticmethod
+    def _feature_names(features: Sequence[FeatureVector]) -> List[str]:
+        names: List[str] = []
+        seen: Dict[str, None] = {}
+        for vector in features:
+            for name in vector:
+                if name not in seen:
+                    seen[name] = None
+                    names.append(name)
+        return names

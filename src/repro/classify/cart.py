@@ -1,0 +1,237 @@
+"""A CART-style binary decision tree — the classifier ablation baseline.
+
+The paper argues for ADTrees over standard decision trees because of
+their robustness "to disparity between record attributes" (sparse,
+schema-diverse features) and their native confidence score. This module
+provides the standard-decision-tree side of that argument: a greedy
+Gini-impurity tree over the same feature vectors.
+
+Missing values are routed down the *majority* branch of each split (a
+common CART heuristic) — unlike the ADTree, which simply skips the
+splitter, a standard tree must commit, which is exactly the brittleness
+the ablation benchmark measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.similarity.features import FeatureVector
+
+__all__ = ["CartLearner", "CartModel"]
+
+
+@dataclass
+class _Leaf:
+    """Terminal node: positive-class probability."""
+
+    probability: float
+
+
+@dataclass
+class _Split:
+    """Internal node: a test plus yes/no subtrees."""
+
+    feature: str
+    threshold: Optional[float]  # numeric test: value < threshold
+    category: Optional[str]  # categorical test: value == category
+    missing_goes_yes: bool
+    yes: Union["_Split", _Leaf]
+    no: Union["_Split", _Leaf]
+
+    def route(self, features: FeatureVector) -> Union["_Split", _Leaf]:
+        value = features.get(self.feature)
+        if value is None:
+            branch = self.missing_goes_yes
+        elif self.threshold is not None:
+            branch = float(value) < self.threshold
+        else:
+            branch = value == self.category
+        return self.yes if branch else self.no
+
+
+class CartModel:
+    """A trained CART tree over pairwise feature vectors."""
+
+    def __init__(self, root: Union[_Split, _Leaf]) -> None:
+        self.root = root
+
+    def probability(self, features: FeatureVector) -> float:
+        """Positive-class probability for one feature vector."""
+        node = self.root
+        while isinstance(node, _Split):
+            node = node.route(features)
+        return node.probability
+
+    def score(self, features: FeatureVector) -> float:
+        """Centered score in [-0.5, 0.5] so 0 is the decision boundary,
+        mirroring the ADTree's sign-based interface."""
+        return self.probability(features) - 0.5
+
+    def classify(self, features: FeatureVector, threshold: float = 0.0) -> bool:
+        return self.score(features) > threshold
+
+    def depth(self) -> int:
+        def walk(node) -> int:
+            if isinstance(node, _Leaf):
+                return 0
+            return 1 + max(walk(node.yes), walk(node.no))
+
+        return walk(self.root)
+
+    def n_leaves(self) -> int:
+        def walk(node) -> int:
+            if isinstance(node, _Leaf):
+                return 1
+            return walk(node.yes) + walk(node.no)
+
+        return walk(self.root)
+
+
+def _gini(n_pos: int, n_neg: int) -> float:
+    total = n_pos + n_neg
+    if total == 0:
+        return 0.0
+    p = n_pos / total
+    return 2.0 * p * (1.0 - p)
+
+
+class CartLearner:
+    """Greedy Gini-impurity CART learner."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 8,
+        min_samples_leaf: int = 3,
+        max_numeric_thresholds: int = 16,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_numeric_thresholds = max_numeric_thresholds
+
+    def fit(
+        self,
+        features: Sequence[FeatureVector],
+        labels: Sequence[bool],
+    ) -> CartModel:
+        if len(features) != len(labels):
+            raise ValueError("features and labels lengths disagree")
+        if not features:
+            raise ValueError("cannot fit on an empty training set")
+        names = sorted({name for vector in features for name in vector})
+        indices = list(range(len(features)))
+        root = self._build(features, labels, indices, names, depth=0)
+        return CartModel(root)
+
+    # -- internals -----------------------------------------------------------
+
+    def _leaf(self, labels, indices) -> _Leaf:
+        n_pos = sum(1 for i in indices if labels[i])
+        return _Leaf(n_pos / len(indices) if indices else 0.5)
+
+    def _build(self, features, labels, indices, names, depth):
+        n_pos = sum(1 for i in indices if labels[i])
+        n_neg = len(indices) - n_pos
+        if (
+            depth >= self.max_depth
+            or len(indices) < self.min_samples_split
+            or n_pos == 0
+            or n_neg == 0
+        ):
+            return self._leaf(labels, indices)
+
+        best = self._best_split(features, labels, indices, names)
+        if best is None:
+            return self._leaf(labels, indices)
+        feature, threshold, category, yes_idx, no_idx, missing_yes = best
+        return _Split(
+            feature=feature,
+            threshold=threshold,
+            category=category,
+            missing_goes_yes=missing_yes,
+            yes=self._build(features, labels, yes_idx, names, depth + 1),
+            no=self._build(features, labels, no_idx, names, depth + 1),
+        )
+
+    def _candidate_tests(self, features, indices, name):
+        values = [features[i].get(name) for i in indices]
+        present = [v for v in values if v is not None]
+        if not present:
+            return []
+        sample = present[0]
+        tests: List[Tuple[Optional[float], Optional[str]]] = []
+        if isinstance(sample, (int, float)) and not isinstance(sample, bool):
+            unique = sorted({float(v) for v in present})
+            if len(unique) < 2:
+                return []
+            midpoints = [
+                (a + b) / 2.0 for a, b in zip(unique[:-1], unique[1:])
+            ]
+            if len(midpoints) > self.max_numeric_thresholds:
+                step = len(midpoints) / self.max_numeric_thresholds
+                midpoints = [
+                    midpoints[int(i * step)]
+                    for i in range(self.max_numeric_thresholds)
+                ]
+            tests.extend((m, None) for m in midpoints)
+        else:
+            for category in sorted({str(v) for v in present}):
+                tests.append((None, category))
+        return tests
+
+    def _best_split(self, features, labels, indices, names):
+        parent_gini = _gini(
+            sum(1 for i in indices if labels[i]),
+            sum(1 for i in indices if not labels[i]),
+        )
+        best_gain = 1e-9
+        best = None
+        for name in names:
+            for threshold, category in self._candidate_tests(
+                features, indices, name
+            ):
+                yes_idx, no_idx, missing_idx = [], [], []
+                for i in indices:
+                    value = features[i].get(name)
+                    if value is None:
+                        missing_idx.append(i)
+                    elif threshold is not None:
+                        (yes_idx if float(value) < threshold else no_idx).append(i)
+                    else:
+                        (yes_idx if value == category else no_idx).append(i)
+                if not yes_idx or not no_idx:
+                    continue
+                # Missing values follow the majority branch.
+                missing_yes = len(yes_idx) >= len(no_idx)
+                (yes_idx if missing_yes else no_idx).extend(missing_idx)
+                if (
+                    len(yes_idx) < self.min_samples_leaf
+                    or len(no_idx) < self.min_samples_leaf
+                ):
+                    continue
+                gini_yes = _gini(
+                    sum(1 for i in yes_idx if labels[i]),
+                    sum(1 for i in yes_idx if not labels[i]),
+                )
+                gini_no = _gini(
+                    sum(1 for i in no_idx if labels[i]),
+                    sum(1 for i in no_idx if not labels[i]),
+                )
+                total = len(yes_idx) + len(no_idx)
+                weighted = (
+                    len(yes_idx) / total * gini_yes
+                    + len(no_idx) / total * gini_no
+                )
+                gain = parent_gini - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (name, threshold, category, yes_idx, no_idx,
+                            missing_yes)
+        return best

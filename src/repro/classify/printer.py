@@ -1,0 +1,41 @@
+"""Render a learned ADTree in the paper's Tables 7-8 text format.
+
+The published models are printed as an indented outline:
+
+    : -0.289
+    | (1)sameFFN = no: -1.314
+    | | (6)MFNdist < 0.728: -0.718
+    | | (6)MFNdist >= 0.728: 1.528
+    | (1)sameFFN != no: 0.539
+    ...
+
+— the root prediction value first, then each splitter's two branches
+with the boosting-round order in parentheses, nested under the
+prediction node they were attached to.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.classify.adtree import ADTreeModel, PredictionNode
+
+__all__ = ["render_tree"]
+
+
+def render_tree(model: ADTreeModel, indent: str = "| ") -> str:
+    """Return the tree in the paper's indented text format."""
+    lines: List[str] = [f": {model.root.value:.3f}"]
+
+    def walk(node: PredictionNode, depth: int) -> None:
+        for splitter in sorted(node.splitters, key=lambda s: s.order):
+            prefix = indent * depth
+            for branch, child in ((True, splitter.yes), (False, splitter.no)):
+                description = splitter.condition.describe(branch)
+                lines.append(
+                    f"{prefix}({splitter.order}){description}: {child.value:.3f}"
+                )
+                walk(child, depth + 1)
+
+    walk(model.root, 1)
+    return "\n".join(lines)

@@ -1,0 +1,271 @@
+"""Command-line interface: generate corpora, analyze, resolve, narrate.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli generate --persons 400 --communities italy \
+        --out corpus.json
+    python -m repro.cli analyze corpus.json
+    python -m repro.cli resolve corpus.json --ng 3.5 --expert-weighting \
+        --classify --certainty 0.5 --out matches.csv
+    python -m repro.cli narratives corpus.json --top 5
+
+The ``resolve`` command mirrors the Section 6.5 conditions: expert
+weighting, ExpertSim, SameSrc, and ADTree classification (trained on
+simulated expert tags) are all switchable flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core import PipelineConfig, UncertainERPipeline
+from repro.datagen import (
+    ExpertTagger,
+    build_corpus,
+    build_gazetteer,
+    simplify_tags,
+)
+from repro.datagen.names import COMMUNITIES
+from repro.evaluation import GoldStandard, format_table
+from repro.graph import ranked_narratives
+from repro.records import Dataset
+from repro.records.io import read_csv, write_csv
+from repro.records.patterns import item_type_prevalence, pattern_histogram
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-source uncertain entity resolution toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic Names-Project corpus"
+    )
+    generate.add_argument("--persons", type=int, default=400)
+    generate.add_argument(
+        "--communities", nargs="+", default=["italy"],
+        choices=list(COMMUNITIES),
+    )
+    generate.add_argument("--seed", type=int, default=17)
+    generate.add_argument("--mv-reports", type=int, default=0)
+    generate.add_argument("--out", type=Path, required=True)
+
+    analyze = commands.add_parser(
+        "analyze", help="data-pattern and prevalence analysis (Fig 11 / Tab 3)"
+    )
+    analyze.add_argument("corpus", type=Path)
+
+    resolve = commands.add_parser(
+        "resolve", help="run the uncertain-ER pipeline"
+    )
+    resolve.add_argument("corpus", type=Path)
+    resolve.add_argument("--max-minsup", type=int, default=5)
+    resolve.add_argument("--ng", type=float, default=3.5)
+    resolve.add_argument("--expert-weighting", action="store_true")
+    resolve.add_argument("--expert-sim", action="store_true")
+    resolve.add_argument("--same-src", action="store_true")
+    resolve.add_argument("--classify", action="store_true")
+    resolve.add_argument("--certainty", type=float, default=0.0)
+    resolve.add_argument("--tag-seed", type=int, default=97)
+    resolve.add_argument("--out", type=Path, default=None,
+                         help="write resolved pairs as CSV")
+
+    narratives = commands.add_parser(
+        "narratives", help="print ranked narratives for resolved entities"
+    )
+    narratives.add_argument("corpus", type=Path)
+    narratives.add_argument("--top", type=int, default=5)
+    narratives.add_argument("--ng", type=float, default=3.5)
+
+    experiment = commands.add_parser(
+        "experiment",
+        help="run the Table 9 condition grid against ground truth",
+    )
+    experiment.add_argument("corpus", type=Path)
+    experiment.add_argument("--ng", type=float, nargs="+",
+                            default=[3.0, 3.5, 4.0])
+    experiment.add_argument("--max-minsup", type=int, default=5)
+    experiment.add_argument("--no-classifier", action="store_true",
+                            help="skip the Cls conditions")
+    experiment.add_argument("--tag-seed", type=int, default=97)
+
+    return parser
+
+
+def _load_corpus(path: Path) -> Dataset:
+    """Load a corpus, dispatching on the file suffix (.json or .csv)."""
+    if path.suffix.lower() == ".csv":
+        return read_csv(path)
+    return Dataset.from_json(path)
+
+
+def _save_corpus(dataset: Dataset, path: Path) -> None:
+    if path.suffix.lower() == ".csv":
+        write_csv(dataset, path)
+    else:
+        dataset.to_json(path)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset, persons = build_corpus(
+        n_persons=args.persons,
+        communities=tuple(args.communities),
+        seed=args.seed,
+        mv_reports=args.mv_reports,
+        name=args.out.stem,
+    )
+    _save_corpus(dataset, args.out)
+    print(f"wrote {len(dataset)} reports about {len(persons)} persons "
+          f"to {args.out}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    dataset = _load_corpus(args.corpus)
+    buckets = pattern_histogram(dataset)
+    print(format_table(
+        ["records sharing pattern (<=)", "# patterns", "sum of records"],
+        [[b.label, b.n_patterns, b.n_records] for b in buckets],
+        title=f"Data patterns ({len(dataset)} records)",
+    ))
+    print()
+    print(format_table(
+        ["Item Type", "Records", "%"],
+        [[label, count, f"{frac:.0%}"]
+         for label, count, frac in item_type_prevalence(dataset)],
+        title="Item type prevalence",
+    ))
+    return 0
+
+
+def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
+    geo_lookup = build_gazetteer().lookup if args.expert_sim else None
+    return PipelineConfig(
+        max_minsup=args.max_minsup,
+        ng=args.ng,
+        expert_weighting=args.expert_weighting,
+        expert_sim=args.expert_sim,
+        same_source_discard=args.same_src,
+        classify=args.classify,
+        geo_lookup=geo_lookup,
+    )
+
+
+def _cmd_resolve(args: argparse.Namespace) -> int:
+    dataset = _load_corpus(args.corpus)
+    config = _pipeline_config(args)
+    pipeline = UncertainERPipeline(config)
+
+    labels = None
+    if args.classify:
+        blocking = pipeline.block(dataset)
+        tagger = ExpertTagger(dataset, seed=args.tag_seed)
+        tagged = tagger.tag_pairs(blocking.candidate_pairs)
+        labels = simplify_tags(tagged, maybe_as=None)
+        print(f"trained on {len(labels)} simulated expert-tagged pairs")
+
+    resolution = pipeline.run(dataset, labeled_pairs=labels)
+    crisp = resolution.resolve(args.certainty)
+    print(f"{len(resolution)} ranked pairs; {len(crisp)} above "
+          f"certainty {args.certainty}")
+
+    gold = GoldStandard.from_dataset(dataset)
+    if gold.matches:
+        quality = resolution.evaluate(gold, args.certainty)
+        print(f"quality vs ground truth: precision={quality.precision:.3f} "
+              f"recall={quality.recall:.3f} F-1={quality.f1:.3f}")
+
+    if args.out is not None:
+        with open(args.out, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["book_id_a", "book_id_b", "similarity",
+                             "confidence"])
+            for evidence in resolution.ranked():
+                if evidence.ranking_key <= args.certainty:
+                    continue
+                writer.writerow([
+                    evidence.pair[0], evidence.pair[1],
+                    f"{evidence.similarity:.4f}",
+                    "" if evidence.confidence is None
+                    else f"{evidence.confidence:.4f}",
+                ])
+        print(f"wrote {len(crisp)} pairs to {args.out}")
+    return 0
+
+
+def _cmd_narratives(args: argparse.Namespace) -> int:
+    dataset = _load_corpus(args.corpus)
+    pipeline = UncertainERPipeline(
+        PipelineConfig(ng=args.ng, expert_weighting=True)
+    )
+    resolution = pipeline.run(dataset)
+    stories = ranked_narratives(dataset, resolution)
+    for narrative in stories[: args.top]:
+        print(f"[confidence {narrative.confidence:+.2f}] {narrative.text}")
+    if not stories:
+        print("no multi-report entities found")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.evaluation.experiments import run_conditions
+
+    dataset = _load_corpus(args.corpus)
+    gold = GoldStandard.from_dataset(dataset)
+    if not gold.matches:
+        print("corpus has no ground-truth person ids; cannot evaluate")
+        return 1
+
+    labels = None
+    if not args.no_classifier:
+        pipeline = UncertainERPipeline(
+            PipelineConfig(max_minsup=args.max_minsup,
+                           ng=max(args.ng), expert_weighting=True)
+        )
+        blocking = pipeline.block(dataset)
+        tagger = ExpertTagger(dataset, seed=args.tag_seed)
+        labels = simplify_tags(
+            tagger.tag_pairs(blocking.candidate_pairs), maybe_as=None
+        )
+        print(f"trained conditions use {len(labels)} simulated tags")
+
+    results = run_conditions(
+        dataset, gold, labeled_pairs=labels,
+        ng_values=tuple(args.ng), max_minsup=args.max_minsup,
+        geo_lookup=build_gazetteer().lookup,
+    )
+    print(format_table(
+        ["Condition", "Recall", "Precision", "F-1"],
+        [[r.name, r.recall, r.precision, r.f1] for r in results],
+        title=(f"Quality under varying conditions "
+               f"(avg over NG {tuple(args.ng)}, MaxMinSup={args.max_minsup})"),
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "analyze": _cmd_analyze,
+    "resolve": _cmd_resolve,
+    "narratives": _cmd_narratives,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The paper's primary contribution: the multi-source uncertain entity
+resolution model — soft blocking, ranked resolution, certainty-threshold
+querying, and multi-granularity entities."""
+
+from repro.core.config import PipelineConfig
+from repro.core.granularity import (
+    GranularityLevel,
+    config_for,
+    family_config,
+    family_gold_standard,
+)
+from repro.core.incremental import IncrementalResolver
+from repro.core.pipeline import UncertainERPipeline
+from repro.core.probdb import ProbabilisticSameAs, match_probability
+from repro.core.resolution import (
+    PairEvidence,
+    ResolutionResult,
+    connected_components,
+)
+
+__all__ = [
+    "PipelineConfig",
+    "GranularityLevel",
+    "config_for",
+    "family_config",
+    "family_gold_standard",
+    "IncrementalResolver",
+    "UncertainERPipeline",
+    "ProbabilisticSameAs",
+    "match_probability",
+    "PairEvidence",
+    "ResolutionResult",
+    "connected_components",
+]

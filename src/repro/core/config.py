@@ -1,0 +1,101 @@
+"""Pipeline configuration: the Section 6.5 configurable options.
+
+One dataclass captures every experimental condition of Table 9 plus the
+NG / MaxMinSup sweep of Figures 15-16, so a benchmark row is literally
+one :class:`PipelineConfig` value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.blocking.mfiblocks import MFIBlocksConfig
+from repro.blocking.scoring import (
+    DEFAULT_EXPERT_WEIGHTS,
+    BlockScorer,
+    ScoringMethod,
+)
+from repro.similarity.items import GeoLookup
+
+__all__ = ["PipelineConfig"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """End-to-end uncertain-ER configuration.
+
+    Blocking knobs:
+
+    ``max_minsup`` / ``ng``
+        Algorithm 1 parameters (Figures 15-16 sweep them).
+    ``prune_fraction``
+        Optional most-frequent-item pruning before mining.
+    ``sn_mode``
+        Sparse-neighborhood enforcement ("skip" or "threshold").
+
+    The binary conditions of Table 9:
+
+    ``expert_weighting``
+        Weight block scores by item type with expert-derived weights.
+    ``expert_sim``
+        Use the Eq.-1 custom item-similarity (ExpertSim) for block
+        scoring instead of (weighted) Jaccard. Composes with
+        ``expert_weighting`` as in the paper's experiment order.
+    ``same_source_discard``
+        Drop candidate pairs whose records share a source (SameSrc).
+    ``classify``
+        Filter and re-rank pairs with a trained ADTree (Cls); pairs with
+        confidence <= ``classifier_threshold`` are discarded.
+    """
+
+    max_minsup: int = 5
+    ng: float = 3.0
+    prune_fraction: Optional[float] = None
+    sn_mode: str = "skip"
+    expert_weighting: bool = False
+    expert_sim: bool = False
+    same_source_discard: bool = False
+    classify: bool = False
+    classifier_threshold: float = 0.0
+    geo_lookup: Optional[GeoLookup] = None
+
+    def scorer(self) -> BlockScorer:
+        """Build the block scorer implied by the condition flags."""
+        if self.expert_sim:
+            method = ScoringMethod.EXPERT
+        elif self.expert_weighting:
+            method = ScoringMethod.WEIGHTED
+        else:
+            method = ScoringMethod.UNIFORM
+        weights = dict(DEFAULT_EXPERT_WEIGHTS) if self.expert_weighting else None
+        return BlockScorer(method=method, weights=weights,
+                           geo_lookup=self.geo_lookup)
+
+    def blocking_config(self) -> MFIBlocksConfig:
+        """Build the MFIBlocks configuration for this pipeline run."""
+        return MFIBlocksConfig(
+            max_minsup=self.max_minsup,
+            ng=self.ng,
+            scoring=self.scorer(),
+            prune_fraction=self.prune_fraction,
+            sn_mode=self.sn_mode,
+        )
+
+    def with_ng(self, ng: float) -> "PipelineConfig":
+        """Copy with a different NG (sweep helper)."""
+        return replace(self, ng=ng)
+
+    def describe(self) -> str:
+        """Short condition label in the Table 9 style."""
+        flags = []
+        if self.expert_weighting:
+            flags.append("ExpertWeighting")
+        if self.expert_sim:
+            flags.append("ExpertSim")
+        if self.same_source_discard:
+            flags.append("SameSrc")
+        if self.classify:
+            flags.append("Cls")
+        label = " + ".join(flags) if flags else "Base"
+        return f"{label} (MaxMinSup={self.max_minsup}, NG={self.ng})"

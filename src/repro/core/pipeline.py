@@ -1,0 +1,114 @@
+"""The uncertain-ER pipeline: blocking -> evidence -> ranked resolution.
+
+This is the system of Figure 9, end to end:
+
+1. preprocessing — records to item bags (handled by :class:`Dataset`);
+2. **MFIBlocks** — soft, overlapping blocks and scored candidate pairs;
+3. optional **SameSrc** filter — discard pairs sharing a source, "since
+   this implies that a person was named twice in the same victim list or
+   that a single witness filed two pages of testimony about the same
+   person";
+4. optional **ADTree** classification — re-rank by learned confidence
+   and drop low scorers (the Cls condition);
+5. a :class:`~repro.core.resolution.ResolutionResult` exposing ranked,
+   certainty-tunable resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.blocking.base import BlockingResult
+from repro.blocking.mfiblocks import MFIBlocks
+from repro.classify.training import PairClassifier
+from repro.core.config import PipelineConfig
+from repro.core.resolution import PairEvidence, ResolutionResult
+from repro.records.dataset import Dataset
+
+__all__ = ["UncertainERPipeline"]
+
+Pair = Tuple[int, int]
+
+
+class UncertainERPipeline:
+    """Runs uncertain entity resolution over a dataset."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
+        self.config = config or PipelineConfig()
+
+    # -- pipeline stages ---------------------------------------------------------
+
+    def block(self, dataset: Dataset) -> BlockingResult:
+        """Stage 2: MFIBlocks soft clustering."""
+        return MFIBlocks(self.config.blocking_config()).run(dataset)
+
+    def same_source_filter(
+        self, dataset: Dataset, pairs: Iterable[Pair]
+    ) -> List[Pair]:
+        """Stage 3: drop pairs whose two records share a source."""
+        return [
+            pair
+            for pair in pairs
+            if dataset[pair[0]].source.key != dataset[pair[1]].source.key
+        ]
+
+    def train_classifier(
+        self,
+        dataset: Dataset,
+        labeled_pairs: Mapping[Pair, bool],
+        classifier: Optional[PairClassifier] = None,
+    ) -> PairClassifier:
+        """Stage 4 prerequisite: fit the ADTree on expert-labeled pairs."""
+        classifier = classifier or PairClassifier(dataset)
+        return classifier.fit(labeled_pairs)
+
+    # -- end-to-end ---------------------------------------------------------------
+
+    def run(
+        self,
+        dataset: Dataset,
+        classifier: Optional[PairClassifier] = None,
+        labeled_pairs: Optional[Mapping[Pair, bool]] = None,
+    ) -> ResolutionResult:
+        """Execute the configured pipeline.
+
+        When ``config.classify`` is set, a classifier is required —
+        either pre-trained (``classifier``) or trained on the spot from
+        ``labeled_pairs``. Without classification the resolution ranks
+        by blocking similarity alone.
+        """
+        config = self.config
+        blocking = self.block(dataset)
+        pair_scores: Dict[Pair, float] = dict(blocking.pair_scores)
+
+        pairs: List[Pair] = sorted(pair_scores)
+        if config.same_source_discard:
+            pairs = self.same_source_filter(dataset, pairs)
+
+        confidences: Dict[Pair, float] = {}
+        if config.classify:
+            if classifier is None:
+                if labeled_pairs is None:
+                    raise ValueError(
+                        "classify=True needs a trained classifier or labeled_pairs"
+                    )
+                classifier = self.train_classifier(dataset, labeled_pairs)
+            scored = classifier.rank(pairs)
+            pairs = [
+                pair for pair, score in scored
+                if score > config.classifier_threshold
+            ]
+            confidences = dict(scored)
+
+        evidence = [
+            PairEvidence(
+                pair=pair,
+                similarity=pair_scores[pair],
+                confidence=confidences.get(pair),
+                same_source=(
+                    dataset[pair[0]].source.key == dataset[pair[1]].source.key
+                ),
+            )
+            for pair in pairs
+        ]
+        return ResolutionResult(evidence, n_records=len(dataset))

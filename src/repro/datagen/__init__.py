@@ -1,0 +1,22 @@
+"""Synthetic Names-Project corpus generation (the paper's private data,
+rebuilt statistically — see DESIGN.md for the substitution argument)."""
+
+from repro.datagen.corpus import build_corpus, build_italy_set, build_random_set
+from repro.datagen.generator import CorpusGenerator, GeneratorConfig, PersonProfile
+from repro.datagen.places import Gazetteer, build_gazetteer
+from repro.datagen.tagging import ExpertTagger, Tag, TaggedPair, simplify_tags
+
+__all__ = [
+    "build_corpus",
+    "build_italy_set",
+    "build_random_set",
+    "CorpusGenerator",
+    "GeneratorConfig",
+    "PersonProfile",
+    "Gazetteer",
+    "build_gazetteer",
+    "ExpertTagger",
+    "Tag",
+    "TaggedPair",
+    "simplify_tags",
+]

@@ -1,0 +1,541 @@
+"""Person and report generation: the synthetic Names-Project corpus.
+
+The generator builds *ground-truth persons* organized into families, then
+emits 1-8 *victim reports* per person from a mix of testimony and list
+sources, each report carrying a source-specific field pattern and
+realistic noise:
+
+* name spelling variants and nicknames (transliteration drift);
+* rare clerical typos (the paper's ``Bella -> Della`` example);
+* birth-year slips of a year or two;
+* place-granularity truncation (a list may only know the country) and
+  city-name variants (Torino/Turin);
+* occasional multi-valued first names.
+
+Families matter twice: children share last name, parents' first names,
+and places — generating the "meaningful false positives" of the
+Capelluto example (Figure 13) — and a family-designated submitter files
+testimonies for several relatives, which the ``sameSource`` feature /
+SameSrc filter then discards.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.datagen.names import COMMUNITIES, FEMALE_FIRST, LAST, MALE_FIRST, PROFESSIONS
+from repro.datagen.places import City, DEATH_PLACES, HOME_CITIES
+from repro.datagen.surnames import synthesize_surname
+from repro.datagen.sources import (
+    LIST_TEMPLATES,
+    MV_TEMPLATE,
+    SourceTemplate,
+    TESTIMONY_TEMPLATE,
+)
+from repro.records.schema import (
+    Gender,
+    Place,
+    PlaceType,
+    SourceKind,
+    SourceRef,
+    VictimRecord,
+)
+
+__all__ = ["PersonProfile", "GeneratorConfig", "CorpusGenerator"]
+
+NameVariants = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PersonProfile:
+    """Ground truth for one person; reports are noisy projections of this."""
+
+    person_id: int
+    family_id: int
+    community: str
+    gender: Gender
+    first: NameVariants
+    last: NameVariants
+    father_first: NameVariants
+    mother_first: NameVariants
+    mother_maiden: NameVariants
+    spouse_first: Optional[NameVariants]
+    maiden: Optional[NameVariants]
+    birth_day: int
+    birth_month: int
+    birth_year: int
+    birth_city: City
+    permanent_city: City
+    wartime_city: City
+    death_city: Optional[City]
+    profession: Optional[str]
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the corpus generator.
+
+    ``reports_weights`` are relative odds of a person having 1..8 reports
+    (archival experts estimate at most eight duplicates; most persons
+    have one to three). ``testimony_fraction`` matches the paper's "a
+    third was obtained from Pages of Testimony". ``mv_reports`` adds that
+    many extra reports filed by the single bulk submitter "MV" with his
+    fixed five-field pattern.
+    """
+
+    n_persons: int = 1000
+    communities: Sequence[str] = COMMUNITIES
+    seed: int = 17
+    reports_weights: Sequence[float] = (0.42, 0.26, 0.14, 0.08, 0.05, 0.03, 0.015, 0.005)
+    child_weights: Sequence[float] = (0.25, 0.25, 0.22, 0.16, 0.12)  # 0..4 children
+    testimony_fraction: float = 0.34
+    p_family_submitter: float = 0.6
+    #: Probability that an additional report about a person reuses one of
+    #: their earlier testimony submitters — a relative re-filing a Page of
+    #: Testimony in a later campaign (1955-57 vs 1999). These true pairs
+    #: share a source, which is what the SameSrc filter trades recall for.
+    p_repeat_submitter: float = 0.14
+    p_name_variant: float = 0.28
+    p_typo: float = 0.02
+    p_second_first_name: float = 0.04
+    p_year_slip: float = 0.06
+    #: Probability a family's surname is synthesized by the morphology
+    #: factory instead of drawn from the hand pool — this is what gives
+    #: surnames the Table 4 cardinality (~6 records per distinct name).
+    p_synth_surname: float = 0.72
+    lists_per_flavor: int = 3
+    mv_reports: int = 0
+    first_book_id: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.n_persons < 1:
+            raise ValueError(f"n_persons must be positive, got {self.n_persons}")
+        if len(self.reports_weights) != 8:
+            raise ValueError("reports_weights must have 8 entries (1..8 reports)")
+        unknown = set(self.communities) - set(COMMUNITIES)
+        if unknown:
+            raise ValueError(f"unknown communities: {unknown}")
+        if not 0.0 <= self.testimony_fraction <= 1.0:
+            raise ValueError("testimony_fraction must be in [0, 1]")
+
+
+#: Death places weighted per community (deportation routes differed —
+#: the "progression of persecution" differences behind the RandomSet).
+_COMMUNITY_DEATH_PLACES: Dict[str, Tuple[str, ...]] = {
+    "italy": ("Auschwitz", "Auschwitz", "Mauthausen", "Bergen-Belsen"),
+    "poland": ("Auschwitz", "Treblinka", "Sobibor", "Majdanek", "Stutthof"),
+    "germany": ("Auschwitz", "Theresienstadt", "Dachau", "Bergen-Belsen"),
+    "hungary": ("Auschwitz", "Auschwitz", "Mauthausen", "Bergen-Belsen"),
+    "greece": ("Auschwitz", "Auschwitz", "Treblinka"),
+    "ussr": ("Babi Yar", "Transnistria", "Transnistria", "Auschwitz"),
+}
+
+_DEATH_BY_NAME: Dict[str, City] = {
+    city.canonical: city for city in DEATH_PLACES
+}
+
+
+class CorpusGenerator:
+    """Generates a deterministic synthetic corpus from a config + seed."""
+
+    def __init__(self, config: GeneratorConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._next_person_id = 1
+        self._next_family_id = 1
+        self._next_submitter = 1
+        self._next_book_id = config.first_book_id
+        #: Victim lists were extracted with fixed columns, so every
+        #: report from one list shares a single data pattern (this is
+        #: what concentrates millions of records into a few patterns in
+        #: Figure 11). Lists of the same flavor share a canonical column
+        #: set per community; individual lists may deviate by one field.
+        self._list_fields: Dict[str, frozenset] = {}
+        self._flavor_fields: Dict[str, frozenset] = {}
+        #: Lists also record places at one consistent granularity.
+        self._list_granularity: Dict[str, int] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def generate(self) -> Tuple[List[VictimRecord], List[PersonProfile]]:
+        """Generate persons and their reports.
+
+        Returns the flat report list (ordered by book id) and the
+        ground-truth person profiles.
+        """
+        persons = self._generate_persons()
+        records: List[VictimRecord] = []
+        for person in persons:
+            records.extend(self._reports_for(person))
+        if self.config.mv_reports > 0:
+            records.extend(self._mv_reports(persons))
+        return records, persons
+
+    # -- person generation ------------------------------------------------------
+
+    def _generate_persons(self) -> List[PersonProfile]:
+        persons: List[PersonProfile] = []
+        rng = self._rng
+        while len(persons) < self.config.n_persons:
+            community = rng.choice(list(self.config.communities))
+            persons.extend(self._generate_family(community))
+        return persons[: self.config.n_persons]
+
+    def _generate_family(self, community: str) -> List[PersonProfile]:
+        """One family: a couple (or a single adult) plus children."""
+        rng = self._rng
+        family_id = self._next_family_id
+        self._next_family_id += 1
+
+        surname = self._pick_surname(community)
+        home = rng.choice(HOME_CITIES[community])
+        wartime = self._wartime_city(community, home)
+
+        father_first = rng.choice(MALE_FIRST[community])
+        mother_first = rng.choice(FEMALE_FIRST[community])
+        mother_maiden = self._pick_surname(community)
+        # Grandparent names for the couple's own father/mother attributes.
+        f_father = rng.choice(MALE_FIRST[community])
+        f_mother = rng.choice(FEMALE_FIRST[community])
+        f_mother_maiden = self._pick_surname(community)
+        m_father = rng.choice(MALE_FIRST[community])
+        m_mother = rng.choice(FEMALE_FIRST[community])
+        m_mother_maiden = self._pick_surname(community)
+
+        base_year = rng.randint(1880, 1912)
+        members: List[PersonProfile] = []
+
+        single = rng.random() < 0.25
+        father = self._make_person(
+            family_id, community, Gender.MALE, father_first, surname,
+            f_father, f_mother, f_mother_maiden,
+            spouse=None if single else mother_first, maiden=None,
+            birth_year=base_year + rng.randint(-3, 3),
+            home=home, wartime=wartime,
+        )
+        members.append(father)
+        if not single:
+            mother = self._make_person(
+                family_id, community, Gender.FEMALE, mother_first, surname,
+                m_father, m_mother, m_mother_maiden,
+                spouse=father_first, maiden=mother_maiden,
+                birth_year=base_year + rng.randint(-2, 6),
+                home=home, wartime=wartime,
+            )
+            members.append(mother)
+            n_children = rng.choices(
+                range(len(self.config.child_weights)),
+                weights=self.config.child_weights,
+            )[0]
+            for _ in range(n_children):
+                child_gender = rng.choice((Gender.MALE, Gender.FEMALE))
+                pool = MALE_FIRST if child_gender is Gender.MALE else FEMALE_FIRST
+                child_first = rng.choice(pool[community])
+                child = self._make_person(
+                    family_id, community, child_gender, child_first, surname,
+                    father_first, mother_first, mother_maiden,
+                    spouse=None, maiden=None,
+                    birth_year=base_year + rng.randint(20, 38),
+                    home=home, wartime=wartime,
+                )
+                members.append(child)
+        return members
+
+    def _pick_surname(self, community: str) -> NameVariants:
+        rng = self._rng
+        if rng.random() < self.config.p_synth_surname:
+            return synthesize_surname(community, rng)
+        return rng.choice(LAST[community])
+
+    def _make_person(
+        self,
+        family_id: int,
+        community: str,
+        gender: Gender,
+        first: NameVariants,
+        last: NameVariants,
+        father_first: NameVariants,
+        mother_first: NameVariants,
+        mother_maiden: NameVariants,
+        spouse: Optional[NameVariants],
+        maiden: Optional[NameVariants],
+        birth_year: int,
+        home: City,
+        wartime: City,
+    ) -> PersonProfile:
+        rng = self._rng
+        person_id = self._next_person_id
+        self._next_person_id += 1
+        birth_city = home if rng.random() < 0.7 else rng.choice(
+            HOME_CITIES[community]
+        )
+        death_city = None
+        if rng.random() < 0.8:
+            name = rng.choice(_COMMUNITY_DEATH_PLACES[community])
+            death_city = _DEATH_BY_NAME[name]
+        profession = (
+            rng.choice(PROFESSIONS) if rng.random() < 0.85 else None
+        )
+        return PersonProfile(
+            person_id=person_id,
+            family_id=family_id,
+            community=community,
+            gender=gender,
+            first=first,
+            last=last,
+            father_first=father_first,
+            mother_first=mother_first,
+            mother_maiden=mother_maiden,
+            spouse_first=spouse,
+            maiden=maiden,
+            birth_day=rng.randint(1, 28),
+            birth_month=rng.randint(1, 12),
+            birth_year=max(1880, min(1944, birth_year)),
+            birth_city=birth_city,
+            permanent_city=home,
+            wartime_city=wartime,
+            death_city=death_city,
+            profession=profession,
+        )
+
+    def _wartime_city(self, community: str, home: City) -> City:
+        rng = self._rng
+        roll = rng.random()
+        if roll < 0.6:
+            return home
+        if roll < 0.9:
+            return rng.choice(HOME_CITIES[community])
+        return rng.choice(DEATH_PLACES)
+
+    # -- report generation ---------------------------------------------------------
+
+    def _reports_for(self, person: PersonProfile) -> List[VictimRecord]:
+        rng = self._rng
+        n_reports = rng.choices(range(1, 9), weights=self.config.reports_weights)[0]
+        used_sources: Set[Tuple[str, str]] = set()
+        used_submitters: List[str] = []
+        reports: List[VictimRecord] = []
+        for _ in range(n_reports):
+            if used_submitters and rng.random() < self.config.p_repeat_submitter:
+                # A relative re-files about the same person (same source).
+                submitter = rng.choice(used_submitters)
+                source = SourceRef(SourceKind.TESTIMONY, submitter)
+                template = TESTIMONY_TEMPLATE
+            else:
+                source, template = self._pick_source(person, used_sources)
+            used_sources.add(source.key)
+            if source.kind is SourceKind.TESTIMONY:
+                used_submitters.append(source.identifier)
+            reports.append(self._build_report(person, source, template))
+        return reports
+
+    def _pick_source(
+        self, person: PersonProfile, used: Set[Tuple[str, str]]
+    ) -> Tuple[SourceRef, SourceTemplate]:
+        """Choose a source the person does not already appear in."""
+        rng = self._rng
+        for _ in range(20):  # retry loop; collisions are rare
+            if rng.random() < self.config.testimony_fraction:
+                if rng.random() < self.config.p_family_submitter:
+                    submitter = f"fam{person.family_id}"
+                else:
+                    submitter = f"sub{self._next_submitter}"
+                    self._next_submitter += 1
+                source = SourceRef(SourceKind.TESTIMONY, submitter)
+                template = TESTIMONY_TEMPLATE
+            else:
+                flavor = rng.choice(list(LIST_TEMPLATES))
+                index = rng.randint(1, self.config.lists_per_flavor)
+                source = SourceRef(
+                    SourceKind.LIST, f"{person.community}-{flavor}-{index}"
+                )
+                template = LIST_TEMPLATES[flavor]
+            if source.key not in used:
+                return source, template
+        # Fall back to a guaranteed-fresh submitter.
+        submitter = f"sub{self._next_submitter}"
+        self._next_submitter += 1
+        return SourceRef(SourceKind.TESTIMONY, submitter), TESTIMONY_TEMPLATE
+
+    def _fields_for_list(
+        self, list_id: str, template: SourceTemplate
+    ) -> frozenset:
+        """Fixed per-list field set, near-canonical per (community, flavor).
+
+        List ids look like ``{community}-{flavor}-{index}``; the flavor's
+        canonical column set is sampled once and individual lists deviate
+        by at most one toggled optional field.
+        """
+        cached = self._list_fields.get(list_id)
+        if cached is not None:
+            return cached
+        rng = self._rng
+        flavor_key = list_id.rsplit("-", 1)[0]
+        canonical = self._flavor_fields.get(flavor_key)
+        if canonical is None:
+            canonical = template.sample_fields(rng)
+            self._flavor_fields[flavor_key] = canonical
+        fields = set(canonical)
+        if rng.random() < 0.4:
+            candidates = [
+                name for name, probability in template.probabilities.items()
+                if 0.0 < probability < 1.0
+            ]
+            if candidates:
+                toggled = rng.choice(candidates)
+                if toggled in fields:
+                    fields.discard(toggled)
+                else:
+                    fields.add(toggled)
+        result = frozenset(fields)
+        self._list_fields[list_id] = result
+        return result
+
+    def _mv_reports(self, persons: List[PersonProfile]) -> List[VictimRecord]:
+        """Extra reports filed by the bulk submitter MV (fixed pattern)."""
+        rng = self._rng
+        source = SourceRef(SourceKind.TESTIMONY, "MV")
+        count = min(self.config.mv_reports, len(persons))
+        chosen = rng.sample(persons, count)
+        return [self._build_report(person, source, MV_TEMPLATE) for person in chosen]
+
+    def _build_report(
+        self,
+        person: PersonProfile,
+        source: SourceRef,
+        template: SourceTemplate,
+    ) -> VictimRecord:
+        rng = self._rng
+        granularity = None
+        if source.kind is SourceKind.LIST:
+            fields = self._fields_for_list(source.identifier, template)
+            granularity = self._list_granularity.setdefault(
+                source.identifier, self._sample_granularity()
+            )
+        else:
+            fields = template.sample_fields(rng)
+        book_id = self._next_book_id
+        self._next_book_id += 1
+
+        first = self._render_names(person.first, multi_ok=True) if "first" in fields else ()
+        last = self._render_names(person.last) if "last" in fields else ()
+        father = self._render_names(person.father_first) if "father" in fields else ()
+        mother = self._render_names(person.mother_first) if "mother" in fields else ()
+        mother_maiden = (
+            self._render_names(person.mother_maiden)
+            if "mother_maiden" in fields else ()
+        )
+        spouse = (
+            self._render_names(person.spouse_first)
+            if "spouse" in fields and person.spouse_first else ()
+        )
+        maiden = (
+            self._render_names(person.maiden)
+            if "maiden" in fields and person.maiden else ()
+        )
+
+        birth_year = None
+        birth_month = None
+        birth_day = None
+        if "birth_year" in fields:
+            birth_year = person.birth_year
+            if rng.random() < self.config.p_year_slip:
+                birth_year += rng.choice((-2, -1, 1, 2))
+            if "birth_month" in fields:
+                birth_month = person.birth_month
+                if "birth_day" in fields:
+                    birth_day = person.birth_day
+                    if rng.random() < 0.02 and birth_day <= 12:
+                        # day/month transposition, a classic clerical slip
+                        birth_day, birth_month = birth_month, birth_day
+
+        places: Dict[PlaceType, Tuple[Place, ...]] = {}
+        place_map = (
+            ("birth_place", PlaceType.BIRTH, person.birth_city),
+            ("permanent_place", PlaceType.PERMANENT, person.permanent_city),
+            ("wartime_place", PlaceType.WARTIME, person.wartime_city),
+            ("death_place", PlaceType.DEATH, person.death_city),
+        )
+        for field_name, place_type, city in place_map:
+            if field_name in fields and city is not None:
+                places[place_type] = (self._render_place(city, granularity),)
+
+        return VictimRecord(
+            book_id=book_id,
+            source=source,
+            first=first,
+            last=last,
+            maiden=maiden,
+            father=father,
+            mother=mother,
+            mother_maiden=mother_maiden,
+            spouse=spouse,
+            gender=person.gender if "gender" in fields else None,
+            birth_day=birth_day,
+            birth_month=birth_month,
+            birth_year=birth_year,
+            profession=person.profession if "profession" in fields else None,
+            places=places,
+            person_id=person.person_id,
+        )
+
+    # -- noise -------------------------------------------------------------------
+
+    def _render_names(
+        self, variants: NameVariants, multi_ok: bool = False
+    ) -> Tuple[str, ...]:
+        rng = self._rng
+        name = self._pick_spelling(variants)
+        if rng.random() < self.config.p_typo:
+            name = _typo(name, rng)
+        if multi_ok and len(variants) > 1 and rng.random() < self.config.p_second_first_name:
+            other = self._pick_spelling(tuple(v for v in variants if v != name))
+            if other != name:
+                return (name, other)
+        return (name,)
+
+    def _pick_spelling(self, variants: NameVariants) -> str:
+        rng = self._rng
+        if len(variants) > 1 and rng.random() < self.config.p_name_variant:
+            return rng.choice(variants[1:])
+        return variants[0]
+
+    def _sample_granularity(self) -> int:
+        roll = self._rng.random()
+        if roll < 0.78:
+            return 4
+        if roll < 0.86:
+            return 3
+        if roll < 0.92:
+            return 2
+        return 1
+
+    def _render_place(self, city: City, granularity: Optional[int] = None) -> Place:
+        rng = self._rng
+        if granularity is None:
+            granularity = self._sample_granularity()
+        name = None
+        if granularity >= 4 and len(city.names) > 1:
+            if rng.random() < self.config.p_name_variant:
+                name = rng.choice(city.names[1:])
+        return city.to_place(name=name, granularity=granularity)
+
+
+def _typo(name: str, rng: random.Random) -> str:
+    """Inject one clerical error: substitute, transpose, or drop a letter."""
+    if len(name) < 3:
+        return name
+    op = rng.choice(("substitute", "transpose", "delete"))
+    index = rng.randrange(len(name))
+    if op == "substitute":
+        replacement = rng.choice("abcdefghilmnoprstuvz")
+        return name[:index] + replacement + name[index + 1:]
+    if op == "transpose" and index < len(name) - 1:
+        return (
+            name[:index] + name[index + 1] + name[index] + name[index + 2:]
+        )
+    if index > 0:  # never drop the initial, tags stay plausible
+        return name[:index] + name[index + 1:]
+    return name

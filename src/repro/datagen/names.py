@@ -1,0 +1,264 @@
+"""Name pools per pre-Holocaust Jewish community, with spelling variants.
+
+The Names Project sources span 30+ languages and four alphabets; the same
+person's name appears under different transliterations and nicknames
+(Section 2). The RandomSet of the paper stratifies six geographic regions
+"each representing a different pre-Holocaust Jewish community"; we model
+six such communities with distinct name distributions.
+
+Each pool entry is a tuple of spellings; the first is canonical, the rest
+are variants the noise model may substitute (transliterations, nicknames,
+clerical-error-prone forms). Pools are intentionally modest in size so
+synthetic corpora reproduce the cardinality profile of Table 4 — a few
+hundred first names against thousands of records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = [
+    "Community",
+    "COMMUNITIES",
+    "MALE_FIRST",
+    "FEMALE_FIRST",
+    "LAST",
+    "PROFESSIONS",
+]
+
+NameVariants = Tuple[str, ...]
+NamePool = Tuple[NameVariants, ...]
+
+#: The six communities of the stratified RandomSet (our instantiation).
+COMMUNITIES: Tuple[str, ...] = (
+    "italy",
+    "poland",
+    "germany",
+    "hungary",
+    "greece",
+    "ussr",
+)
+
+Community = str
+
+MALE_FIRST: Dict[Community, NamePool] = {
+    "italy": (
+        ("Guido",), ("Massimo",), ("Donato",), ("Italo",), ("Alberto",),
+        ("Giacomo", "Jacob"), ("Davide", "David"), ("Emanuele", "Emanuel"),
+        ("Giuseppe", "Beppe"), ("Angelo",), ("Enrico", "Heinrich"),
+        ("Salvatore",), ("Mario",), ("Aldo",), ("Bruno",), ("Carlo",),
+        ("Ettore",), ("Franco",), ("Giorgio",), ("Leone", "Leon"),
+        ("Marco",), ("Renato",), ("Sergio",), ("Vittorio", "Vittore"),
+        ("Amedeo",), ("Cesare",), ("Dario",), ("Elio",), ("Fabio",),
+        ("Gino",),
+    ),
+    "poland": (
+        ("Avraham", "Abram", "Abraham"), ("Yitzhak", "Icek", "Izaak"),
+        ("Moshe", "Moszek", "Moses"), ("Yaakov", "Jakub", "Jankiel"),
+        ("Shmuel", "Szmul", "Samuel"), ("Chaim", "Haim"),
+        ("Mordechai", "Mordka", "Mordko"), ("Yosef", "Josek", "Jozef"),
+        ("David", "Dawid"), ("Aharon", "Aron"), ("Eliezer", "Lejzor"),
+        ("Hersh", "Hersz", "Tzvi"), ("Leib", "Lejb", "Arie"),
+        ("Mendel", "Menachem"), ("Naftali",), ("Pinchas", "Pinkus"),
+        ("Shlomo", "Szlama"), ("Wolf", "Zeev"), ("Berl", "Ber", "Dov"),
+        ("Fishel", "Fiszel"), ("Gershon", "Gerszon"), ("Meir", "Majer"),
+        ("Nachman",), ("Shimon", "Szymon"), ("Tuvia", "Tobiasz"),
+        ("Yehuda", "Juda", "Idel"), ("Zelig",), ("Baruch", "Borech"),
+        ("Efraim", "Froim"), ("Kalman",),
+    ),
+    "germany": (
+        ("Siegfried",), ("Heinrich", "Heinz"), ("Ludwig",), ("Max",),
+        ("Julius",), ("Hermann",), ("Walter",), ("Kurt",), ("Fritz",),
+        ("Ernst",), ("Otto",), ("Richard",), ("Alfred",), ("Arthur",),
+        ("Bruno",), ("Emil",), ("Felix",), ("Georg",), ("Hugo",),
+        ("Jakob", "Jacob"), ("Karl",), ("Leopold",), ("Moritz",),
+        ("Paul",), ("Rudolf",), ("Salomon", "Sally"), ("Siegmund", "Sigmund"),
+        ("Theodor",), ("Wilhelm", "Willi"), ("Adolf",),
+    ),
+    "hungary": (
+        ("Laszlo", "Laci"), ("Istvan", "Pista"), ("Ferenc", "Feri"),
+        ("Sandor",), ("Jozsef", "Joska"), ("Gyula",), ("Imre",),
+        ("Karoly",), ("Miklos",), ("Zoltan",), ("Bela",), ("Dezso",),
+        ("Erno",), ("Geza",), ("Gyorgy", "Gyuri"), ("Janos",),
+        ("Lajos",), ("Mihaly",), ("Pal",), ("Tibor",), ("Vilmos",),
+        ("Andor",), ("Arpad",), ("Ede",), ("Jeno",), ("Kalman",),
+        ("Marton",), ("Odon",), ("Rezso",), ("Samu", "Samuel"),
+    ),
+    "greece": (
+        ("Avram", "Avraam"), ("Isaak", "Isak"), ("Mois", "Moise"),
+        ("Iakov", "Jacko"), ("Samouil", "Sami"), ("Chaim", "Haim"),
+        ("Mordohai",), ("Iosif", "Pepo"), ("David", "Dario"),
+        ("Aron",), ("Eliau", "Elias"), ("Matathias",), ("Leon", "Leone"),
+        ("Menahem",), ("Nissim",), ("Pinhas",), ("Solomon", "Salomon"),
+        ("Vital", "Chaim-Vital"), ("Bohor", "Bochor"), ("Saul",),
+        ("Gabriel",), ("Markos",), ("Nahman",), ("Simantov",),
+        ("Raphael", "Rafael"), ("Yeuda", "Juda"), ("Zacharia",),
+        ("Baruh",), ("Ovadia",), ("Haskel",),
+    ),
+    "ussr": (
+        ("Abram", "Avraam"), ("Isaak", "Itsik"), ("Moisei", "Movsha"),
+        ("Yakov", "Yankel"), ("Samuil", "Shmuil"), ("Khaim", "Chaim"),
+        ("Mordukh", "Motel"), ("Iosif", "Yosel"), ("David", "Dodik"),
+        ("Aron",), ("Lazar", "Leizer"), ("Grigori", "Girsh"),
+        ("Lev", "Leiba"), ("Mikhail", "Mendel"), ("Naum", "Nokhim"),
+        ("Pinkhas", "Pinya"), ("Solomon", "Zalman"), ("Vladimir", "Velvel"),
+        ("Boris", "Berko"), ("Efim", "Khaim"), ("Semyon", "Simkha"),
+        ("Mark", "Mordko"), ("Roman", "Rakhmil"), ("Ilya", "Elya"),
+        ("Iona",), ("Zinovi", "Zelik"), ("Arkadi", "Aron"),
+        ("Veniamin", "Benyamin"), ("Matvei", "Motl"), ("Savely", "Shaul"),
+    ),
+}
+
+FEMALE_FIRST: Dict[Community, NamePool] = {
+    "italy": (
+        ("Estela", "Stella"), ("Helena", "Elena"), ("Olga",),
+        ("Clotilde",), ("Zimbul",), ("Elsa",), ("Giulia", "Julia"),
+        ("Ada",), ("Alba",), ("Amalia",), ("Bianca",), ("Bruna",),
+        ("Carla",), ("Clara", "Chiara"), ("Dora",), ("Elvira",),
+        ("Emma",), ("Gemma",), ("Ida",), ("Lina",), ("Luisa", "Louise"),
+        ("Margherita", "Rita"), ("Maria",), ("Noemi",), ("Pia",),
+        ("Rosa",), ("Silvia",), ("Teresa",), ("Vittoria",), ("Wanda",),
+    ),
+    "poland": (
+        ("Sara", "Sura"), ("Rivka", "Rywka", "Rebeka"),
+        ("Lea", "Laja"), ("Rachel", "Ruchla", "Rochl"),
+        ("Chana", "Hana"), ("Ester", "Estera"), ("Feiga", "Fajga"),
+        ("Gitel", "Gitla"), ("Miriam", "Mariem"), ("Perla", "Perel"),
+        ("Tauba", "Toba"), ("Zlata", "Zlota"), ("Bluma",),
+        ("Chaja", "Chaya"), ("Dvora", "Dwojra"), ("Frida", "Frajda"),
+        ("Golda",), ("Hinda",), ("Ita",), ("Liba",), ("Malka",),
+        ("Necha",), ("Pesia", "Pesla"), ("Rojza", "Roza"),
+        ("Shifra", "Szyfra"), ("Sheindel", "Szajndla"), ("Tema",),
+        ("Udel",), ("Yenta", "Jenta"), ("Zisel",),
+    ),
+    "germany": (
+        ("Bella", "Della"), ("Frieda",), ("Gertrud", "Trude"),
+        ("Hedwig",), ("Irma",), ("Johanna",), ("Klara", "Clara"),
+        ("Lotte", "Charlotte"), ("Margarete", "Grete"), ("Martha",),
+        ("Paula",), ("Recha",), ("Rosa", "Rosi"), ("Selma",),
+        ("Thea",), ("Erna",), ("Else",), ("Emma",), ("Fanny",),
+        ("Helene", "Lene"), ("Henriette",), ("Ida",), ("Jenny",),
+        ("Kaethe", "Kate"), ("Lina",), ("Meta",), ("Olga",),
+        ("Regina",), ("Sophie",), ("Toni",),
+    ),
+    "hungary": (
+        ("Erzsebet", "Erzsi"), ("Ilona", "Ilus"), ("Margit",),
+        ("Maria",), ("Roza", "Rozsi"), ("Szeren",), ("Aranka",),
+        ("Berta",), ("Etel",), ("Gizella", "Gizi"), ("Hermina",),
+        ("Iren",), ("Julia", "Juliska"), ("Katalin", "Kato"),
+        ("Klara",), ("Lenke",), ("Lili",), ("Magda", "Magdolna"),
+        ("Olga",), ("Piroska",), ("Regina",), ("Sarolta", "Sari"),
+        ("Terez", "Terezia"), ("Vilma",), ("Zsofia", "Zsofi"),
+        ("Agnes",), ("Anna", "Annus"), ("Borbala", "Boriska"),
+        ("Eva", "Evi"), ("Flora",),
+    ),
+    "greece": (
+        ("Allegra",), ("Bella",), ("Doudoun",), ("Esterina", "Ester"),
+        ("Fortunee", "Mazaltov"), ("Gracia",), ("Lucia", "Luna"),
+        ("Matilde", "Mathilde"), ("Miriam",), ("Palomba", "Paloma"),
+        ("Rebecca", "Riketa"), ("Regina", "Rena"), ("Sarina", "Sara"),
+        ("Sol", "Soultana"), ("Vida",), ("Zimboul", "Zimbul"),
+        ("Djoya", "Gioia"), ("Klara",), ("Lea",), ("Malkouna",),
+        ("Nina",), ("Oro",), ("Perla",), ("Rachel", "Rahel"),
+        ("Signora",), ("Tamar",), ("Victoria", "Vittoria"),
+        ("Flor",), ("Kadena",), ("Simha",),
+    ),
+    "ussr": (
+        ("Sara", "Sarra"), ("Riva", "Rivka"), ("Liya", "Leya"),
+        ("Rakhil", "Rokhl"), ("Khana", "Anna"), ("Esfir", "Ester"),
+        ("Feiga", "Fanya"), ("Gita", "Guta"), ("Mariya", "Mariam"),
+        ("Polina", "Perl"), ("Tsilya", "Tsipa"), ("Zlata",),
+        ("Basya",), ("Khaya", "Chaya"), ("Dvoira", "Vera"),
+        ("Frida",), ("Genya", "Golda"), ("Inda",), ("Ida",),
+        ("Lyuba", "Liba"), ("Malka", "Manya"), ("Nekhama", "Nina"),
+        ("Pesya",), ("Roza", "Reizl"), ("Shifra",), ("Sonya", "Sofiya"),
+        ("Tamara",), ("Udlya",), ("Yenta",), ("Zina", "Zisla"),
+    ),
+}
+
+LAST: Dict[Community, NamePool] = {
+    "italy": (
+        ("Foa", "Foy"), ("Capelluto",), ("Levi", "Levy"),
+        ("Segre",), ("Ovazza",), ("Treves",), ("Luzzatti", "Luzzatto"),
+        ("Momigliano",), ("Artom",), ("Bachi",), ("Cases",),
+        ("Colombo",), ("Della Torre",), ("Diena",), ("Finzi",),
+        ("Fubini",), ("Jona", "Giona"), ("Lattes",), ("Malvano",),
+        ("Milano",), ("Modigliani",), ("Morpurgo",), ("Norzi",),
+        ("Ottolenghi",), ("Pavia",), ("Pugliese",), ("Ravenna",),
+        ("Sacerdote", "Sacerdoti"), ("Terracini",), ("Valabrega",),
+        ("Vitale", "Vidal"), ("Zargani",), ("Anau",), ("Bassani",),
+        ("Camerino",),
+    ),
+    "poland": (
+        ("Kesler", "Keszler"), ("Apoteker", "Apteker"), ("Postel", "Postol"),
+        ("Goldberg", "Goldberg"), ("Rozenberg", "Rosenberg"),
+        ("Szwarc", "Schwartz", "Shvarts"), ("Grinberg", "Gruenberg"),
+        ("Kac", "Katz"), ("Rubin", "Rubinsztejn"), ("Wajs", "Weiss"),
+        ("Cukier", "Zucker"), ("Fridman", "Friedman"), ("Lewin", "Levin"),
+        ("Sztern", "Stern"), ("Zylberman", "Silberman"),
+        ("Blumenfeld",), ("Edelman",), ("Fajnsztejn", "Feinstein"),
+        ("Gelbart",), ("Hochman",), ("Jakubowicz",), ("Kirszenbaum",),
+        ("Lichtensztejn",), ("Mandelbaum",), ("Nusbaum", "Nussbaum"),
+        ("Orenstein",), ("Perelman",), ("Rotsztejn", "Rothstein"),
+        ("Szpilman",), ("Tenenbaum",), ("Wajnberg", "Weinberg"),
+        ("Zingier", "Singer"), ("Borensztejn",), ("Cymerman", "Zimmerman"),
+        ("Dymant",),
+    ),
+    "germany": (
+        ("Rosenthal",), ("Blumenthal",), ("Oppenheimer",),
+        ("Kaufmann", "Kaufman"), ("Hirsch",), ("Wolff", "Wolf"),
+        ("Baum",), ("Cohn", "Cohen"), ("Dreyfuss", "Dreyfus"),
+        ("Ehrlich",), ("Feuchtwanger",), ("Goldschmidt",),
+        ("Heilbronn",), ("Israel",), ("Jacobsohn", "Jacobson"),
+        ("Kahn",), ("Lehmann",), ("Marx",), ("Neumann",),
+        ("Pinkus",), ("Rothschild",), ("Seligmann", "Seligman"),
+        ("Strauss",), ("Ullmann", "Ullman"), ("Veit",),
+        ("Wertheimer",), ("Baer",), ("Einstein",), ("Frank",),
+        ("Guggenheim",), ("Hamburger",), ("Katzenstein",),
+        ("Loewenthal",), ("Mannheimer",), ("Nathan",),
+    ),
+    "hungary": (
+        ("Kovacs",), ("Szabo",), ("Weisz", "Weiss"), ("Klein",),
+        ("Nagy",), ("Grosz", "Gross"), ("Braun",), ("Schwarcz", "Schwartz"),
+        ("Fekete",), ("Fischer",), ("Gal",), ("Hegedus",),
+        ("Horvath",), ("Kertesz",), ("Lakatos",), ("Lovas",),
+        ("Molnar",), ("Pollak", "Polak"), ("Reich",), ("Roth",),
+        ("Rozsa",), ("Solyom",), ("Steiner",), ("Szekely",),
+        ("Toth",), ("Ungar",), ("Vamos",), ("Varga",),
+        ("Winkler",), ("Zilahi",), ("Balog",), ("Csillag",),
+        ("Deutsch",), ("Erdos",), ("Friedmann", "Friedman"),
+    ),
+    "greece": (
+        ("Capelluto", "Kapeluto"), ("Alhadeff", "Alchadef"),
+        ("Benveniste", "Benvenisti"), ("Camhi", "Kamchi"),
+        ("Cohen", "Koen"), ("Errera",), ("Franco",), ("Gattegno",),
+        ("Hasson", "Chasson"), ("Leon",), ("Matalon",), ("Menasce",),
+        ("Modiano",), ("Molho",), ("Nahmias",), ("Notrica",),
+        ("Pardo",), ("Pinto",), ("Revah", "Revach"), ("Saltiel",),
+        ("Saporta",), ("Sarfati", "Tsarfati"), ("Soriano",),
+        ("Tiano",), ("Varon",), ("Ventura",), ("Yohai", "Yochai"),
+        ("Amarillo",), ("Beraha", "Beracha"), ("Carasso", "Karaso"),
+        ("Djivre",), ("Eskenazi", "Ashkenazi"), ("Florentin",),
+        ("Gabbai",), ("Habib",),
+    ),
+    "ussr": (
+        ("Abramovich",), ("Berman",), ("Chernyak",), ("Davidov", "Davydov"),
+        ("Epshtein", "Epstein"), ("Feldman",), ("Gurevich", "Gurvich"),
+        ("Izrailev",), ("Kagan", "Kogan"), ("Lifshits", "Lifschitz"),
+        ("Margolin",), ("Novik",), ("Olshansky",), ("Perelmuter",),
+        ("Rabinovich",), ("Shapiro", "Szapiro"), ("Tsukerman",),
+        ("Uritsky",), ("Vainshtein", "Weinstein"), ("Yoffe", "Ioffe"),
+        ("Zaslavsky",), ("Brodsky",), ("Dunaevsky",), ("Ginzburg",),
+        ("Khait",), ("Lerner",), ("Mirkin",), ("Nemirovsky",),
+        ("Polyak",), ("Reznik",), ("Slutsky",), ("Temkin",),
+        ("Umansky",), ("Vilenkin",), ("Zhitomirsky",),
+    ),
+}
+
+#: Profession codes, as the Names Project records them.
+PROFESSIONS: Tuple[str, ...] = (
+    "tailor", "merchant", "teacher", "shoemaker", "baker", "physician",
+    "rabbi", "seamstress", "clerk", "carpenter", "watchmaker", "pharmacist",
+    "lawyer", "engineer", "butcher", "glazier", "bookkeeper", "printer",
+    "furrier", "housewife", "student", "musician",
+)

@@ -1,0 +1,263 @@
+"""Synthetic gazetteer: cities with variants, hierarchy, and coordinates.
+
+Each community has a set of home towns (birth / permanent / wartime
+places) with realistic coordinates, and Europe-wide death places (camps
+and ghettos) shared across communities. City names carry transliteration
+variants (Torino/Turin, Lwow/Lvov) exactly where the paper's running
+examples need them.
+
+The gazetteer also backs the ``PlaceXGeoDistance`` features and the Geo
+branch of Eq. 1: :func:`Gazetteer.lookup` resolves a city name (any
+variant) to coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.records.schema import Place
+from repro.geo import GeoPoint
+
+__all__ = ["City", "Gazetteer", "HOME_CITIES", "DEATH_PLACES", "build_gazetteer"]
+
+
+@dataclass(frozen=True)
+class City:
+    """A gazetteer entry: name variants, hierarchy, coordinates."""
+
+    names: Tuple[str, ...]
+    county: str
+    region: str
+    country: str
+    coords: GeoPoint
+
+    @property
+    def canonical(self) -> str:
+        return self.names[0]
+
+    def to_place(self, name: Optional[str] = None, granularity: int = 4) -> Place:
+        """Materialize a Place, optionally truncated to ``granularity`` parts.
+
+        ``granularity`` counts parts kept from coarsest: 1 = country only,
+        2 = +region, 3 = +county, 4 = full (city included). Coordinates
+        are attached only when the city part is present.
+        """
+        if not 1 <= granularity <= 4:
+            raise ValueError(f"granularity must be 1..4, got {granularity}")
+        return Place(
+            city=(name or self.canonical) if granularity >= 4 else None,
+            county=self.county if granularity >= 3 else None,
+            region=self.region if granularity >= 2 else None,
+            country=self.country,
+            coords=self.coords if granularity >= 4 else None,
+        )
+
+
+HOME_CITIES: Dict[str, Tuple[City, ...]] = {
+    "italy": (
+        City(("Torino", "Turin"), "Torino", "Piemonte", "Italy",
+             GeoPoint(45.0703, 7.6869)),
+        City(("Cuorgne", "Cuorgnè"), "Torino", "Piemonte", "Italy",
+             GeoPoint(45.3900, 7.6500)),
+        City(("Canischio",), "Torino", "Piemonte", "Italy",
+             GeoPoint(45.3742, 7.5961)),
+        City(("Moncalieri",), "Torino", "Piemonte", "Italy",
+             GeoPoint(44.9997, 7.6822)),
+        City(("Milano", "Milan"), "Milano", "Lombardia", "Italy",
+             GeoPoint(45.4642, 9.1900)),
+        City(("Roma", "Rome"), "Roma", "Lazio", "Italy",
+             GeoPoint(41.9028, 12.4964)),
+        City(("Firenze", "Florence"), "Firenze", "Toscana", "Italy",
+             GeoPoint(43.7696, 11.2558)),
+        City(("Venezia", "Venice"), "Venezia", "Veneto", "Italy",
+             GeoPoint(45.4408, 12.3155)),
+        City(("Trieste",), "Trieste", "Friuli", "Italy",
+             GeoPoint(45.6495, 13.7768)),
+        City(("Genova", "Genoa"), "Genova", "Liguria", "Italy",
+             GeoPoint(44.4056, 8.9463)),
+        City(("Ferrara",), "Ferrara", "Emilia", "Italy",
+             GeoPoint(44.8381, 11.6198)),
+        City(("Livorno", "Leghorn"), "Livorno", "Toscana", "Italy",
+             GeoPoint(43.5485, 10.3106)),
+        # Rhodes was under Italian control; its community reported via Italy.
+        City(("Rhodes", "Rodi"), "Rhodes", "Dodecanese", "Greece",
+             GeoPoint(36.4349, 28.2176)),
+    ),
+    "poland": (
+        City(("Warszawa", "Warsaw", "Varshava"), "Warszawa", "Mazowsze",
+             "Poland", GeoPoint(52.2297, 21.0122)),
+        City(("Lwow", "Lvov", "Lemberg"), "Lwow", "Galicja", "Poland",
+             GeoPoint(49.8397, 24.0297)),
+        City(("Lubaczow", "Lubaczo"), "Lubaczow", "Galicja", "Poland",
+             GeoPoint(50.1566, 23.1232)),
+        City(("Krakow", "Cracow", "Kroke"), "Krakow", "Malopolska", "Poland",
+             GeoPoint(50.0647, 19.9450)),
+        City(("Lublin",), "Lublin", "Lubelskie", "Poland",
+             GeoPoint(51.2465, 22.5684)),
+        City(("Lodz", "Lodzh", "Litzmannstadt"), "Lodz", "Lodzkie", "Poland",
+             GeoPoint(51.7592, 19.4560)),
+        City(("Bialystok",), "Bialystok", "Podlasie", "Poland",
+             GeoPoint(53.1325, 23.1688)),
+        City(("Antopol",), "Kobryn", "Polesie", "Poland",
+             GeoPoint(52.2033, 24.7839)),
+        City(("Kobryn",), "Kobryn", "Polesie", "Poland",
+             GeoPoint(52.2140, 24.3565)),
+        City(("Wilno", "Vilna", "Vilnius"), "Wilno", "Wilenskie", "Poland",
+             GeoPoint(54.6872, 25.2797)),
+        City(("Radom",), "Radom", "Kieleckie", "Poland",
+             GeoPoint(51.4027, 21.1471)),
+        City(("Czestochowa",), "Czestochowa", "Kieleckie", "Poland",
+             GeoPoint(50.8118, 19.1203)),
+    ),
+    "germany": (
+        City(("Berlin",), "Berlin", "Brandenburg", "Germany",
+             GeoPoint(52.5200, 13.4050)),
+        City(("Frankfurt",), "Frankfurt", "Hessen", "Germany",
+             GeoPoint(50.1109, 8.6821)),
+        City(("Hamburg",), "Hamburg", "Hamburg", "Germany",
+             GeoPoint(53.5511, 9.9937)),
+        City(("Muenchen", "Munich"), "Muenchen", "Bayern", "Germany",
+             GeoPoint(48.1351, 11.5820)),
+        City(("Koeln", "Cologne"), "Koeln", "Rheinland", "Germany",
+             GeoPoint(50.9375, 6.9603)),
+        City(("Breslau", "Wroclaw"), "Breslau", "Schlesien", "Germany",
+             GeoPoint(51.1079, 17.0385)),
+        City(("Leipzig",), "Leipzig", "Sachsen", "Germany",
+             GeoPoint(51.3397, 12.3731)),
+        City(("Nuernberg", "Nuremberg"), "Nuernberg", "Bayern", "Germany",
+             GeoPoint(49.4521, 11.0767)),
+        City(("Stuttgart",), "Stuttgart", "Wuerttemberg", "Germany",
+             GeoPoint(48.7758, 9.1829)),
+        City(("Wien", "Vienna"), "Wien", "Ostmark", "Germany",
+             GeoPoint(48.2082, 16.3738)),
+    ),
+    "hungary": (
+        City(("Budapest",), "Pest", "Pest", "Hungary",
+             GeoPoint(47.4979, 19.0402)),
+        City(("Debrecen",), "Hajdu", "Tiszantul", "Hungary",
+             GeoPoint(47.5316, 21.6273)),
+        City(("Szeged",), "Csongrad", "Alfold", "Hungary",
+             GeoPoint(46.2530, 20.1414)),
+        City(("Miskolc",), "Borsod", "Eszak", "Hungary",
+             GeoPoint(48.1035, 20.7784)),
+        City(("Munkacs", "Mukachevo"), "Bereg", "Karpatalja", "Hungary",
+             GeoPoint(48.4414, 22.7136)),
+        City(("Nagyvarad", "Oradea"), "Bihar", "Partium", "Hungary",
+             GeoPoint(47.0465, 21.9189)),
+        City(("Kolozsvar", "Cluj"), "Kolozs", "Erdely", "Hungary",
+             GeoPoint(46.7712, 23.6236)),
+        City(("Pecs",), "Baranya", "Dunantul", "Hungary",
+             GeoPoint(46.0727, 18.2323)),
+        City(("Gyor",), "Gyor", "Dunantul", "Hungary",
+             GeoPoint(47.6875, 17.6504)),
+        City(("Szatmarnemeti", "Satu Mare"), "Szatmar", "Partium", "Hungary",
+             GeoPoint(47.7928, 22.8857)),
+    ),
+    "greece": (
+        City(("Salonika", "Thessaloniki", "Saloniki"), "Salonika",
+             "Macedonia", "Greece", GeoPoint(40.6401, 22.9444)),
+        City(("Athens", "Athina"), "Attica", "Attica", "Greece",
+             GeoPoint(37.9838, 23.7275)),
+        City(("Rhodes", "Rodi"), "Rhodes", "Dodecanese", "Greece",
+             GeoPoint(36.4349, 28.2176)),
+        City(("Ioannina", "Yanina"), "Ioannina", "Epirus", "Greece",
+             GeoPoint(39.6650, 20.8537)),
+        City(("Corfu", "Kerkyra"), "Corfu", "Ionian Islands", "Greece",
+             GeoPoint(39.6243, 19.9217)),
+        City(("Kavala",), "Kavala", "Macedonia", "Greece",
+             GeoPoint(40.9396, 24.4129)),
+        City(("Volos",), "Magnesia", "Thessaly", "Greece",
+             GeoPoint(39.3622, 22.9422)),
+        City(("Kastoria",), "Kastoria", "Macedonia", "Greece",
+             GeoPoint(40.5193, 21.2687)),
+    ),
+    "ussr": (
+        City(("Minsk",), "Minsk", "Belorussia", "USSR",
+             GeoPoint(53.9006, 27.5590)),
+        City(("Kiev", "Kyiv"), "Kiev", "Ukraine", "USSR",
+             GeoPoint(50.4501, 30.5234)),
+        City(("Odessa",), "Odessa", "Ukraine", "USSR",
+             GeoPoint(46.4825, 30.7233)),
+        City(("Vitebsk",), "Vitebsk", "Belorussia", "USSR",
+             GeoPoint(55.1904, 30.2049)),
+        City(("Kharkov", "Kharkiv"), "Kharkov", "Ukraine", "USSR",
+             GeoPoint(49.9935, 36.2304)),
+        City(("Berdichev",), "Zhitomir", "Ukraine", "USSR",
+             GeoPoint(49.8919, 28.6000)),
+        City(("Mogilev",), "Mogilev", "Belorussia", "USSR",
+             GeoPoint(53.9007, 30.3314)),
+        City(("Zhitomir",), "Zhitomir", "Ukraine", "USSR",
+             GeoPoint(50.2547, 28.6587)),
+        City(("Gomel",), "Gomel", "Belorussia", "USSR",
+             GeoPoint(52.4345, 30.9754)),
+        City(("Kishinev", "Chisinau"), "Kishinev", "Bessarabia", "USSR",
+             GeoPoint(47.0105, 28.8638)),
+    ),
+}
+
+#: Camps, ghettos, and killing sites used as death / wartime places.
+DEATH_PLACES: Tuple[City, ...] = (
+    City(("Auschwitz", "Oswiecim"), "Bielsko", "Schlesien", "Poland",
+         GeoPoint(50.0343, 19.2098)),
+    City(("Sobibor",), "Wlodawa", "Lubelskie", "Poland",
+         GeoPoint(51.4467, 23.5928)),
+    City(("Treblinka",), "Sokolow", "Mazowsze", "Poland",
+         GeoPoint(52.6311, 22.0500)),
+    City(("Mauthausen",), "Perg", "Oberoesterreich", "Austria",
+         GeoPoint(48.2567, 14.5153)),
+    City(("Drancy",), "Seine", "Ile-de-France", "France",
+         GeoPoint(48.9234, 2.4450)),
+    City(("Bergen-Belsen", "Belsen"), "Celle", "Niedersachsen", "Germany",
+         GeoPoint(52.7580, 9.9078)),
+    City(("Dachau",), "Dachau", "Bayern", "Germany",
+         GeoPoint(48.2699, 11.4683)),
+    City(("Majdanek",), "Lublin", "Lubelskie", "Poland",
+         GeoPoint(51.2220, 22.5989)),
+    City(("Babi Yar", "Babyn Yar"), "Kiev", "Ukraine", "USSR",
+         GeoPoint(50.4716, 30.4497)),
+    City(("Transnistria",), "Transnistria", "Transnistria", "USSR",
+         GeoPoint(47.7500, 29.0000)),
+    City(("Theresienstadt", "Terezin"), "Litomerice", "Bohemia",
+         "Czechoslovakia", GeoPoint(50.5110, 14.1509)),
+    City(("Stutthof",), "Danzig", "Pomorze", "Poland",
+         GeoPoint(54.3275, 19.1522)),
+)
+
+
+class Gazetteer:
+    """Resolves city names (any spelling variant) to gazetteer entries."""
+
+    def __init__(self, cities: List[City]) -> None:
+        self.cities = list(cities)
+        self._by_name: Dict[str, City] = {}
+        for city in self.cities:
+            for name in city.names:
+                # First registration wins; duplicates (e.g. Rhodes listed
+                # under both italy and greece) refer to the same place.
+                self._by_name.setdefault(name.lower(), city)
+
+    def find(self, name: str) -> Optional[City]:
+        """Look up a city by any of its spellings (case-insensitive)."""
+        return self._by_name.get(name.lower())
+
+    def lookup(self, name: str) -> Optional[GeoPoint]:
+        """GeoLookup adapter for Eq. 1: city name -> coordinates."""
+        city = self.find(name)
+        return city.coords if city else None
+
+    def __len__(self) -> int:
+        return len(self.cities)
+
+
+def build_gazetteer(communities: Optional[List[str]] = None) -> Gazetteer:
+    """Build a gazetteer covering the given communities plus death places."""
+    selected = communities or list(HOME_CITIES)
+    cities: List[City] = []
+    for community in selected:
+        try:
+            cities.extend(HOME_CITIES[community])
+        except KeyError:
+            raise ValueError(f"unknown community: {community!r}") from None
+    cities.extend(DEATH_PLACES)
+    return Gazetteer(cities)

@@ -1,0 +1,212 @@
+"""Source model: field-presence profiles for testimonies and lists.
+
+A third of the Names Project records come from Pages of Testimony and the
+rest from ~16k victim lists (Section 2). Each source kind exposes a
+characteristic *data pattern* — which fields it records — and the blend
+of sources produces the prevalence profile of Table 3 and the pattern
+skew of Figure 11.
+
+A :class:`SourceTemplate` assigns each field an independent presence
+probability; sampling a template yields the field set of one report.
+The special :data:`MV_TEMPLATE` reproduces the paper's "MV" submitter
+(Section 6.4): one person who filed 1,400 pages, all with the exact
+fixed pattern {FirstName, LastName, FatherName, BirthPlace, DeathPlace}.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Set, Tuple
+
+__all__ = [
+    "FIELDS",
+    "SourceTemplate",
+    "TESTIMONY_TEMPLATE",
+    "LIST_TEMPLATES",
+    "MV_TEMPLATE",
+]
+
+#: Field keys a template can toggle. Date components and place slots are
+#: sampled with conditional structure (month/day only if year; city part
+#: granularity handled by the report builder).
+FIELDS: Tuple[str, ...] = (
+    "first",
+    "last",
+    "gender",
+    "birth_year",
+    "birth_month",
+    "birth_day",
+    "father",
+    "mother",
+    "spouse",
+    "maiden",
+    "mother_maiden",
+    "permanent_place",
+    "wartime_place",
+    "birth_place",
+    "death_place",
+    "profession",
+)
+
+
+@dataclass(frozen=True)
+class SourceTemplate:
+    """Presence probabilities per field for one source type.
+
+    ``birth_month`` and ``birth_day`` probabilities are *conditional* on
+    the year being present (sources that record a date record the year
+    first). A probability of exactly 1.0 or 0.0 pins the field, which is
+    how MV's fixed pattern is expressed.
+    """
+
+    name: str
+    probabilities: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        unknown = set(self.probabilities) - set(FIELDS)
+        if unknown:
+            raise ValueError(f"unknown fields in template {self.name}: {unknown}")
+        for key, value in self.probabilities.items():
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{self.name}.{key}: probability {value} not in [0,1]")
+
+    def probability(self, field_name: str) -> float:
+        return self.probabilities.get(field_name, 0.0)
+
+    def sample_fields(self, rng: random.Random) -> FrozenSet[str]:
+        """Draw the set of fields one report from this source will carry."""
+        present: Set[str] = set()
+        for field_name in FIELDS:
+            if field_name in ("birth_month", "birth_day"):
+                continue  # handled conditionally below
+            if rng.random() < self.probability(field_name):
+                present.add(field_name)
+        if "birth_year" in present:
+            if rng.random() < self.probability("birth_month"):
+                present.add("birth_month")
+                if rng.random() < self.probability("birth_day"):
+                    present.add("birth_day")
+        return frozenset(present)
+
+
+#: Pages of Testimony: filed by relatives, rich in family linkage.
+TESTIMONY_TEMPLATE = SourceTemplate(
+    "testimony",
+    {
+        "first": 0.99,
+        "last": 0.99,
+        "gender": 0.96,
+        "birth_year": 0.74,
+        "birth_month": 0.55,
+        "birth_day": 0.80,
+        "father": 0.72,
+        "mother": 0.60,
+        "spouse": 0.75,
+        "maiden": 0.55,
+        "mother_maiden": 0.32,
+        "permanent_place": 0.88,
+        "wartime_place": 0.55,
+        "birth_place": 0.48,
+        "death_place": 0.52,
+        "profession": 0.42,
+    },
+)
+
+#: Victim lists, keyed by list flavor. Deportation manifests know little
+#: beyond identity and origin; camp card files carry full dates and
+#: professions; ghetto registrations record residence; memorial books
+#: lean on patronymics.
+LIST_TEMPLATES: Dict[str, SourceTemplate] = {
+    "deportation": SourceTemplate(
+        "deportation",
+        {
+            "first": 1.0,
+            "last": 1.0,
+            "gender": 0.92,
+            "birth_year": 0.60,
+            "birth_month": 0.35,
+            "birth_day": 0.60,
+            "permanent_place": 0.75,
+            "wartime_place": 0.55,
+            "birth_place": 0.25,
+            "death_place": 0.30,
+            "father": 0.38,
+            "mother": 0.12,
+            "profession": 0.20,
+            "maiden": 0.45,
+            "spouse": 0.38,
+        },
+    ),
+    "camp": SourceTemplate(
+        "camp",
+        {
+            "first": 1.0,
+            "last": 1.0,
+            "gender": 0.90,
+            "birth_year": 0.85,
+            "birth_month": 0.80,
+            "birth_day": 0.90,
+            "birth_place": 0.55,
+            "permanent_place": 0.45,
+            "wartime_place": 0.75,
+            "death_place": 0.35,
+            "profession": 0.65,
+            "father": 0.42,
+            "mother": 0.15,
+            "maiden": 0.35,
+            "spouse": 0.30,
+        },
+    ),
+    "ghetto": SourceTemplate(
+        "ghetto",
+        {
+            "first": 1.0,
+            "last": 1.0,
+            "gender": 0.88,
+            "birth_year": 0.50,
+            "birth_month": 0.30,
+            "birth_day": 0.50,
+            "permanent_place": 0.80,
+            "wartime_place": 0.85,
+            "father": 0.52,
+            "mother": 0.30,
+            "profession": 0.40,
+            "maiden": 0.30,
+            "spouse": 0.35,
+        },
+    ),
+    "memorial": SourceTemplate(
+        "memorial",
+        {
+            "first": 1.0,
+            "last": 1.0,
+            "gender": 0.85,
+            "birth_year": 0.40,
+            "birth_month": 0.20,
+            "birth_day": 0.35,
+            "father": 0.62,
+            "mother": 0.40,
+            "spouse": 0.50,
+            "permanent_place": 0.65,
+            "death_place": 0.45,
+            "birth_place": 0.20,
+            "mother_maiden": 0.06,
+            "maiden": 0.30,
+            "spouse": 0.35,
+        },
+    ),
+}
+
+#: The MV bulk submitter's fixed pattern (Section 6.4): exactly
+#: {FirstName, LastName, FatherName, BirthPlace, DeathPlace}.
+MV_TEMPLATE = SourceTemplate(
+    "mv",
+    {
+        "first": 1.0,
+        "last": 1.0,
+        "father": 1.0,
+        "birth_place": 1.0,
+        "death_place": 1.0,
+    },
+)

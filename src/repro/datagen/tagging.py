@@ -1,0 +1,180 @@
+"""Expert-tag simulation: the five-level tagging of Section 5.1.
+
+Yad Vashem archival experts tagged candidate pairs with one of
+``{Yes, Probably Yes, Maybe, Probably No, No}``; a ``Maybe`` means the
+pair carries too little information to decide. The paper then simplifies
+Yes+ProbablyYes -> match and No+ProbablyNo -> non-match, and studies
+three treatments of Maybe (Table 5).
+
+Since the real experts are unavailable, :class:`ExpertTagger` simulates
+them from ground truth plus *information content*: true pairs with rich
+shared information get confident Yes tags, information-poor pairs drift
+toward Maybe, and similar-looking non-matches (typically family members
+sharing surname, parents, and places — the Capelluto effect) receive
+Maybe/Probably-No rather than a clean No. The resulting tag-vs-similarity
+profile reproduces Figure 8.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.records.dataset import Dataset
+from repro.records.schema import PLACE_TYPES, VictimRecord
+
+__all__ = ["Tag", "TaggedPair", "ExpertTagger", "simplify_tags"]
+
+Pair = Tuple[int, int]
+
+
+class Tag(str, enum.Enum):
+    """The five expert tags, ordered from confident match to non-match."""
+
+    YES = "yes"
+    PROBABLY_YES = "probably_yes"
+    MAYBE = "maybe"
+    PROBABLY_NO = "probably_no"
+    NO = "no"
+
+    def simplified(self) -> Optional[bool]:
+        """Collapse to match / non-match; ``None`` for Maybe.
+
+        This is the paper's simplification: Yes joins Probably Yes, No
+        joins Probably No.
+        """
+        if self in (Tag.YES, Tag.PROBABLY_YES):
+            return True
+        if self in (Tag.NO, Tag.PROBABLY_NO):
+            return False
+        return None
+
+
+@dataclass(frozen=True)
+class TaggedPair:
+    """One expert-tagged candidate pair."""
+
+    pair: Pair
+    tag: Tag
+
+    @property
+    def label(self) -> Optional[bool]:
+        return self.tag.simplified()
+
+
+def _information_content(a: VictimRecord, b: VictimRecord) -> int:
+    """Count attribute groups where *both* records carry values."""
+    info = 0
+    for attribute in ("first", "last", "father", "mother", "spouse",
+                      "maiden", "mother_maiden"):
+        if a.names(attribute) and b.names(attribute):
+            info += 1
+    if a.gender is not None and b.gender is not None:
+        info += 1
+    if a.birth_year is not None and b.birth_year is not None:
+        info += 1
+    for place_type in PLACE_TYPES:
+        if a.places_of(place_type) and b.places_of(place_type):
+            info += 1
+    if a.profession is not None and b.profession is not None:
+        info += 1
+    return info
+
+
+def _agreements(a: VictimRecord, b: VictimRecord) -> int:
+    """Count attribute groups where the records visibly agree."""
+    hits = 0
+    for attribute in ("first", "last", "father", "mother", "spouse",
+                      "maiden", "mother_maiden"):
+        if set(a.names(attribute)) & set(b.names(attribute)):
+            hits += 1
+    if a.gender is not None and a.gender is b.gender:
+        hits += 1
+    if a.birth_year is not None and a.birth_year == b.birth_year:
+        hits += 1
+    for place_type in PLACE_TYPES:
+        cities_a = {p.city for p in a.places_of(place_type) if p.city}
+        cities_b = {p.city for p in b.places_of(place_type) if p.city}
+        if cities_a & cities_b:
+            hits += 1
+    return hits
+
+
+class ExpertTagger:
+    """Simulates the archival experts' five-level pair tagging."""
+
+    def __init__(self, dataset: Dataset, seed: int = 97) -> None:
+        self.dataset = dataset
+        self._rng = random.Random(seed)
+
+    def tag_pair(self, pair: Pair) -> TaggedPair:
+        """Tag one candidate pair."""
+        a = self.dataset[pair[0]]
+        b = self.dataset[pair[1]]
+        is_match = (
+            a.person_id is not None and a.person_id == b.person_id
+        )
+        info = _information_content(a, b)
+        agreements = _agreements(a, b)
+        tag = self._draw_tag(is_match, info, agreements)
+        return TaggedPair(pair, tag)
+
+    def tag_pairs(self, pairs: Iterable[Pair]) -> List[TaggedPair]:
+        """Tag candidate pairs (sorted for determinism)."""
+        return [self.tag_pair(pair) for pair in sorted(set(pairs))]
+
+    def _draw_tag(self, is_match: bool, info: int, agreements: int) -> Tag:
+        rng = self._rng
+        if is_match:
+            if info >= 5:
+                choices = ((Tag.YES, 0.88), (Tag.PROBABLY_YES, 0.12))
+            elif info >= 3:
+                choices = (
+                    (Tag.YES, 0.55), (Tag.PROBABLY_YES, 0.32), (Tag.MAYBE, 0.13)
+                )
+            else:
+                choices = (
+                    (Tag.PROBABLY_YES, 0.35), (Tag.MAYBE, 0.55),
+                    (Tag.PROBABLY_NO, 0.10),
+                )
+        else:
+            if agreements >= 4 and info <= 6:
+                # Family members: lots of visible agreement, little to
+                # tell siblings apart — the experts hedge.
+                choices = (
+                    (Tag.MAYBE, 0.40), (Tag.PROBABLY_NO, 0.45), (Tag.NO, 0.15)
+                )
+            elif agreements >= 2:
+                choices = (
+                    (Tag.MAYBE, 0.06), (Tag.PROBABLY_NO, 0.44), (Tag.NO, 0.50)
+                )
+            else:
+                choices = ((Tag.PROBABLY_NO, 0.07), (Tag.NO, 0.93))
+        roll = rng.random()
+        cumulative = 0.0
+        for tag, probability in choices:
+            cumulative += probability
+            if roll < cumulative:
+                return tag
+        return choices[-1][0]
+
+
+def simplify_tags(
+    tagged: Iterable[TaggedPair], maybe_as: Optional[bool] = None
+) -> Dict[Pair, bool]:
+    """Collapse tags to binary labels.
+
+    ``maybe_as`` controls the Table 5 treatments: ``None`` omits Maybe
+    pairs, ``False`` folds them into non-match, ``True`` into match.
+    """
+    labels: Dict[Pair, bool] = {}
+    for entry in tagged:
+        label = entry.label
+        if label is None:
+            if maybe_as is None:
+                continue
+            label = maybe_as
+        labels[entry.pair] = label
+    return labels

@@ -1,0 +1,27 @@
+"""Evaluation substrate: pair metrics, gold standards, reporting."""
+
+from repro.evaluation.experiments import ConditionResult, compare_blockers, run_conditions, run_ng_sweep
+from repro.evaluation.goldstandard import GoldStandard, TaggedGoldStandard
+from repro.evaluation.metrics import (
+    PairQuality,
+    f1_score,
+    pair_quality,
+    reduction_ratio,
+)
+from repro.evaluation.reporting import format_percent, format_series, format_table
+
+__all__ = [
+    "ConditionResult",
+    "compare_blockers",
+    "run_conditions",
+    "run_ng_sweep",
+    "GoldStandard",
+    "TaggedGoldStandard",
+    "PairQuality",
+    "f1_score",
+    "pair_quality",
+    "reduction_ratio",
+    "format_percent",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,146 @@
+"""Programmatic experiment runners mirroring the paper's evaluation.
+
+The benchmark harness under ``benchmarks/`` regenerates each published
+table/figure and asserts its shape; these functions expose the same
+experiments as a library API, so downstream users can rerun them on
+their own corpora (including real extracts loaded via
+:mod:`repro.records.io`).
+
+Each runner returns plain dataclasses/dicts — rendering is left to
+:mod:`repro.evaluation.reporting` or the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.blocking.base import BlockingAlgorithm
+from repro.blocking.mfiblocks import MFIBlocks, MFIBlocksConfig
+from repro.blocking.scoring import BlockScorer, ScoringMethod
+from repro.classify.training import PairClassifier
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import UncertainERPipeline
+from repro.evaluation.goldstandard import GoldStandard
+from repro.evaluation.metrics import PairQuality
+from repro.records.dataset import Dataset
+from repro.similarity.items import GeoLookup
+
+__all__ = [
+    "ConditionResult",
+    "run_conditions",
+    "run_ng_sweep",
+    "compare_blockers",
+]
+
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ConditionResult:
+    """Averaged quality of one Table-9 condition."""
+
+    name: str
+    recall: float
+    precision: float
+    f1: float
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def run_conditions(
+    dataset: Dataset,
+    gold: GoldStandard,
+    classifier: Optional[PairClassifier] = None,
+    labeled_pairs: Optional[Mapping[Pair, bool]] = None,
+    ng_values: Sequence[float] = (3.0, 3.5, 4.0),
+    max_minsup: int = 5,
+    geo_lookup: Optional[GeoLookup] = None,
+) -> List[ConditionResult]:
+    """The Table 9 grid: Base / ExpertWeighting / ExpertSim / SameSrc /
+    Cls / SameSrc+Cls, averaged over ``ng_values``.
+
+    ``classifier`` (or ``labeled_pairs`` to train one) is required for
+    the Cls conditions; omit both to run only the first four.
+    """
+    conditions: List[Tuple[str, PipelineConfig]] = [
+        ("Base", PipelineConfig(max_minsup=max_minsup)),
+        ("Expert Weighting",
+         PipelineConfig(max_minsup=max_minsup, expert_weighting=True)),
+        ("ExpertSim", PipelineConfig(
+            max_minsup=max_minsup, expert_weighting=True, expert_sim=True,
+            geo_lookup=geo_lookup)),
+        ("SameSrc", PipelineConfig(
+            max_minsup=max_minsup, expert_weighting=True,
+            same_source_discard=True)),
+    ]
+    can_classify = classifier is not None or labeled_pairs is not None
+    if can_classify:
+        conditions.append(("Cls", PipelineConfig(
+            max_minsup=max_minsup, expert_weighting=True, classify=True)))
+        conditions.append(("SameSrc + Cls", PipelineConfig(
+            max_minsup=max_minsup, expert_weighting=True,
+            same_source_discard=True, classify=True)))
+
+    if classifier is None and labeled_pairs is not None:
+        classifier = PairClassifier(dataset).fit(labeled_pairs)
+
+    results: List[ConditionResult] = []
+    for name, config in conditions:
+        qualities: List[PairQuality] = []
+        for ng in ng_values:
+            resolution = UncertainERPipeline(config.with_ng(ng)).run(
+                dataset,
+                classifier=classifier if config.classify else None,
+            )
+            qualities.append(gold.evaluate(resolution.pairs))
+        results.append(ConditionResult(
+            name=name,
+            recall=_mean([q.recall for q in qualities]),
+            precision=_mean([q.precision for q in qualities]),
+            f1=_mean([q.f1 for q in qualities]),
+        ))
+    return results
+
+
+def run_ng_sweep(
+    dataset: Dataset,
+    gold: GoldStandard,
+    ng_values: Sequence[float] = (1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0),
+    max_minsups: Sequence[int] = (4, 5, 6),
+    sn_mode: str = "threshold",
+    scoring_method: ScoringMethod = ScoringMethod.WEIGHTED,
+) -> Dict[Tuple[int, float], PairQuality]:
+    """The Figures 15-16 sweep: quality per (MaxMinSup, NG) point.
+
+    Defaults to the paper-literal ``threshold`` SN semantics, which
+    reproduce the published interior F-1 peak (see EXPERIMENTS.md).
+    """
+    results: Dict[Tuple[int, float], PairQuality] = {}
+    for max_minsup in max_minsups:
+        for ng in ng_values:
+            config = MFIBlocksConfig(
+                max_minsup=max_minsup, ng=ng, sn_mode=sn_mode,
+                scoring=BlockScorer(method=scoring_method),
+            )
+            blocking = MFIBlocks(config).run(dataset)
+            results[(max_minsup, ng)] = gold.evaluate(
+                blocking.candidate_pairs
+            )
+    return results
+
+
+def compare_blockers(
+    dataset: Dataset,
+    gold: GoldStandard,
+    algorithms: Sequence[BlockingAlgorithm],
+) -> Dict[str, PairQuality]:
+    """The Table 10 comparison over any set of blocking algorithms."""
+    results: Dict[str, PairQuality] = {}
+    for algorithm in algorithms:
+        results[algorithm.name] = gold.evaluate(
+            algorithm.run(dataset).candidate_pairs
+        )
+    return results

@@ -1,0 +1,81 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+Every benchmark prints the rows/series of the paper artifact it
+regenerates; these helpers keep that output uniform and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_series", "format_percent"]
+
+Cell = Union[str, int, float, None]
+
+
+def _render_cell(cell: Cell, float_format: str) -> str:
+    if cell is None:
+        return ""
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return format(cell, float_format)
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    float_format: str = ".3f",
+) -> str:
+    """Render an aligned text table with a separator under the header."""
+    rendered: List[List[str]] = [
+        [_render_cell(cell, float_format) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Cell],
+    series: Sequence[tuple],
+    title: Optional[str] = None,
+    float_format: str = ".3f",
+) -> str:
+    """Render figure-style data: one x column plus one column per series.
+
+    ``series`` is a sequence of ``(name, values)`` pairs, each values
+    sequence aligned with ``x_values``.
+    """
+    headers = [x_label] + [name for name, _ in series]
+    rows = []
+    for index, x in enumerate(x_values):
+        row: List[Cell] = [x]
+        for _, values in series:
+            row.append(values[index] if index < len(values) else None)
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_format=float_format)
+
+
+def format_percent(value: float, decimals: int = 1) -> str:
+    """Format a ratio as a percentage string."""
+    return f"{value * 100:.{decimals}f}%"

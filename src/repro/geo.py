@@ -1,0 +1,70 @@
+"""Geographic distance for the ``PlaceXGeoDistance`` features and Eq. 1.
+
+Places in the Names Project database carry GPS coordinates (Figure 3).
+The features use the great-circle distance in kilometres between the same
+place *type* (Birth, Permanent, Wartime, Death) of two records; Eq. 1
+converts the distance to a similarity with a 100 km normalizer:
+``max(0, 1 - geoDist/100)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple, Optional
+
+__all__ = [
+    "GeoPoint",
+    "haversine_km",
+    "geo_similarity",
+    "EARTH_RADIUS_KM",
+    "GEO_NORMALIZER_KM",
+]
+
+#: Mean Earth radius, km.
+EARTH_RADIUS_KM = 6371.0088
+#: Eq. 1 normalizer: places more than 100 km apart contribute 0 similarity.
+GEO_NORMALIZER_KM = 100.0
+
+
+class GeoPoint(NamedTuple):
+    """A WGS-84 coordinate pair (decimal degrees)."""
+
+    lat: float
+    lon: float
+
+    def validate(self) -> "GeoPoint":
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+        return self
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points in kilometres."""
+    lat1 = math.radians(a.lat)
+    lat2 = math.radians(b.lat)
+    dlat = lat2 - lat1
+    dlon = math.radians(b.lon - a.lon)
+    h = (
+        math.sin(dlat / 2.0) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def geo_similarity(
+    a: Optional[GeoPoint],
+    b: Optional[GeoPoint],
+    normalizer_km: float = GEO_NORMALIZER_KM,
+) -> Optional[float]:
+    """Eq. 1 Geo branch: ``max(0, 1 - geoDist/normalizer)``.
+
+    Returns ``None`` when either coordinate is missing so downstream
+    consumers (the ADTree) can skip the feature.
+    """
+    if a is None or b is None:
+        return None
+    if normalizer_km <= 0:
+        raise ValueError(f"normalizer_km must be positive, got {normalizer_km}")
+    return max(0.0, 1.0 - haversine_km(a, b) / normalizer_km)

@@ -1,0 +1,16 @@
+"""Knowledge-graph and narrative layer (the Figure 2 use case)."""
+
+from repro.graph.knowledge import EntityProfile, build_knowledge_graph, merge_entity
+from repro.graph.narrative import Narrative, narrative_for, ranked_narratives
+from repro.graph.rescuers import RescuerRecord, link_rescuers
+
+__all__ = [
+    "EntityProfile",
+    "build_knowledge_graph",
+    "merge_entity",
+    "Narrative",
+    "narrative_for",
+    "ranked_narratives",
+    "RescuerRecord",
+    "link_rescuers",
+]

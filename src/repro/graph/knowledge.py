@@ -1,0 +1,222 @@
+"""Knowledge-graph construction from resolved entities (Figure 2).
+
+The paper's motivation is turning victim reports into *people* and their
+stories: the Guido Foa example assembles a graph of a person, their
+relatives, places, and events from multiple reports. This module merges
+each resolved entity's reports into an :class:`EntityProfile` and builds
+a typed ``networkx`` graph of entities, places, and familial links.
+
+Because resolution is uncertain, the graph is parameterized by the
+certainty threshold: different thresholds yield different graphs, and
+narratives are ranked accordingly (see :mod:`repro.graph.narrative`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.core.resolution import ResolutionResult, connected_components
+from repro.records.dataset import Dataset
+from repro.records.schema import (
+    NAME_ATTRIBUTES,
+    PLACE_TYPES,
+    Gender,
+    PlaceType,
+    VictimRecord,
+)
+
+__all__ = ["EntityProfile", "merge_entity", "build_knowledge_graph"]
+
+
+@dataclass
+class EntityProfile:
+    """Merged view of one resolved entity's reports.
+
+    Every observed spelling is kept (``names``); the most frequent
+    spelling per attribute is the display value. Conflicting facts are
+    preserved rather than resolved — uncertain ER defers that to the
+    querying researcher.
+    """
+
+    entity_id: int
+    record_ids: Tuple[int, ...]
+    names: Dict[str, List[str]] = field(default_factory=dict)
+    gender: Optional[Gender] = None
+    birth_year: Optional[int] = None
+    birth_month: Optional[int] = None
+    birth_day: Optional[int] = None
+    profession: Optional[str] = None
+    places: Dict[PlaceType, List[str]] = field(default_factory=dict)
+    sources: Tuple[Tuple[str, str], ...] = ()
+
+    def display_name(self) -> str:
+        first = self.primary("first") or "?"
+        last = self.primary("last") or "?"
+        return f"{first} {last}"
+
+    def primary(self, attribute: str) -> Optional[str]:
+        """Most frequent observed value of a name attribute."""
+        values = self.names.get(attribute)
+        return values[0] if values else None
+
+    def primary_place(self, place_type: PlaceType) -> Optional[str]:
+        values = self.places.get(place_type)
+        return values[0] if values else None
+
+    @property
+    def n_reports(self) -> int:
+        return len(self.record_ids)
+
+
+def _ranked_values(counter: Counter) -> List[str]:
+    """Values by descending frequency, ties alphabetical."""
+    return [value for value, _ in sorted(counter.items(), key=lambda kv: (-kv[1], kv[0]))]
+
+
+def merge_entity(
+    entity_id: int, records: List[VictimRecord]
+) -> EntityProfile:
+    """Merge a cluster of reports into one entity profile."""
+    if not records:
+        raise ValueError("cannot merge an empty cluster")
+    names: Dict[str, Counter] = {attr: Counter() for attr in NAME_ATTRIBUTES}
+    places: Dict[PlaceType, Counter] = {pt: Counter() for pt in PLACE_TYPES}
+    genders: Counter = Counter()
+    years: Counter = Counter()
+    months: Counter = Counter()
+    days: Counter = Counter()
+    professions: Counter = Counter()
+    sources: Set[Tuple[str, str]] = set()
+
+    for record in records:
+        for attribute in NAME_ATTRIBUTES:
+            for value in record.names(attribute):
+                names[attribute][value] += 1
+        if record.gender is not None:
+            genders[record.gender.value] += 1
+        if record.birth_year is not None:
+            years[record.birth_year] += 1
+        if record.birth_month is not None:
+            months[record.birth_month] += 1
+        if record.birth_day is not None:
+            days[record.birth_day] += 1
+        if record.profession is not None:
+            professions[record.profession] += 1
+        for place_type in PLACE_TYPES:
+            for place in record.places_of(place_type):
+                if place.city:
+                    places[place_type][place.city] += 1
+                elif place.country:
+                    places[place_type][place.country] += 1
+        sources.add(record.source.key)
+
+    def top(counter: Counter):
+        ranked = sorted(counter.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        return ranked[0][0] if ranked else None
+
+    gender_value = top(genders)
+    return EntityProfile(
+        entity_id=entity_id,
+        record_ids=tuple(sorted(record.book_id for record in records)),
+        names={
+            attr: _ranked_values(counter)
+            for attr, counter in names.items()
+            if counter
+        },
+        gender=Gender(gender_value) if gender_value else None,
+        birth_year=top(years),
+        birth_month=top(months),
+        birth_day=top(days),
+        profession=top(professions),
+        places={
+            place_type: _ranked_values(counter)
+            for place_type, counter in places.items()
+            if counter
+        },
+        sources=tuple(sorted(sources)),
+    )
+
+
+def build_knowledge_graph(
+    dataset: Dataset,
+    resolution: ResolutionResult,
+    certainty: float = 0.0,
+    include_singletons: bool = True,
+) -> "nx.MultiDiGraph":
+    """Build the Figure-2-style graph at one certainty level.
+
+    Nodes:
+      * ``("entity", id)`` with the merged :class:`EntityProfile`;
+      * ``("place", name)`` for every referenced place.
+
+    Edges:
+      * entity -> place, typed ``born_in`` / ``resided_in`` /
+        ``wartime_in`` / ``died_in``;
+      * entity -> entity ``possible_family`` when two entities share a
+        last name and agree on father or mother first name — the
+        graph-level trace of the family granularity discussion.
+    """
+    seeds = dataset.record_ids if include_singletons else None
+    clusters = connected_components(resolution.resolve(certainty), seeds=seeds)
+    graph = nx.MultiDiGraph()
+    profiles: List[EntityProfile] = []
+    for index, cluster in enumerate(clusters):
+        profile = merge_entity(index, [dataset[rid] for rid in sorted(cluster)])
+        profiles.append(profile)
+        graph.add_node(("entity", index), profile=profile,
+                       label=profile.display_name())
+
+    edge_types = {
+        PlaceType.BIRTH: "born_in",
+        PlaceType.PERMANENT: "resided_in",
+        PlaceType.WARTIME: "wartime_in",
+        PlaceType.DEATH: "died_in",
+    }
+    for profile in profiles:
+        for place_type, relation in edge_types.items():
+            place = profile.primary_place(place_type)
+            if place is None:
+                continue
+            place_node = ("place", place)
+            if place_node not in graph:
+                graph.add_node(place_node, label=place)
+            graph.add_edge(("entity", profile.entity_id), place_node,
+                           relation=relation)
+
+    _add_family_edges(graph, profiles)
+    return graph
+
+
+def _add_family_edges(
+    graph: "nx.MultiDiGraph", profiles: List[EntityProfile]
+) -> None:
+    by_last: Dict[str, List[EntityProfile]] = {}
+    for profile in profiles:
+        for last in profile.names.get("last", ()):
+            by_last.setdefault(last, []).append(profile)
+    seen: Set[Tuple[int, int]] = set()
+    for group in by_last.values():
+        for i, a in enumerate(group):
+            for b in group[i + 1:]:
+                key = (min(a.entity_id, b.entity_id), max(a.entity_id, b.entity_id))
+                if key in seen:
+                    continue
+                if _shares_parent(a, b):
+                    seen.add(key)
+                    graph.add_edge(
+                        ("entity", key[0]), ("entity", key[1]),
+                        relation="possible_family",
+                    )
+
+
+def _shares_parent(a: EntityProfile, b: EntityProfile) -> bool:
+    for attribute in ("father", "mother"):
+        values_a = set(a.names.get(attribute, ()))
+        values_b = set(b.names.get(attribute, ()))
+        if values_a & values_b:
+            return True
+    return False

@@ -1,0 +1,21 @@
+"""Frequent-itemset mining substrate: FP-tree, FP-Growth, FPMax, pruning."""
+
+from repro.mining.fpgrowth import (
+    Itemset,
+    frequent_itemsets,
+    maximal_frequent_itemsets,
+    maximal_via_filter,
+)
+from repro.mining.fptree import FPNode, FPTree
+from repro.mining.pruning import DEFAULT_PRUNE_FRACTION, prune_frequent_items
+
+__all__ = [
+    "Itemset",
+    "frequent_itemsets",
+    "maximal_frequent_itemsets",
+    "maximal_via_filter",
+    "FPNode",
+    "FPTree",
+    "DEFAULT_PRUNE_FRACTION",
+    "prune_frequent_items",
+]

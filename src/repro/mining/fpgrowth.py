@@ -1,0 +1,258 @@
+"""FP-Growth and FPMax-style maximal frequent itemset mining.
+
+MFIBlocks needs *maximal* frequent itemsets (MFIs): item sets whose
+support meets ``minsup`` and that no frequent superset subsumes
+(Section 4.1.1). The paper mines them with Borgelt's C implementation of
+FP-Growth; this module is a from-scratch pure-Python equivalent:
+
+* :func:`frequent_itemsets` — classic FP-Growth, all frequent itemsets.
+* :func:`maximal_frequent_itemsets` — FPMax: FP-Growth with single-path
+  short-circuiting and MFI-subsumption pruning, returning only maximal
+  sets. An alternative "mine all, filter maximal" path exists for the
+  ablation benchmark (``maximal_via_filter``).
+
+Items may be any hashable values; they are mapped to dense integer ids
+ordered by descending global support internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Collection,
+    Dict,
+    FrozenSet,
+    Generic,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Set,
+    Tuple,
+    TypeVar,
+)
+
+from repro.mining.fptree import FPTree
+
+__all__ = [
+    "Itemset",
+    "frequent_itemsets",
+    "maximal_frequent_itemsets",
+    "maximal_via_filter",
+]
+
+T = TypeVar("T", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class Itemset(Generic[T]):
+    """A mined itemset with its support count."""
+
+    items: FrozenSet[T]
+    support: int
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class _Vocabulary(Generic[T]):
+    """Bidirectional mapping item value <-> dense int id, frequency-ordered.
+
+    Id 0 is the globally most frequent item; the id order doubles as the
+    canonical FP-tree sort order.
+    """
+
+    def __init__(self, transactions: List[List[T]], minsup: int) -> None:
+        support: Dict[T, int] = {}
+        for transaction in transactions:
+            for value in set(transaction):
+                support[value] = support.get(value, 0) + 1
+        frequent = [
+            (value, count) for value, count in support.items() if count >= minsup
+        ]
+        # Descending support; ties broken by repr for determinism.
+        frequent.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+        self.value_of: List[T] = [value for value, _ in frequent]
+        self.id_of: Dict[T, int] = {
+            value: index for index, value in enumerate(self.value_of)
+        }
+        self.order: Dict[int, int] = {index: index for index in range(len(frequent))}
+
+    def encode(self, transaction: Collection[T]) -> List[int]:
+        ids = [self.id_of[value] for value in set(transaction) if value in self.id_of]
+        ids.sort()
+        return ids
+
+    def decode(self, ids: Iterable[int]) -> FrozenSet[T]:
+        return frozenset(self.value_of[item_id] for item_id in ids)
+
+
+def _build_tree(
+    transactions: List[List[T]], minsup: int
+) -> Tuple[FPTree, "_Vocabulary[T]"]:
+    vocabulary = _Vocabulary(transactions, minsup)
+    tree = FPTree()
+    for transaction in transactions:
+        encoded = vocabulary.encode(transaction)
+        if encoded:
+            tree.insert(encoded)
+    return tree, vocabulary
+
+
+def _validate(transactions: List[List[T]], minsup: int) -> None:
+    if minsup < 1:
+        raise ValueError(f"minsup must be >= 1, got {minsup}")
+
+
+# ---------------------------------------------------------------------------
+# Classic FP-Growth (all frequent itemsets)
+# ---------------------------------------------------------------------------
+
+
+def frequent_itemsets(
+    transactions: Iterable[Collection[T]], minsup: int
+) -> List[Itemset[T]]:
+    """Mine *all* frequent itemsets with support >= ``minsup``."""
+    materialized = [list(transaction) for transaction in transactions]
+    _validate(materialized, minsup)
+    tree, vocabulary = _build_tree(materialized, minsup)
+    results: List[Itemset[T]] = []
+    for ids, support in _fp_growth(tree, [], minsup, vocabulary.order):
+        results.append(Itemset(vocabulary.decode(ids), support))
+    return results
+
+
+def _fp_growth(
+    tree: FPTree,
+    suffix: List[int],
+    minsup: int,
+    order: Dict[int, int],
+) -> Iterator[Tuple[List[int], int]]:
+    # Process items least-frequent first (highest id first).
+    for item in sorted(tree.items(), reverse=True):
+        support = tree.support_of(item)
+        if support < minsup:
+            continue
+        itemset = suffix + [item]
+        yield itemset, support
+        conditional = FPTree.from_conditional(
+            tree.prefix_paths(item), minsup, order
+        )
+        if not conditional.is_empty():
+            yield from _fp_growth(conditional, itemset, minsup, order)
+
+
+# ---------------------------------------------------------------------------
+# FPMax (maximal frequent itemsets)
+# ---------------------------------------------------------------------------
+
+
+class _MFIStore:
+    """Stores discovered MFIs and answers subsumption queries.
+
+    ``is_subsumed(candidate)`` is true when some stored MFI is a superset
+    of (or equal to) the candidate. An inverted index item → MFI ids keeps
+    the check near-constant for typical candidates.
+    """
+
+    def __init__(self) -> None:
+        self.itemsets: List[Tuple[FrozenSet[int], int]] = []
+        self._by_item: Dict[int, Set[int]] = {}
+
+    def is_subsumed(self, candidate: FrozenSet[int]) -> bool:
+        if not candidate:
+            return bool(self.itemsets)
+        iterator = iter(candidate)
+        first = next(iterator)
+        hits = self._by_item.get(first)
+        if not hits:
+            return False
+        hits = set(hits)
+        for item in iterator:
+            hits &= self._by_item.get(item, set())
+            if not hits:
+                return False
+        return True
+
+    def add(self, candidate: FrozenSet[int], support: int) -> None:
+        index = len(self.itemsets)
+        self.itemsets.append((candidate, support))
+        for item in candidate:
+            self._by_item.setdefault(item, set()).add(index)
+
+
+def maximal_frequent_itemsets(
+    transactions: Iterable[Collection[T]], minsup: int
+) -> List[Itemset[T]]:
+    """Mine maximal frequent itemsets (FPMax).
+
+    Returns MFIs as :class:`Itemset` values; the support reported is the
+    support of the maximal set itself.
+    """
+    materialized = [list(transaction) for transaction in transactions]
+    _validate(materialized, minsup)
+    tree, vocabulary = _build_tree(materialized, minsup)
+    store = _MFIStore()
+    _fpmax(tree, [], minsup, vocabulary.order, store)
+    return [
+        Itemset(vocabulary.decode(ids), support) for ids, support in store.itemsets
+    ]
+
+
+def _fpmax(
+    tree: FPTree,
+    suffix: List[int],
+    minsup: int,
+    order: Dict[int, int],
+    store: _MFIStore,
+) -> None:
+    if tree.is_empty():
+        return
+    single = tree.single_path()
+    if single is not None:
+        candidate = frozenset(suffix) | {item for item, _ in single}
+        if not store.is_subsumed(candidate):
+            support = single[-1][1]
+            store.add(candidate, support)
+        return
+    # Least-frequent items first so long candidates are found early and
+    # subsume the rest.
+    for item in sorted(tree.items(), reverse=True):
+        support = tree.support_of(item)
+        if support < minsup:
+            continue
+        new_suffix = suffix + [item]
+        conditional = FPTree.from_conditional(tree.prefix_paths(item), minsup, order)
+        if conditional.is_empty():
+            candidate = frozenset(new_suffix)
+            if not store.is_subsumed(candidate):
+                store.add(candidate, support)
+            continue
+        # MFI-tree pruning: if the suffix plus *everything* that could
+        # still be added is already covered, the subtree is fruitless.
+        head = frozenset(new_suffix) | set(conditional.items())
+        if store.is_subsumed(head):
+            continue
+        _fpmax(conditional, new_suffix, minsup, order, store)
+
+
+def maximal_via_filter(
+    transactions: Iterable[Collection[T]], minsup: int
+) -> List[Itemset[T]]:
+    """Reference implementation: mine all frequent itemsets, keep maximal.
+
+    Exponentially slower than FPMax on dense data; exists for testing and
+    the MFI-strategy ablation benchmark.
+    """
+    all_frequent = frequent_itemsets(transactions, minsup)
+    all_frequent.sort(key=lambda itemset: -len(itemset.items))
+    maximal: List[Itemset[T]] = []
+    seen: List[FrozenSet[T]] = []
+    for itemset in all_frequent:
+        if any(itemset.items < kept for kept in seen):
+            continue
+        if any(itemset.items == kept for kept in seen):
+            continue
+        maximal.append(itemset)
+        seen.append(itemset.items)
+    return maximal

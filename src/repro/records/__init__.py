@@ -1,0 +1,28 @@
+"""Data model substrate: victim-report schema, item bags, datasets, patterns."""
+
+from repro.records.dataset import Dataset
+from repro.records.itembag import Item, ItemKind, ItemType, record_to_items
+from repro.records.schema import (
+    Gender,
+    Place,
+    PlacePart,
+    PlaceType,
+    SourceKind,
+    SourceRef,
+    VictimRecord,
+)
+
+__all__ = [
+    "Dataset",
+    "Item",
+    "ItemKind",
+    "ItemType",
+    "record_to_items",
+    "Gender",
+    "Place",
+    "PlacePart",
+    "PlaceType",
+    "SourceKind",
+    "SourceRef",
+    "VictimRecord",
+]

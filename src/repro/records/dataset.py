@@ -1,0 +1,202 @@
+"""Dataset container: records, item bags, inverted index, serialization.
+
+A :class:`Dataset` holds victim reports keyed by ``book_id`` and provides
+the derived artifacts the pipeline needs — item bags and the item →
+records inverted index (the preprocessing stage of Figure 9). Both are
+computed once and cached.
+
+JSON (de)serialization is provided so generated corpora can be persisted
+and reloaded by benchmarks without regenerating.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.records.itembag import Item, build_item_index, record_to_items
+from repro.records.schema import (
+    Gender,
+    Place,
+    PlaceType,
+    SourceKind,
+    SourceRef,
+    VictimRecord,
+)
+from repro.geo import GeoPoint
+
+__all__ = ["Dataset"]
+
+
+class Dataset:
+    """An immutable collection of victim reports with derived indexes."""
+
+    def __init__(self, records: Iterable[VictimRecord], name: str = "dataset"):
+        self.name = name
+        self._records: Dict[int, VictimRecord] = {}
+        for record in records:
+            if record.book_id in self._records:
+                raise ValueError(f"duplicate book_id: {record.book_id}")
+            self._records[record.book_id] = record
+        self._item_bags: Optional[Dict[int, FrozenSet[Item]]] = None
+        self._item_index: Optional[Dict[Item, List[int]]] = None
+
+    # -- basic container protocol -------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[VictimRecord]:
+        return iter(self._records.values())
+
+    def __contains__(self, book_id: int) -> bool:
+        return book_id in self._records
+
+    def __getitem__(self, book_id: int) -> VictimRecord:
+        return self._records[book_id]
+
+    @property
+    def record_ids(self) -> List[int]:
+        return list(self._records)
+
+    def get(self, book_id: int) -> Optional[VictimRecord]:
+        return self._records.get(book_id)
+
+    # -- derived artifacts ---------------------------------------------------
+
+    @property
+    def item_bags(self) -> Dict[int, FrozenSet[Item]]:
+        """Item bag per record id (computed lazily, cached)."""
+        if self._item_bags is None:
+            self._item_bags = {
+                rid: record_to_items(record) for rid, record in self._records.items()
+            }
+        return self._item_bags
+
+    @property
+    def item_index(self) -> Dict[Item, List[int]]:
+        """Inverted index item → sorted list of record ids holding it."""
+        if self._item_index is None:
+            self._item_index = build_item_index(self.item_bags.items())
+        return self._item_index
+
+    def subset(self, book_ids: Iterable[int], name: Optional[str] = None) -> "Dataset":
+        """Return a new dataset restricted to the given record ids."""
+        ids = list(book_ids)
+        missing = [rid for rid in ids if rid not in self._records]
+        if missing:
+            raise KeyError(f"unknown book_ids: {missing[:5]}")
+        return Dataset(
+            (self._records[rid] for rid in ids),
+            name=name or f"{self.name}-subset",
+        )
+
+    def true_pairs(self) -> FrozenSet[Tuple[int, int]]:
+        """All record pairs sharing a ground-truth ``person_id``.
+
+        This is the gold standard for synthetic corpora where every record
+        carries its generating person; pairs are canonicalized as
+        ``(min_id, max_id)``.
+        """
+        by_person: Dict[int, List[int]] = {}
+        for record in self:
+            if record.person_id is not None:
+                by_person.setdefault(record.person_id, []).append(record.book_id)
+        pairs = set()
+        for rids in by_person.values():
+            rids.sort()
+            for i, a in enumerate(rids):
+                for b in rids[i + 1:]:
+                    pairs.add((a, b))
+        return frozenset(pairs)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_json(self, path: Union[str, Path]) -> None:
+        """Write the dataset to a JSON file."""
+        payload = {
+            "name": self.name,
+            "records": [_record_to_dict(record) for record in self],
+        }
+        Path(path).write_text(json.dumps(payload, ensure_ascii=False, indent=1))
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "Dataset":
+        """Load a dataset previously written by :meth:`to_json`."""
+        payload = json.loads(Path(path).read_text())
+        records = [_record_from_dict(entry) for entry in payload["records"]]
+        return cls(records, name=payload.get("name", "dataset"))
+
+
+def _record_to_dict(record: VictimRecord) -> dict:
+    places = {}
+    for place_type, values in record.places.items():
+        places[place_type.value] = [_place_to_dict(place) for place in values]
+    return {
+        "book_id": record.book_id,
+        "source": {"kind": record.source.kind.value, "id": record.source.identifier},
+        "first": list(record.first),
+        "last": list(record.last),
+        "maiden": list(record.maiden),
+        "father": list(record.father),
+        "mother": list(record.mother),
+        "mother_maiden": list(record.mother_maiden),
+        "spouse": list(record.spouse),
+        "gender": record.gender.value if record.gender else None,
+        "birth_day": record.birth_day,
+        "birth_month": record.birth_month,
+        "birth_year": record.birth_year,
+        "profession": record.profession,
+        "places": places,
+        "person_id": record.person_id,
+    }
+
+
+def _place_to_dict(place: Place) -> dict:
+    return {
+        "city": place.city,
+        "county": place.county,
+        "region": place.region,
+        "country": place.country,
+        "coords": list(place.coords) if place.coords else None,
+    }
+
+
+def _record_from_dict(entry: dict) -> VictimRecord:
+    places = {}
+    for type_name, values in entry.get("places", {}).items():
+        places[PlaceType(type_name)] = tuple(
+            _place_from_dict(value) for value in values
+        )
+    gender = Gender(entry["gender"]) if entry.get("gender") else None
+    source = entry["source"]
+    return VictimRecord(
+        book_id=entry["book_id"],
+        source=SourceRef(SourceKind(source["kind"]), source["id"]),
+        first=tuple(entry.get("first", ())),
+        last=tuple(entry.get("last", ())),
+        maiden=tuple(entry.get("maiden", ())),
+        father=tuple(entry.get("father", ())),
+        mother=tuple(entry.get("mother", ())),
+        mother_maiden=tuple(entry.get("mother_maiden", ())),
+        spouse=tuple(entry.get("spouse", ())),
+        gender=gender,
+        birth_day=entry.get("birth_day"),
+        birth_month=entry.get("birth_month"),
+        birth_year=entry.get("birth_year"),
+        profession=entry.get("profession"),
+        places=places,
+        person_id=entry.get("person_id"),
+    )
+
+
+def _place_from_dict(entry: dict) -> Place:
+    coords = entry.get("coords")
+    return Place(
+        city=entry.get("city"),
+        county=entry.get("county"),
+        region=entry.get("region"),
+        country=entry.get("country"),
+        coords=GeoPoint(*coords) if coords else None,
+    )

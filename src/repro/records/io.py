@@ -1,0 +1,161 @@
+"""CSV ingestion and export for victim-report datasets.
+
+The Names Project extracts circulate as flat tables (the paper's public
+ItalySet was a CSV-style dump); this module defines a canonical flat
+layout so real extracts can be loaded into :class:`Dataset` and synthetic
+corpora exported for external tools.
+
+Layout: one row per report. Multi-valued name attributes are joined with
+``|``; each place type occupies ``{type}_{part}`` columns plus optional
+``{type}_lat`` / ``{type}_lon`` coordinates; ``person_id`` is an optional
+ground-truth column used only by evaluation.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.geo import GeoPoint
+from repro.records.dataset import Dataset
+from repro.records.schema import (
+    NAME_ATTRIBUTES,
+    PLACE_PARTS,
+    PLACE_TYPES,
+    Gender,
+    Place,
+    PlaceType,
+    SourceKind,
+    SourceRef,
+    VictimRecord,
+)
+
+__all__ = ["CSV_COLUMNS", "write_csv", "read_csv"]
+
+_MULTI_SEPARATOR = "|"
+
+
+def _place_columns() -> List[str]:
+    columns: List[str] = []
+    for place_type in PLACE_TYPES:
+        for part in PLACE_PARTS:
+            columns.append(f"{place_type.value}_{part.value}")
+        columns.append(f"{place_type.value}_lat")
+        columns.append(f"{place_type.value}_lon")
+    return columns
+
+
+#: The canonical column order.
+CSV_COLUMNS: Tuple[str, ...] = tuple(
+    ["book_id", "source_kind", "source_id"]
+    + list(NAME_ATTRIBUTES)
+    + ["gender", "birth_day", "birth_month", "birth_year", "profession"]
+    + _place_columns()
+    + ["person_id"]
+)
+
+
+def write_csv(dataset: Dataset, path: Union[str, Path]) -> None:
+    """Write a dataset in the canonical flat layout."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(CSV_COLUMNS))
+        writer.writeheader()
+        for record in dataset:
+            writer.writerow(_record_to_row(record))
+
+
+def read_csv(path: Union[str, Path], name: Optional[str] = None) -> Dataset:
+    """Load a dataset from the canonical flat layout."""
+    records: List[VictimRecord] = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        missing = {"book_id", "source_kind", "source_id"} - set(
+            reader.fieldnames or ()
+        )
+        if missing:
+            raise ValueError(f"CSV is missing required columns: {missing}")
+        for line_number, row in enumerate(reader, start=2):
+            try:
+                records.append(_row_to_record(row))
+            except (KeyError, ValueError) as error:
+                raise ValueError(
+                    f"{path}:{line_number}: bad row ({error})"
+                ) from error
+    return Dataset(records, name=name or Path(path).stem)
+
+
+def _record_to_row(record: VictimRecord) -> Dict[str, str]:
+    row: Dict[str, str] = {
+        "book_id": str(record.book_id),
+        "source_kind": record.source.kind.value,
+        "source_id": record.source.identifier,
+        "gender": record.gender.value if record.gender else "",
+        "birth_day": _opt(record.birth_day),
+        "birth_month": _opt(record.birth_month),
+        "birth_year": _opt(record.birth_year),
+        "profession": record.profession or "",
+        "person_id": _opt(record.person_id),
+    }
+    for attribute in NAME_ATTRIBUTES:
+        row[attribute] = _MULTI_SEPARATOR.join(record.names(attribute))
+    for place_type in PLACE_TYPES:
+        places = record.places_of(place_type)
+        place = places[0] if places else Place()
+        for part in PLACE_PARTS:
+            row[f"{place_type.value}_{part.value}"] = place.part(part) or ""
+        row[f"{place_type.value}_lat"] = (
+            repr(place.coords.lat) if place.coords else ""
+        )
+        row[f"{place_type.value}_lon"] = (
+            repr(place.coords.lon) if place.coords else ""
+        )
+    return row
+
+
+def _row_to_record(row: Dict[str, str]) -> VictimRecord:
+    places: Dict[PlaceType, Tuple[Place, ...]] = {}
+    for place_type in PLACE_TYPES:
+        parts = {
+            part.value: (row.get(f"{place_type.value}_{part.value}") or None)
+            for part in PLACE_PARTS
+        }
+        lat = row.get(f"{place_type.value}_lat") or ""
+        lon = row.get(f"{place_type.value}_lon") or ""
+        coords = GeoPoint(float(lat), float(lon)) if lat and lon else None
+        place = Place(coords=coords, **parts)
+        if not place.is_empty():
+            places[place_type] = (place,)
+
+    gender_text = (row.get("gender") or "").strip()
+    return VictimRecord(
+        book_id=int(row["book_id"]),
+        source=SourceRef(SourceKind(row["source_kind"]), row["source_id"]),
+        gender=Gender(gender_text) if gender_text else None,
+        birth_day=_int_or_none(row.get("birth_day")),
+        birth_month=_int_or_none(row.get("birth_month")),
+        birth_year=_int_or_none(row.get("birth_year")),
+        profession=(row.get("profession") or None),
+        places=places,
+        person_id=_int_or_none(row.get("person_id")),
+        **{
+            attribute: _split_multi(row.get(attribute))
+            for attribute in NAME_ATTRIBUTES
+        },
+    )
+
+
+def _split_multi(text: Optional[str]) -> Tuple[str, ...]:
+    if not text:
+        return ()
+    return tuple(part for part in text.split(_MULTI_SEPARATOR) if part)
+
+
+def _opt(value) -> str:
+    return "" if value is None else str(value)
+
+
+def _int_or_none(text: Optional[str]) -> Optional[int]:
+    if text is None or text.strip() == "":
+        return None
+    return int(text)

@@ -1,0 +1,220 @@
+"""Data model for Names-Project-style victim reports.
+
+Mirrors the entity-relationship diagram of the Names Project database
+(Figure 3 in the paper): a central *victim report* record (``BookID``)
+carrying name attributes, birth-date components, four typed places
+(birth / permanent / wartime / death) each with four granularity parts
+(city / county / region / country) plus GPS coordinates, a profession,
+and provenance (source list or testimony submitter).
+
+Several attributes are multi-valued — the paper notes "a person may have
+multiple occurrences in some attributes, such as first name, and war-time
+place" — so every name field and every place slot is a tuple.
+
+The ``person_id`` field is *ground truth* used only by the synthetic-data
+gold standard and by evaluation; the ER algorithms never read it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.geo import GeoPoint
+
+__all__ = [
+    "Gender",
+    "PlaceType",
+    "PlacePart",
+    "Place",
+    "SourceKind",
+    "SourceRef",
+    "VictimRecord",
+    "NAME_ATTRIBUTES",
+    "PLACE_TYPES",
+    "PLACE_PARTS",
+]
+
+
+class Gender(str, enum.Enum):
+    """Victim gender as recorded on the report."""
+
+    MALE = "M"
+    FEMALE = "F"
+
+
+class PlaceType(str, enum.Enum):
+    """The four place semantics the schema distinguishes.
+
+    The paper's schema reconciliation gives "reasonable confidence in the
+    semantics of the different place attributes", so places are never
+    compared across types.
+    """
+
+    BIRTH = "birth"
+    PERMANENT = "permanent"
+    WARTIME = "wartime"
+    DEATH = "death"
+
+
+class PlacePart(str, enum.Enum):
+    """Granularity parts of a place, finest to coarsest."""
+
+    CITY = "city"
+    COUNTY = "county"
+    REGION = "region"
+    COUNTRY = "country"
+
+
+#: The seven name attributes compared by the sameXName / XnameDist features.
+NAME_ATTRIBUTES: Tuple[str, ...] = (
+    "first",
+    "last",
+    "spouse",
+    "father",
+    "mother",
+    "mother_maiden",
+    "maiden",
+)
+
+PLACE_TYPES: Tuple[PlaceType, ...] = tuple(PlaceType)
+PLACE_PARTS: Tuple[PlacePart, ...] = tuple(PlacePart)
+
+
+@dataclass(frozen=True)
+class Place:
+    """A place value: up to four granularity parts plus coordinates."""
+
+    city: Optional[str] = None
+    county: Optional[str] = None
+    region: Optional[str] = None
+    country: Optional[str] = None
+    coords: Optional[GeoPoint] = None
+
+    def part(self, part: PlacePart) -> Optional[str]:
+        """Return the value of one granularity part."""
+        return getattr(self, part.value)
+
+    def parts(self) -> Dict[PlacePart, str]:
+        """Return the non-null parts keyed by :class:`PlacePart`."""
+        result: Dict[PlacePart, str] = {}
+        for part in PLACE_PARTS:
+            value = self.part(part)
+            if value is not None:
+                result[part] = value
+        return result
+
+    def is_empty(self) -> bool:
+        return not self.parts() and self.coords is None
+
+
+class SourceKind(str, enum.Enum):
+    """Where a report came from: a Page of Testimony or an extracted list."""
+
+    TESTIMONY = "testimony"
+    LIST = "list"
+
+
+@dataclass(frozen=True)
+class SourceRef:
+    """Provenance of a report.
+
+    For testimonies the ``submitter_id`` is a (first, last, city)-derived
+    pseudo-identifier — the paper notes no unique submitter id exists, so
+    grouping by name+city is the best available key. For lists the
+    ``list_id`` identifies one of the ~16k victim lists.
+
+    Two reports "share a source" (the ``sameSource`` feature / SameSrc
+    filter) when they come from the same list or from testimonies by the
+    same submitter.
+    """
+
+    kind: SourceKind
+    identifier: str
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.kind.value, self.identifier)
+
+
+@dataclass(frozen=True)
+class VictimRecord:
+    """A single victim report (one row of the Names Project database)."""
+
+    book_id: int
+    source: SourceRef
+    first: Tuple[str, ...] = ()
+    last: Tuple[str, ...] = ()
+    maiden: Tuple[str, ...] = ()
+    father: Tuple[str, ...] = ()
+    mother: Tuple[str, ...] = ()
+    mother_maiden: Tuple[str, ...] = ()
+    spouse: Tuple[str, ...] = ()
+    gender: Optional[Gender] = None
+    birth_day: Optional[int] = None
+    birth_month: Optional[int] = None
+    birth_year: Optional[int] = None
+    profession: Optional[str] = None
+    places: Mapping[PlaceType, Tuple[Place, ...]] = field(default_factory=dict)
+    #: Ground-truth person identifier; evaluation-only, never an input
+    #: to blocking or classification.
+    person_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.birth_day is not None and not 1 <= self.birth_day <= 31:
+            raise ValueError(f"birth_day out of range: {self.birth_day}")
+        if self.birth_month is not None and not 1 <= self.birth_month <= 12:
+            raise ValueError(f"birth_month out of range: {self.birth_month}")
+        if self.birth_year is not None and not 1800 <= self.birth_year <= 1946:
+            raise ValueError(f"birth_year out of range: {self.birth_year}")
+
+    def names(self, attribute: str) -> Tuple[str, ...]:
+        """Return the values of one of the seven name attributes."""
+        if attribute not in NAME_ATTRIBUTES:
+            raise ValueError(f"unknown name attribute: {attribute!r}")
+        return getattr(self, attribute)
+
+    def places_of(self, place_type: PlaceType) -> Tuple[Place, ...]:
+        """Return the places recorded under one place type."""
+        return tuple(self.places.get(place_type, ()))
+
+    def iter_present_fields(self) -> Iterator[str]:
+        """Yield the names of populated fields, for data-pattern analysis.
+
+        A "pattern" in the paper's sense (Figure 11) is the set of item
+        types a record has values for. Place fields yield one entry per
+        (type, part) combination, matching the item-type granularity of
+        Tables 3 and 4.
+        """
+        for attribute in NAME_ATTRIBUTES:
+            if self.names(attribute):
+                yield f"name:{attribute}"
+        if self.gender is not None:
+            yield "gender"
+        if self.birth_day is not None:
+            yield "birth_day"
+        if self.birth_month is not None:
+            yield "birth_month"
+        if self.birth_year is not None:
+            yield "birth_year"
+        if self.profession is not None:
+            yield "profession"
+        for place_type in PLACE_TYPES:
+            seen_parts = set()
+            for place in self.places_of(place_type):
+                seen_parts.update(place.parts())
+            for part in PLACE_PARTS:
+                if part in seen_parts:
+                    yield f"place:{place_type.value}:{part.value}"
+
+    def pattern(self) -> frozenset:
+        """The record's data pattern: the frozen set of populated fields."""
+        return frozenset(self.iter_present_fields())
+
+    def has_dob(self) -> bool:
+        return (
+            self.birth_day is not None
+            or self.birth_month is not None
+            or self.birth_year is not None
+        )

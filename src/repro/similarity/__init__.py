@@ -1,0 +1,48 @@
+"""Similarity substrate: string/date/geo metrics, Eq.-1 item similarity,
+and the 48 pairwise features of Section 5.1."""
+
+from repro.similarity.features import (
+    FEATURE_NAMES,
+    FEATURES,
+    FeatureKind,
+    FeatureSpec,
+    extract_features,
+)
+from repro.geo import GeoPoint, geo_similarity, haversine_km
+from repro.similarity.items import (
+    expert_item_similarity,
+    jaccard_items,
+    soft_jaccard_items,
+    weighted_jaccard_items,
+)
+from repro.similarity.strings import (
+    jaccard,
+    jaccard_qgrams,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    qgrams,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FEATURES",
+    "FeatureKind",
+    "FeatureSpec",
+    "extract_features",
+    "GeoPoint",
+    "geo_similarity",
+    "haversine_km",
+    "expert_item_similarity",
+    "jaccard_items",
+    "soft_jaccard_items",
+    "weighted_jaccard_items",
+    "jaccard",
+    "jaccard_qgrams",
+    "jaro",
+    "jaro_winkler",
+    "levenshtein",
+    "levenshtein_similarity",
+    "qgrams",
+]

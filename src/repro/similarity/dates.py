@@ -1,0 +1,98 @@
+"""Date-component distances for the ``BXDist`` features and Eq. 1.
+
+The paper treats birth dates as three independent components — day, month,
+year — because multi-source reports frequently disagree on (or omit) parts
+of a date. Each component distance is normalized by a maximal distance:
+31 for days, 12 for months, and 100 for years (Section 5.1), while the
+expert item-similarity function (Eq. 1) normalizes years by 50.
+
+Month distance is *cyclic* (December and January are one month apart),
+matching ``monthDiff`` in Eq. 1; day distance is likewise cyclic within a
+month (``dayDiff``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "day_distance",
+    "month_distance",
+    "year_distance",
+    "day_similarity",
+    "month_similarity",
+    "year_similarity",
+    "normalized_component_distance",
+    "DAY_NORMALIZER",
+    "MONTH_NORMALIZER",
+    "YEAR_NORMALIZER",
+    "YEAR_NORMALIZER_EQ1",
+]
+
+#: Normalization constants from Section 5.1 (feature definitions).
+DAY_NORMALIZER = 31
+MONTH_NORMALIZER = 12
+YEAR_NORMALIZER = 100
+#: The expert similarity function (Eq. 1) uses a tighter year normalizer.
+YEAR_NORMALIZER_EQ1 = 50
+
+
+def day_distance(a: int, b: int) -> int:
+    """Cyclic distance between two days-of-month (1..31)."""
+    _check_range(a, 1, 31, "day")
+    _check_range(b, 1, 31, "day")
+    diff = abs(a - b)
+    return min(diff, 31 - diff)
+
+
+def month_distance(a: int, b: int) -> int:
+    """Cyclic distance between two months (1..12)."""
+    _check_range(a, 1, 12, "month")
+    _check_range(b, 1, 12, "month")
+    diff = abs(a - b)
+    return min(diff, 12 - diff)
+
+
+def year_distance(a: int, b: int) -> int:
+    """Absolute distance between two years."""
+    return abs(a - b)
+
+
+def day_similarity(a: int, b: int) -> float:
+    """``1 - dayDiff/31`` — the Day branch of Eq. 1."""
+    return 1.0 - day_distance(a, b) / DAY_NORMALIZER
+
+
+def month_similarity(a: int, b: int) -> float:
+    """``1 - monthDiff/12`` — the Month branch of Eq. 1."""
+    return 1.0 - month_distance(a, b) / MONTH_NORMALIZER
+
+
+def year_similarity(a: int, b: int, normalizer: int = YEAR_NORMALIZER_EQ1) -> float:
+    """``1 - |y1 - y2| / normalizer`` clamped at 0 — the Year branch of Eq. 1."""
+    return max(0.0, 1.0 - year_distance(a, b) / normalizer)
+
+
+def normalized_component_distance(
+    a: Optional[int], b: Optional[int], component: str
+) -> Optional[float]:
+    """Normalized distance in ``[0, 1]`` for a date component, or ``None``.
+
+    Returns ``None`` when either value is missing — the ADTree treats a
+    missing feature as "do not traverse this splitter", so distances must
+    not be fabricated for absent values.
+    """
+    if a is None or b is None:
+        return None
+    if component == "day":
+        return day_distance(a, b) / DAY_NORMALIZER
+    if component == "month":
+        return month_distance(a, b) / MONTH_NORMALIZER
+    if component == "year":
+        return min(1.0, year_distance(a, b) / YEAR_NORMALIZER)
+    raise ValueError(f"unknown date component: {component!r}")
+
+
+def _check_range(value: int, lo: int, hi: int, name: str) -> None:
+    if not lo <= value <= hi:
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value}")

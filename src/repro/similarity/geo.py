@@ -1,0 +1,18 @@
+"""Re-export of the geographic primitives (kept at :mod:`repro.geo` so the
+records substrate can use coordinates without importing this package)."""
+
+from repro.geo import (
+    EARTH_RADIUS_KM,
+    GEO_NORMALIZER_KM,
+    GeoPoint,
+    geo_similarity,
+    haversine_km,
+)
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "GEO_NORMALIZER_KM",
+    "GeoPoint",
+    "geo_similarity",
+    "haversine_km",
+]

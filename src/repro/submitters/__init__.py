@@ -1,0 +1,22 @@
+"""Submitter entity resolution — the sub-problem the paper leaves open
+(Section 2's 514,251 naively-grouped submitters)."""
+
+from repro.submitters.dedupe import (
+    SubmitterDedupeResult,
+    dedupe_submitters,
+    signature_similarity,
+)
+from repro.submitters.model import (
+    SubmitterGenerator,
+    SubmitterRecord,
+    group_by_signature,
+)
+
+__all__ = [
+    "SubmitterDedupeResult",
+    "dedupe_submitters",
+    "signature_similarity",
+    "SubmitterGenerator",
+    "SubmitterRecord",
+    "group_by_signature",
+]

@@ -1,0 +1,139 @@
+"""Submitter entity resolution: collapsing the 514k naive signatures.
+
+A compact ER pipeline over submitter signatures, reusing the repository's
+substrates: Soundex blocking on last names, Jaro-Winkler pairwise
+similarity over (first, last, city), and greedy agglomeration of the
+signature groups. The output is a clustering of signatures into
+submitter entities, plus the headline number the paper could not
+compute: how many *distinct* submitters the naive figure overcounts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.core.resolution import connected_components
+from repro.similarity.features import soundex
+from repro.similarity.strings import jaro_winkler
+from repro.submitters.model import SubmitterRecord, group_by_signature
+
+__all__ = ["SubmitterDedupeResult", "signature_similarity", "dedupe_submitters"]
+
+Signature = Tuple[str, str, str]
+
+
+def signature_similarity(a: Signature, b: Signature) -> float:
+    """Similarity of two (first, last, city) signatures in [0, 1].
+
+    Last name dominates (it is the family anchor), city corroborates;
+    all three compared with Jaro-Winkler to absorb transliterations.
+    """
+    first = jaro_winkler(a[0].lower(), b[0].lower())
+    last = jaro_winkler(a[1].lower(), b[1].lower())
+    city = jaro_winkler(a[2].lower(), b[2].lower())
+    return 0.35 * first + 0.4 * last + 0.25 * city
+
+
+@dataclass
+class SubmitterDedupeResult:
+    """Outcome of submitter ER."""
+
+    n_records: int
+    n_signatures: int
+    clusters: List[FrozenSet[Signature]]
+
+    @property
+    def n_entities(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def overcount_ratio(self) -> float:
+        """How much the naive signature count inflates the entity count."""
+        if self.n_entities == 0:
+            return 1.0
+        return self.n_signatures / self.n_entities
+
+    def evaluate(
+        self, records: Sequence[SubmitterRecord]
+    ) -> Tuple[float, float]:
+        """Pairwise (precision, recall) against ground-truth submitters.
+
+        Operates at signature granularity: a signature pair is *true*
+        when some records bearing the two signatures share a submitter.
+        """
+        truth_of: Dict[Signature, Set[int]] = {}
+        for record in records:
+            truth_of.setdefault(record.signature, set()).add(
+                record.submitter_id
+            )
+        cluster_of: Dict[Signature, int] = {}
+        for index, cluster in enumerate(self.clusters):
+            for signature in cluster:
+                cluster_of[signature] = index
+
+        signatures = sorted(truth_of)
+        tp = fp = fn = 0
+        for i, sig_a in enumerate(signatures):
+            for sig_b in signatures[i + 1:]:
+                same_truth = bool(truth_of[sig_a] & truth_of[sig_b])
+                same_cluster = cluster_of.get(sig_a) == cluster_of.get(sig_b)
+                if same_cluster and same_truth:
+                    tp += 1
+                elif same_cluster:
+                    fp += 1
+                elif same_truth:
+                    fn += 1
+        precision = tp / (tp + fp) if tp + fp else 1.0
+        recall = tp / (tp + fn) if tp + fn else 1.0
+        return precision, recall
+
+
+def dedupe_submitters(
+    records: Sequence[SubmitterRecord],
+    threshold: float = 0.93,
+) -> SubmitterDedupeResult:
+    """Resolve submitter signatures into entities.
+
+    Blocking: signatures sharing a last-name Soundex code (plus, to catch
+    last-name typos, a first-name Soundex + city block). Pairs within a
+    block whose :func:`signature_similarity` reaches ``threshold`` are
+    merged; clusters are the connected components.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    signatures = sorted(group_by_signature(records))
+    index_of = {signature: i for i, signature in enumerate(signatures)}
+
+    blocks: Dict[Tuple[str, str], List[int]] = {}
+    for signature in signatures:
+        first, last, city = signature
+        blocks.setdefault(("L", soundex(last)), []).append(index_of[signature])
+        blocks.setdefault(
+            ("FC", soundex(first) + "|" + city.lower()), []
+        ).append(index_of[signature])
+
+    edges: Set[Tuple[int, int]] = set()
+    for members in blocks.values():
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                pair = (min(a, b), max(a, b))
+                if pair in edges:
+                    continue
+                if signature_similarity(
+                    signatures[pair[0]], signatures[pair[1]]
+                ) >= threshold:
+                    edges.add(pair)
+
+    components = connected_components(
+        edges, seeds=range(len(signatures))
+    )
+    clusters = [
+        frozenset(signatures[i] for i in component)
+        for component in components
+    ]
+    return SubmitterDedupeResult(
+        n_records=len(records),
+        n_signatures=len(signatures),
+        clusters=clusters,
+    )

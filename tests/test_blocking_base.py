@@ -1,0 +1,68 @@
+"""Tests for blocking base types: Block, BlockingResult."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.base import Block, BlockingResult, canonical_pair, pairs_of_block
+
+
+class TestCanonicalPair:
+    def test_orders(self):
+        assert canonical_pair(5, 2) == (2, 5)
+        assert canonical_pair(2, 5) == (2, 5)
+
+    def test_rejects_self_pair(self):
+        with pytest.raises(ValueError):
+            canonical_pair(3, 3)
+
+
+class TestBlock:
+    def test_requires_two_records(self):
+        with pytest.raises(ValueError):
+            Block(records=frozenset({1}))
+
+    def test_pairs_enumeration(self):
+        block = Block(records=frozenset({3, 1, 2}))
+        assert list(block.pairs()) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_len(self):
+        assert len(Block(records=frozenset({1, 2, 3, 4}))) == 4
+
+    def test_pairs_of_block_dedupes(self):
+        assert list(pairs_of_block([2, 1, 2])) == [(1, 2)]
+
+
+class TestBlockingResult:
+    def test_add_block_accumulates_pairs(self):
+        result = BlockingResult()
+        result.add_block(Block(records=frozenset({1, 2}), score=0.5))
+        result.add_block(Block(records=frozenset({2, 3}), score=0.8))
+        assert result.candidate_pairs == {(1, 2), (2, 3)}
+        assert result.comparisons() == 2
+
+    def test_pair_score_keeps_max(self):
+        result = BlockingResult()
+        result.add_block(Block(records=frozenset({1, 2}), score=0.3))
+        result.add_block(Block(records=frozenset({1, 2, 3}), score=0.7))
+        assert result.pair_scores[(1, 2)] == 0.7
+
+    def test_ranked_pairs_descending(self):
+        result = BlockingResult()
+        result.add_block(Block(records=frozenset({1, 2}), score=0.2))
+        result.add_block(Block(records=frozenset({3, 4}), score=0.9))
+        ranked = result.ranked_pairs()
+        assert ranked[0] == ((3, 4), 0.9)
+        assert ranked[-1] == ((1, 2), 0.2)
+
+    def test_neighborhoods(self):
+        result = BlockingResult()
+        result.add_block(Block(records=frozenset({1, 2, 3}), score=0.5))
+        neighborhoods = result.neighborhoods()
+        assert neighborhoods == {1: 2, 2: 2, 3: 2}
+
+    def test_empty_result(self):
+        result = BlockingResult()
+        assert result.candidate_pairs == frozenset()
+        assert result.ranked_pairs() == []
+        assert result.neighborhoods() == {}

@@ -1,0 +1,115 @@
+"""Tests for block purging / filtering / meta-blocking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.base import Block, BlockingResult
+from repro.blocking.cleaning import (
+    BlockFiltering,
+    BlockPurging,
+    WeightedEdgePruning,
+)
+
+
+def make_result(*blocks):
+    result = BlockingResult()
+    for records in blocks:
+        result.add_block(Block(records=frozenset(records)))
+    return result
+
+
+class TestBlockPurging:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockPurging(percentile=0.0)
+        with pytest.raises(ValueError):
+            BlockPurging(percentile=1.5)
+
+    def test_removes_largest(self):
+        result = make_result({1, 2}, {3, 4}, {5, 6}, set(range(10, 40)))
+        cleaned = BlockPurging(percentile=0.75).apply(result)
+        sizes = sorted(len(block) for block in cleaned.blocks)
+        assert sizes == [2, 2, 2]
+
+    def test_keep_all_at_one(self):
+        result = make_result({1, 2}, set(range(10, 40)))
+        cleaned = BlockPurging(percentile=1.0).apply(result)
+        assert len(cleaned.blocks) == 2
+
+    def test_empty(self):
+        assert BlockPurging().apply(BlockingResult()).blocks == []
+
+    def test_reduces_comparisons(self):
+        result = make_result({1, 2}, set(range(100, 150)))
+        cleaned = BlockPurging(percentile=0.5).apply(result)
+        assert cleaned.comparisons() < result.comparisons()
+
+
+class TestBlockFiltering:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockFiltering(ratio=0.0)
+
+    def test_keeps_smallest_blocks_per_record(self):
+        # Record 1 is in a small and a big block; ratio .5 keeps only the
+        # small one for it.
+        result = make_result({1, 2}, {1, 3, 4, 5, 6})
+        cleaned = BlockFiltering(ratio=0.5).apply(result)
+        memberships = [block.records for block in cleaned.blocks]
+        assert frozenset({1, 2}) in memberships
+        # The big block survives only without record 1... records 3-6
+        # keep it as their only block.
+        big = next(m for m in memberships if len(m) > 2)
+        assert 1 not in big
+
+    def test_full_ratio_is_identity_on_structure(self):
+        result = make_result({1, 2}, {2, 3})
+        cleaned = BlockFiltering(ratio=1.0).apply(result)
+        assert {block.records for block in cleaned.blocks} == {
+            frozenset({1, 2}), frozenset({2, 3})
+        }
+
+    def test_degenerate_blocks_dropped(self):
+        result = make_result({1, 2})
+        # ratio so low each record keeps 1 block; both keep the same one
+        cleaned = BlockFiltering(ratio=0.1).apply(result)
+        assert len(cleaned.blocks) == 1
+
+
+class TestWeightedEdgePruning:
+    def test_prunes_below_mean_weight(self):
+        # pair (1,2) co-occurs in 3 blocks, the others once each.
+        result = make_result({1, 2}, {1, 2}, {1, 2, 3}, {4, 5})
+        cleaned = WeightedEdgePruning().apply(result)
+        assert (1, 2) in cleaned.candidate_pairs
+        assert (4, 5) not in cleaned.candidate_pairs
+
+    def test_empty(self):
+        assert WeightedEdgePruning().apply(BlockingResult()).blocks == []
+
+    def test_uniform_weights_prune_everything(self):
+        result = make_result({1, 2}, {3, 4})
+        cleaned = WeightedEdgePruning().apply(result)
+        assert cleaned.candidate_pairs == frozenset()
+
+    def test_weights_exposed_as_scores(self):
+        result = make_result({1, 2}, {1, 2}, {3, 4})
+        cleaned = WeightedEdgePruning().apply(result)
+        assert cleaned.pair_scores[(1, 2)] == 2.0
+
+
+class TestComposedWorkflow:
+    def test_survey_workflow_improves_precision(self, small_corpus, small_gold):
+        from repro.blocking.baselines import StandardBlocking
+
+        dataset, _persons = small_corpus
+        raw = StandardBlocking().run(dataset)
+        workflow = BlockFiltering(ratio=0.6).apply(
+            BlockPurging(percentile=0.9).apply(raw)
+        )
+        pruned = WeightedEdgePruning().apply(workflow)
+        q_raw = small_gold.evaluate(raw.candidate_pairs)
+        q_pruned = small_gold.evaluate(pruned.candidate_pairs)
+        assert q_pruned.n_candidates < q_raw.n_candidates
+        assert q_pruned.precision > q_raw.precision

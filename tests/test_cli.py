@@ -1,0 +1,167 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.records.dataset import Dataset
+
+
+@pytest.fixture()
+def corpus_path(tmp_path):
+    path = tmp_path / "corpus.json"
+    code = main([
+        "generate", "--persons", "60", "--communities", "italy",
+        "--seed", "5", "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_community_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", "--communities", "narnia", "--out", "x.json"]
+            )
+
+    def test_resolve_defaults(self):
+        args = build_parser().parse_args(["resolve", "c.json"])
+        assert args.ng == 3.5
+        assert args.max_minsup == 5
+        assert not args.classify
+
+
+class TestGenerate:
+    def test_writes_loadable_corpus(self, corpus_path):
+        dataset = Dataset.from_json(corpus_path)
+        assert len(dataset) >= 60
+
+    def test_mv_flag(self, tmp_path):
+        path = tmp_path / "mv.json"
+        main(["generate", "--persons", "50", "--mv-reports", "10",
+              "--seed", "3", "--out", str(path)])
+        dataset = Dataset.from_json(path)
+        mv = [r for r in dataset if r.source.identifier == "MV"]
+        assert len(mv) == 10
+
+
+class TestAnalyze:
+    def test_prints_tables(self, corpus_path, capsys):
+        assert main(["analyze", str(corpus_path)]) == 0
+        output = capsys.readouterr().out
+        assert "Data patterns" in output
+        assert "Item type prevalence" in output
+        assert "Last Name" in output
+
+
+class TestResolve:
+    def test_basic_resolution(self, corpus_path, capsys):
+        code = main([
+            "resolve", str(corpus_path), "--ng", "3.0",
+            "--expert-weighting",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ranked pairs" in output
+        assert "quality vs ground truth" in output
+
+    def test_csv_output(self, corpus_path, tmp_path, capsys):
+        out = tmp_path / "pairs.csv"
+        main([
+            "resolve", str(corpus_path), "--expert-weighting",
+            "--out", str(out),
+        ])
+        with open(out) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["book_id_a", "book_id_b", "similarity",
+                           "confidence"]
+        assert len(rows) > 1
+        # pairs canonicalized
+        for a, b, _sim, _conf in rows[1:]:
+            assert int(a) < int(b)
+
+    def test_classify_path(self, corpus_path, capsys):
+        code = main([
+            "resolve", str(corpus_path), "--expert-weighting",
+            "--classify", "--certainty", "0.0",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "trained on" in output
+
+
+class TestNarratives:
+    def test_prints_stories(self, corpus_path, capsys):
+        assert main(["narratives", str(corpus_path), "--top", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "confidence" in output or "no multi-report" in output
+
+
+class TestExperiment:
+    def test_condition_grid_without_classifier(self, corpus_path, capsys):
+        code = main([
+            "experiment", str(corpus_path), "--ng", "3.0",
+            "--no-classifier",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Base" in output
+        assert "Expert Weighting" in output
+        assert "Cls" not in output
+
+    def test_condition_grid_with_classifier(self, corpus_path, capsys):
+        code = main(["experiment", str(corpus_path), "--ng", "3.0"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SameSrc + Cls" in output
+
+    def test_rejects_corpus_without_truth(self, tmp_path, capsys):
+        from repro.records.dataset import Dataset
+        from tests.conftest import make_record
+
+        dataset = Dataset([make_record(book_id=1), make_record(book_id=2)])
+        path = tmp_path / "untruthed.json"
+        dataset.to_json(path)
+        assert main(["experiment", str(path), "--no-classifier"]) == 1
+
+
+class TestResolveExpertSim:
+    def test_expert_sim_flag(self, corpus_path, capsys):
+        code = main([
+            "resolve", str(corpus_path), "--expert-weighting",
+            "--expert-sim",
+        ])
+        assert code == 0
+        assert "ranked pairs" in capsys.readouterr().out
+
+    def test_same_src_flag(self, corpus_path, capsys):
+        code = main(["resolve", str(corpus_path), "--same-src"])
+        assert code == 0
+
+
+class TestCsvFormat:
+    def test_generate_and_resolve_csv(self, tmp_path, capsys):
+        path = tmp_path / "corpus.csv"
+        assert main([
+            "generate", "--persons", "40", "--communities", "italy",
+            "--seed", "5", "--out", str(path),
+        ]) == 0
+        assert path.read_text().startswith("book_id,")
+        code = main(["resolve", str(path), "--expert-weighting"])
+        assert code == 0
+        assert "ranked pairs" in capsys.readouterr().out
+
+    def test_analyze_csv(self, tmp_path, capsys):
+        path = tmp_path / "corpus.csv"
+        main(["generate", "--persons", "30", "--seed", "3",
+              "--out", str(path)])
+        assert main(["analyze", str(path)]) == 0
+        assert "Item type prevalence" in capsys.readouterr().out

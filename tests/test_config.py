@@ -1,0 +1,62 @@
+"""Tests for PipelineConfig condition composition."""
+
+from __future__ import annotations
+
+from repro.blocking.scoring import ScoringMethod
+from repro.core.config import PipelineConfig
+
+
+class TestScorerSelection:
+    def test_base_is_uniform(self):
+        assert PipelineConfig().scorer().method is ScoringMethod.UNIFORM
+
+    def test_expert_weighting_selects_weighted(self):
+        scorer = PipelineConfig(expert_weighting=True).scorer()
+        assert scorer.method is ScoringMethod.WEIGHTED
+        assert scorer.weights  # expert weights attached
+
+    def test_expert_sim_wins_over_weighting(self):
+        scorer = PipelineConfig(expert_weighting=True, expert_sim=True).scorer()
+        assert scorer.method is ScoringMethod.EXPERT
+        assert scorer.weights  # still composes with weighting
+
+    def test_expert_sim_without_weighting(self):
+        scorer = PipelineConfig(expert_sim=True).scorer()
+        assert scorer.method is ScoringMethod.EXPERT
+        assert scorer.weights is None
+
+
+class TestBlockingConfig:
+    def test_parameters_forwarded(self):
+        config = PipelineConfig(max_minsup=6, ng=2.5, prune_fraction=0.01,
+                                sn_mode="threshold")
+        blocking = config.blocking_config()
+        assert blocking.max_minsup == 6
+        assert blocking.ng == 2.5
+        assert blocking.prune_fraction == 0.01
+        assert blocking.sn_mode == "threshold"
+
+    def test_with_ng(self):
+        config = PipelineConfig(ng=3.0, classify=True)
+        swept = config.with_ng(4.0)
+        assert swept.ng == 4.0
+        assert swept.classify is True
+        assert config.ng == 3.0  # original unchanged
+
+
+class TestDescribe:
+    def test_base(self):
+        assert PipelineConfig().describe().startswith("Base")
+
+    def test_flags_listed(self):
+        label = PipelineConfig(
+            expert_weighting=True, same_source_discard=True, classify=True
+        ).describe()
+        assert "ExpertWeighting" in label
+        assert "SameSrc" in label
+        assert "Cls" in label
+
+    def test_parameters_shown(self):
+        label = PipelineConfig(max_minsup=4, ng=3.5).describe()
+        assert "MaxMinSup=4" in label
+        assert "NG=3.5" in label

@@ -1,0 +1,102 @@
+"""Tests for the ItalySet / RandomSet corpus builders and the gazetteer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.corpus import build_corpus, build_italy_set, build_random_set
+from repro.datagen.names import COMMUNITIES
+from repro.datagen.places import DEATH_PLACES, HOME_CITIES, build_gazetteer
+
+
+class TestBuildCorpus:
+    def test_returns_dataset_and_persons(self):
+        dataset, persons = build_corpus(n_persons=40, seed=1)
+        assert len(dataset) >= 40
+        assert len(persons) == 40
+
+    def test_single_community_restriction(self):
+        _dataset, persons = build_corpus(
+            n_persons=40, communities=("greece",), seed=1
+        )
+        assert {person.community for person in persons} == {"greece"}
+
+
+class TestItalySet:
+    def test_scaled_size_near_published(self):
+        dataset, _persons = build_italy_set(scale=0.05, seed=2)
+        # 5% of 9,499 is ~475; generation is stochastic, allow slack.
+        assert 300 <= len(dataset) <= 700
+
+    def test_mv_fraction(self):
+        dataset, _persons = build_italy_set(scale=0.05, seed=2)
+        mv = [r for r in dataset if r.source.identifier == "MV"]
+        # published ratio: 1,400 / 9,499 ~ 15%
+        assert 0.08 <= len(mv) / len(dataset) <= 0.25
+
+    def test_italian_community_only(self):
+        _dataset, persons = build_italy_set(scale=0.03, seed=2)
+        assert {person.community for person in persons} == {"italy"}
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            build_italy_set(scale=0)
+
+
+class TestRandomSet:
+    def test_covers_six_communities(self):
+        _dataset, persons = build_random_set(scale=0.005, seed=3)
+        communities = {person.community for person in persons}
+        assert communities == set(COMMUNITIES)
+
+    def test_scaling(self):
+        small, _ = build_random_set(scale=0.002, seed=3)
+        large, _ = build_random_set(scale=0.004, seed=3)
+        assert len(large) > len(small)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            build_random_set(scale=-1)
+
+
+class TestGazetteer:
+    def test_lookup_canonical_and_variant(self):
+        gazetteer = build_gazetteer(["italy"])
+        torino = gazetteer.lookup("Torino")
+        turin = gazetteer.lookup("Turin")
+        assert torino is not None
+        assert torino == turin
+
+    def test_lookup_case_insensitive(self):
+        gazetteer = build_gazetteer(["poland"])
+        assert gazetteer.lookup("warszawa") == gazetteer.lookup("WARSZAWA")
+
+    def test_unknown_city(self):
+        gazetteer = build_gazetteer(["italy"])
+        assert gazetteer.lookup("Gotham") is None
+
+    def test_death_places_always_included(self):
+        gazetteer = build_gazetteer(["italy"])
+        assert gazetteer.lookup("Auschwitz") is not None
+
+    def test_unknown_community_rejected(self):
+        with pytest.raises(ValueError):
+            build_gazetteer(["narnia"])
+
+    def test_all_coordinates_valid(self):
+        for cities in HOME_CITIES.values():
+            for city in cities:
+                city.coords.validate()
+        for city in DEATH_PLACES:
+            city.coords.validate()
+
+    def test_city_to_place_granularity(self):
+        city = HOME_CITIES["italy"][0]
+        full = city.to_place(granularity=4)
+        assert full.city and full.coords
+        country_only = city.to_place(granularity=1)
+        assert country_only.city is None
+        assert country_only.coords is None
+        assert country_only.country == "Italy"
+        with pytest.raises(ValueError):
+            city.to_place(granularity=5)

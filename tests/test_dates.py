@@ -1,0 +1,114 @@
+"""Tests for the date-component distances (BXDist features, Eq. 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.similarity.dates import (
+    DAY_NORMALIZER,
+    MONTH_NORMALIZER,
+    YEAR_NORMALIZER,
+    day_distance,
+    day_similarity,
+    month_distance,
+    month_similarity,
+    normalized_component_distance,
+    year_distance,
+    year_similarity,
+)
+
+days = st.integers(min_value=1, max_value=31)
+months = st.integers(min_value=1, max_value=12)
+years = st.integers(min_value=1850, max_value=1946)
+
+
+class TestDayDistance:
+    def test_same_day(self):
+        assert day_distance(15, 15) == 0
+
+    def test_cyclic_wrap(self):
+        # 1 and 31 are one day apart cyclically.
+        assert day_distance(1, 31) == 1
+
+    def test_plain_difference(self):
+        assert day_distance(5, 10) == 5
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            day_distance(0, 5)
+        with pytest.raises(ValueError):
+            day_distance(5, 32)
+
+    @given(days, days)
+    def test_bounded_and_symmetric(self, a, b):
+        d = day_distance(a, b)
+        assert 0 <= d <= 15
+        assert d == day_distance(b, a)
+
+
+class TestMonthDistance:
+    def test_december_january(self):
+        assert month_distance(12, 1) == 1
+
+    def test_half_year(self):
+        assert month_distance(1, 7) == 6
+
+    @given(months, months)
+    def test_bounded(self, a, b):
+        assert 0 <= month_distance(a, b) <= 6
+
+
+class TestYearDistance:
+    def test_plain(self):
+        assert year_distance(1920, 1936) == 16
+
+    @given(years, years)
+    def test_symmetric(self, a, b):
+        assert year_distance(a, b) == year_distance(b, a)
+
+
+class TestSimilarities:
+    def test_day_similarity_range(self):
+        assert day_similarity(1, 1) == 1.0
+        assert day_similarity(1, 31) == pytest.approx(1 - 1 / 31)
+
+    def test_month_similarity(self):
+        assert month_similarity(3, 3) == 1.0
+        assert month_similarity(1, 7) == pytest.approx(0.5)
+
+    def test_year_similarity_eq1_normalizer(self):
+        # Eq. 1 uses 1 - |y1-y2|/50, clamped at 0.
+        assert year_similarity(1920, 1920) == 1.0
+        assert year_similarity(1920, 1945) == pytest.approx(0.5)
+        assert year_similarity(1850, 1946) == 0.0
+
+    @given(years, years)
+    def test_year_similarity_bounded(self, a, b):
+        assert 0.0 <= year_similarity(a, b) <= 1.0
+
+
+class TestNormalizedComponentDistance:
+    def test_missing_returns_none(self):
+        assert normalized_component_distance(None, 5, "day") is None
+        assert normalized_component_distance(5, None, "year") is None
+
+    def test_day_normalization(self):
+        value = normalized_component_distance(1, 16, "day")
+        assert value == pytest.approx(15 / DAY_NORMALIZER)
+
+    def test_month_normalization(self):
+        value = normalized_component_distance(1, 7, "month")
+        assert value == pytest.approx(6 / MONTH_NORMALIZER)
+
+    def test_year_caps_at_one(self):
+        assert normalized_component_distance(1800, 1946, "year") == 1.0
+
+    def test_year_uses_100_normalizer(self):
+        value = normalized_component_distance(1900, 1925, "year")
+        assert value == pytest.approx(25 / YEAR_NORMALIZER)
+
+    def test_unknown_component(self):
+        with pytest.raises(ValueError):
+            normalized_component_distance(1, 2, "hour")

@@ -1,0 +1,105 @@
+"""Determinism and cross-stage consistency of the full system.
+
+Reproducibility is a first-class requirement for a reproduction repo:
+every stage, seeded identically, must produce byte-identical outcomes,
+and artifacts must stay mutually consistent across stages.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking import MFIBlocks, MFIBlocksConfig
+from repro.classify import ADTreeLearner, render_tree
+from repro.classify.training import pair_features
+from repro.core import PipelineConfig, UncertainERPipeline
+from repro.datagen import ExpertTagger, build_corpus, simplify_tags
+from repro.evaluation import GoldStandard
+
+
+@pytest.fixture(scope="module")
+def twin_corpora():
+    a = build_corpus(n_persons=80, communities=("germany",), seed=3)
+    b = build_corpus(n_persons=80, communities=("germany",), seed=3)
+    return a, b
+
+
+class TestDeterminism:
+    def test_corpora_identical(self, twin_corpora):
+        (dataset_a, persons_a), (dataset_b, persons_b) = twin_corpora
+        assert persons_a == persons_b
+        assert list(dataset_a) == list(dataset_b)
+
+    def test_blocking_identical(self, twin_corpora):
+        (dataset_a, _), (dataset_b, _) = twin_corpora
+        config = MFIBlocksConfig(max_minsup=4, ng=3.0)
+        result_a = MFIBlocks(config).run(dataset_a)
+        result_b = MFIBlocks(config).run(dataset_b)
+        assert result_a.pair_scores == result_b.pair_scores
+        assert [b.records for b in result_a.blocks] == [
+            b.records for b in result_b.blocks
+        ]
+
+    def test_tags_identical(self, twin_corpora):
+        (dataset_a, _), (dataset_b, _) = twin_corpora
+        pairs = sorted(
+            MFIBlocks(MFIBlocksConfig(max_minsup=4)).run(dataset_a).candidate_pairs
+        )
+        tags_a = ExpertTagger(dataset_a, seed=9).tag_pairs(pairs)
+        tags_b = ExpertTagger(dataset_b, seed=9).tag_pairs(pairs)
+        assert tags_a == tags_b
+
+    def test_trained_tree_identical(self, twin_corpora):
+        (dataset_a, _), (dataset_b, _) = twin_corpora
+        pairs = sorted(
+            MFIBlocks(MFIBlocksConfig(max_minsup=4)).run(dataset_a).candidate_pairs
+        )[:400]
+        labels = simplify_tags(
+            ExpertTagger(dataset_a, seed=9).tag_pairs(pairs), maybe_as=False
+        )
+        def train(dataset):
+            ordered = sorted(labels)
+            return ADTreeLearner(n_rounds=6).fit(
+                pair_features(dataset, ordered),
+                [labels[p] for p in ordered],
+            )
+        assert render_tree(train(dataset_a)) == render_tree(train(dataset_b))
+
+    def test_full_pipeline_identical(self, twin_corpora):
+        (dataset_a, _), (dataset_b, _) = twin_corpora
+        config = PipelineConfig(max_minsup=4, ng=3.0, expert_weighting=True)
+        resolution_a = UncertainERPipeline(config).run(dataset_a)
+        resolution_b = UncertainERPipeline(config).run(dataset_b)
+        assert resolution_a.pairs == resolution_b.pairs
+        assert [e.similarity for e in resolution_a.ranked()] == [
+            e.similarity for e in resolution_b.ranked()
+        ]
+
+
+class TestCrossStageConsistency:
+    def test_pairs_reference_real_records(self, twin_corpora):
+        (dataset, _), _ = twin_corpora
+        resolution = UncertainERPipeline(
+            PipelineConfig(max_minsup=4, ng=3.0)
+        ).run(dataset)
+        for a, b in resolution.pairs:
+            assert a in dataset and b in dataset
+
+    def test_entities_partition_at_every_level(self, twin_corpora):
+        (dataset, _), _ = twin_corpora
+        resolution = UncertainERPipeline(
+            PipelineConfig(max_minsup=4, ng=3.0)
+        ).run(dataset)
+        for certainty in (0.0, 0.2, 0.5):
+            seen = set()
+            for cluster in resolution.entities(certainty,
+                                               include_singletons=True):
+                assert not (cluster & seen)
+                seen |= cluster
+
+    def test_gold_standard_stable_under_subset_order(self, twin_corpora):
+        (dataset, _), _ = twin_corpora
+        ids = dataset.record_ids
+        forward = GoldStandard.from_dataset(dataset.subset(ids))
+        backward = GoldStandard.from_dataset(dataset.subset(reversed(ids)))
+        assert forward.matches == backward.matches

@@ -1,0 +1,87 @@
+"""Tests for the programmatic experiment runners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking import MFIBlocks, MFIBlocksConfig
+from repro.blocking.baselines import StandardBlocking, SuffixArraysBlocking
+from repro.datagen import ExpertTagger, simplify_tags
+from repro.evaluation.experiments import (
+    ConditionResult,
+    compare_blockers,
+    run_conditions,
+    run_ng_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def labels(small_corpus):
+    dataset, _persons = small_corpus
+    from repro.core import PipelineConfig, UncertainERPipeline
+
+    blocking = UncertainERPipeline(
+        PipelineConfig(ng=3.5, expert_weighting=True)
+    ).block(dataset)
+    return simplify_tags(
+        ExpertTagger(dataset, seed=19).tag_pairs(blocking.candidate_pairs),
+        maybe_as=None,
+    )
+
+
+class TestRunConditions:
+    def test_without_classifier_four_rows(self, small_corpus, small_gold):
+        dataset, _persons = small_corpus
+        results = run_conditions(
+            dataset, small_gold, ng_values=(3.0,), max_minsup=4
+        )
+        names = [result.name for result in results]
+        assert names == ["Base", "Expert Weighting", "ExpertSim", "SameSrc"]
+        for result in results:
+            assert 0.0 <= result.recall <= 1.0
+            assert 0.0 <= result.precision <= 1.0
+
+    def test_with_labels_six_rows(self, small_corpus, small_gold, labels):
+        dataset, _persons = small_corpus
+        results = run_conditions(
+            dataset, small_gold, labeled_pairs=labels, ng_values=(3.0,),
+        )
+        names = [result.name for result in results]
+        assert "Cls" in names and "SameSrc + Cls" in names
+        by_name = {result.name: result for result in results}
+        assert by_name["Cls"].precision > by_name["Base"].precision
+
+    def test_returns_condition_results(self, small_corpus, small_gold):
+        dataset, _persons = small_corpus
+        results = run_conditions(dataset, small_gold, ng_values=(2.5,))
+        assert all(isinstance(result, ConditionResult) for result in results)
+
+
+class TestRunNgSweep:
+    def test_grid_shape(self, small_corpus, small_gold):
+        dataset, _persons = small_corpus
+        sweep = run_ng_sweep(
+            dataset, small_gold, ng_values=(2.0, 4.0), max_minsups=(4, 5),
+        )
+        assert set(sweep) == {(4, 2.0), (4, 4.0), (5, 2.0), (5, 4.0)}
+
+    def test_recall_monotone_shape(self, small_corpus, small_gold):
+        dataset, _persons = small_corpus
+        sweep = run_ng_sweep(
+            dataset, small_gold, ng_values=(1.5, 4.5), max_minsups=(5,),
+            sn_mode="skip",
+        )
+        assert sweep[(5, 4.5)].recall >= sweep[(5, 1.5)].recall
+
+
+class TestCompareBlockers:
+    def test_results_keyed_by_name(self, small_corpus, small_gold):
+        dataset, _persons = small_corpus
+        results = compare_blockers(
+            dataset, small_gold,
+            [MFIBlocks(MFIBlocksConfig(max_minsup=4, ng=3.0)),
+             StandardBlocking(), SuffixArraysBlocking()],
+        )
+        assert set(results) == {"MFIBlocks", "StBl", "SuAr"}
+        assert results["StBl"].recall >= results["MFIBlocks"].recall
+        assert results["MFIBlocks"].precision >= results["StBl"].precision

@@ -1,0 +1,236 @@
+"""Tests for the 48 pairwise similarity features."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geo import GeoPoint
+from repro.records.schema import Gender, Place, PlaceType
+from repro.similarity.features import (
+    FEATURE_NAMES,
+    FEATURES,
+    FeatureKind,
+    extract_features,
+    feature_spec,
+    soundex,
+)
+from tests.conftest import make_record
+
+
+class TestRegistry:
+    def test_exactly_48_features(self):
+        assert len(FEATURES) == 48
+        assert len(FEATURE_NAMES) == 48
+
+    def test_names_unique(self):
+        assert len(set(FEATURE_NAMES)) == 48
+
+    def test_paper_tree_features_exist(self):
+        """Every feature named in Tables 7-8 must be in the registry."""
+        for name in ("sameFFN", "MFNdist", "FFNdist", "sameFN", "FNdist",
+                     "B3dist", "LNdist", "MNdist", "SNdist", "DPGeoDist"):
+            assert name in FEATURE_NAMES, name
+
+    def test_feature_spec_lookup(self):
+        spec = feature_spec("sameFN")
+        assert spec.kind is FeatureKind.CATEGORICAL
+        with pytest.raises(ValueError):
+            feature_spec("nope")
+
+    def test_family_counts(self):
+        categorical = [f for f in FEATURES if f.kind is FeatureKind.CATEGORICAL]
+        numeric = [f for f in FEATURES if f.kind is FeatureKind.NUMERIC]
+        assert len(categorical) + len(numeric) == 48
+        # 7 sameXName + 16 samePlace + 3 provenance + 2 soundex = 28
+        assert len(categorical) == 28
+        assert len(numeric) == 20
+
+
+class TestSameName:
+    def test_yes_when_identical(self):
+        a = make_record(book_id=1)
+        b = make_record(book_id=2)
+        assert extract_features(a, b)["sameFN"] == "yes"
+
+    def test_partial_for_subset(self):
+        """The paper's example: {John, Harris} vs {John} -> partial."""
+        a = make_record(book_id=1, first=("John", "Harris"))
+        b = make_record(book_id=2, first=("John",))
+        assert extract_features(a, b)["sameFN"] == "partial"
+
+    def test_no_when_disjoint(self):
+        a = make_record(book_id=1, first=("Guido",))
+        b = make_record(book_id=2, first=("Massimo",))
+        assert extract_features(a, b)["sameFN"] == "no"
+
+    def test_missing_when_either_empty(self):
+        a = make_record(book_id=1, father=())
+        b = make_record(book_id=2, father=("Donato",))
+        assert extract_features(a, b)["sameFFN"] is None
+
+
+class TestNameDist:
+    def test_identical_is_one(self):
+        a = make_record(book_id=1)
+        b = make_record(book_id=2)
+        assert extract_features(a, b)["FNdist"] == 1.0
+
+    def test_typo_above_half(self):
+        a = make_record(book_id=1, last=("Rosenberg",))
+        b = make_record(book_id=2, last=("Rozenberg",))
+        assert extract_features(a, b)["LNdist"] > 0.5
+
+    def test_max_over_multiple_names(self):
+        a = make_record(book_id=1, first=("Xyzzy", "Guido"))
+        b = make_record(book_id=2, first=("Guido",))
+        assert extract_features(a, b)["FNdist"] == 1.0
+
+    def test_missing(self):
+        a = make_record(book_id=1, spouse=())
+        b = make_record(book_id=2, spouse=("Helena",))
+        assert extract_features(a, b)["SNdist"] is None
+
+
+class TestBirthDistances:
+    def test_year_distance_raw(self):
+        a = make_record(book_id=1, birth_year=1920)
+        b = make_record(book_id=2, birth_year=1936)
+        assert extract_features(a, b)["B3dist"] == 16.0
+
+    def test_day_month_distances(self):
+        a = make_record(book_id=1, birth_day=2, birth_month=8)
+        b = make_record(book_id=2, birth_day=18, birth_month=11)
+        features = extract_features(a, b)
+        assert features["B1dist"] == 15.0  # cyclic: min(16, 31-16)
+        assert features["B2dist"] == 3.0
+
+    def test_missing_components(self):
+        a = make_record(book_id=1, birth_year=1920)
+        b = make_record(book_id=2)
+        features = extract_features(a, b)
+        assert features["B3dist"] is None
+        assert features["B1dist"] is None
+
+    def test_full_dob_needs_all_parts(self):
+        a = make_record(book_id=1, birth_day=1, birth_month=1, birth_year=1920)
+        b = make_record(book_id=2, birth_year=1920)
+        assert extract_features(a, b)["fullDOBdist"] is None
+        c = make_record(book_id=3, birth_day=1, birth_month=1, birth_year=1920)
+        assert extract_features(a, c)["fullDOBdist"] == 0.0
+
+
+class TestPlaces:
+    torino = Place(city="Torino", county="Torino", region="Piemonte",
+                   country="Italy", coords=GeoPoint(45.0703, 7.6869))
+    moncalieri = Place(city="Moncalieri", county="Torino", region="Piemonte",
+                       country="Italy", coords=GeoPoint(44.9997, 7.6822))
+
+    def test_same_place_parts(self):
+        a = make_record(book_id=1, places={PlaceType.BIRTH: (self.torino,)})
+        b = make_record(book_id=2, places={PlaceType.BIRTH: (self.moncalieri,)})
+        features = extract_features(a, b)
+        assert features["sameBPCity"] == "no"
+        assert features["sameBPCounty"] == "yes"
+        assert features["sameBPRegion"] == "yes"
+        assert features["sameBPCountry"] == "yes"
+
+    def test_geo_distance_paper_example(self):
+        """Turin-Moncalieri birth places -> ~9 km (Section 5.1)."""
+        a = make_record(book_id=1, places={PlaceType.BIRTH: (self.torino,)})
+        b = make_record(book_id=2, places={PlaceType.BIRTH: (self.moncalieri,)})
+        assert extract_features(a, b)["BPGeoDist"] == pytest.approx(8.0, abs=1.5)
+
+    def test_no_cross_type_comparison(self):
+        a = make_record(book_id=1, places={PlaceType.BIRTH: (self.torino,)})
+        b = make_record(book_id=2, places={PlaceType.DEATH: (self.torino,)})
+        features = extract_features(a, b)
+        assert features["sameBPCity"] is None
+        assert features["sameDPCity"] is None
+        assert features["BPGeoDist"] is None
+
+    def test_min_distance_over_multiple_places(self):
+        a = make_record(
+            book_id=1,
+            places={PlaceType.WARTIME: (self.torino, self.moncalieri)},
+        )
+        b = make_record(book_id=2, places={PlaceType.WARTIME: (self.moncalieri,)})
+        assert extract_features(a, b)["WPGeoDist"] == 0.0
+
+    def test_geo_missing_without_coords(self):
+        bare = Place(city="Torino")
+        a = make_record(book_id=1, places={PlaceType.BIRTH: (bare,)})
+        b = make_record(book_id=2, places={PlaceType.BIRTH: (self.torino,)})
+        assert extract_features(a, b)["BPGeoDist"] is None
+
+
+class TestProvenanceAndExtras:
+    def test_same_source(self):
+        a = make_record(book_id=1, source=("list", "L1"))
+        b = make_record(book_id=2, source=("list", "L1"))
+        c = make_record(book_id=3, source=("list", "L2"))
+        assert extract_features(a, b)["sameSource"] == "yes"
+        assert extract_features(a, c)["sameSource"] == "no"
+
+    def test_same_gender(self):
+        a = make_record(book_id=1, gender=Gender.MALE)
+        b = make_record(book_id=2, gender=Gender.FEMALE)
+        assert extract_features(a, b)["sameGender"] == "no"
+        c = make_record(book_id=3, gender=None)
+        assert extract_features(a, c)["sameGender"] is None
+
+    def test_same_profession(self):
+        a = make_record(book_id=1, profession="tailor")
+        b = make_record(book_id=2, profession="tailor")
+        c = make_record(book_id=3, profession="baker")
+        assert extract_features(a, b)["sameProfession"] == "yes"
+        assert extract_features(a, c)["sameProfession"] == "no"
+
+    def test_item_jaccard_bounds(self):
+        a = make_record(book_id=1)
+        b = make_record(book_id=2)
+        assert extract_features(a, b)["itemJaccard"] == 1.0
+
+    def test_n_shared_items(self):
+        a = make_record(book_id=1, birth_year=1920)
+        b = make_record(book_id=2, birth_year=1921)
+        features = extract_features(a, b)
+        assert features["nSharedItems"] == 3.0  # FN, LN, G
+
+
+class TestSoundex:
+    def test_classic_codes(self):
+        assert soundex("Robert") == "R163"
+        assert soundex("Rupert") == "R163"
+        assert soundex("Ashcraft") == "A261"
+        assert soundex("Tymczak") == "T522"
+
+    def test_empty(self):
+        assert soundex("") == ""
+
+    def test_subset_extraction(self):
+        a = make_record(book_id=1)
+        b = make_record(book_id=2)
+        features = extract_features(a, b, names=("sameFN", "LNdist"))
+        assert set(features) == {"sameFN", "LNdist"}
+
+
+class TestGuidoFoaScenario:
+    """Feature behaviour on the paper's Table 1 records."""
+
+    def test_father_records_strongly_similar(self, guido_records):
+        _son, father_a, father_b, _decoy = guido_records
+        features = extract_features(father_a, father_b)
+        assert features["sameFN"] == "yes"
+        assert features["sameLN"] == "no"       # Foa vs Foy
+        assert features["LNdist"] > 0.3          # but the spelling is close
+        assert features["B3dist"] == 0.0
+        assert features["sameFFN"] == "yes"      # Donato
+        assert features["sameMFN"] == "yes"      # Olga
+
+    def test_father_vs_son_differ_on_dates(self, guido_records):
+        son, father_a, _father_b, _decoy = guido_records
+        features = extract_features(son, father_a)
+        assert features["sameFN"] == "yes"
+        assert features["sameLN"] == "yes"
+        assert features["B3dist"] == 16.0        # 1936 vs 1920
+        assert features["sameFFN"] == "no"       # Italo vs Donato

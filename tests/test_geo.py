@@ -1,0 +1,75 @@
+"""Tests for the geographic primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo import GeoPoint, geo_similarity, haversine_km
+
+lats = st.floats(min_value=-90, max_value=90, allow_nan=False)
+lons = st.floats(min_value=-180, max_value=180, allow_nan=False)
+
+TORINO = GeoPoint(45.0703, 7.6869)
+MONCALIERI = GeoPoint(44.9997, 7.6822)
+AUSCHWITZ = GeoPoint(50.0343, 19.2098)
+
+
+class TestGeoPoint:
+    def test_validate_ok(self):
+        assert TORINO.validate() is TORINO
+
+    def test_validate_bad_lat(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0).validate()
+
+    def test_validate_bad_lon(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, -181.0).validate()
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(TORINO, TORINO) == 0.0
+
+    def test_paper_example_torino_moncalieri(self):
+        # Section 5.1: "for two records with birth places of Turin and
+        # Moncalieri, the value would be 9 (KM)".
+        assert haversine_km(TORINO, MONCALIERI) == pytest.approx(8.0, abs=1.5)
+
+    def test_torino_auschwitz_far(self):
+        assert haversine_km(TORINO, AUSCHWITZ) > 900
+
+    @given(lats, lons, lats, lons)
+    def test_symmetric_and_nonnegative(self, lat1, lon1, lat2, lon2):
+        a, b = GeoPoint(lat1, lon1), GeoPoint(lat2, lon2)
+        d = haversine_km(a, b)
+        assert d >= 0.0
+        assert d == pytest.approx(haversine_km(b, a))
+        # Earth's half circumference bounds any great-circle distance.
+        assert d <= 20039.0
+
+
+class TestGeoSimilarity:
+    def test_identical_is_one(self):
+        assert geo_similarity(TORINO, TORINO) == 1.0
+
+    def test_missing_is_none(self):
+        assert geo_similarity(None, TORINO) is None
+        assert geo_similarity(TORINO, None) is None
+
+    def test_far_clamps_to_zero(self):
+        assert geo_similarity(TORINO, AUSCHWITZ) == 0.0
+
+    def test_close_positive(self):
+        value = geo_similarity(TORINO, MONCALIERI)
+        assert 0.9 < value < 1.0
+
+    def test_custom_normalizer(self):
+        loose = geo_similarity(TORINO, AUSCHWITZ, normalizer_km=10_000)
+        assert 0.0 < loose < 1.0
+
+    def test_invalid_normalizer(self):
+        with pytest.raises(ValueError):
+            geo_similarity(TORINO, MONCALIERI, normalizer_km=0)

@@ -1,0 +1,73 @@
+"""Tests for gold-standard management."""
+
+from __future__ import annotations
+
+from repro.datagen.tagging import Tag, TaggedPair
+from repro.evaluation.goldstandard import GoldStandard, TaggedGoldStandard
+from repro.records.dataset import Dataset
+from tests.conftest import make_record
+
+
+class TestGoldStandard:
+    def test_from_dataset(self):
+        dataset = Dataset(
+            [
+                make_record(book_id=1, person_id=1),
+                make_record(book_id=2, person_id=1),
+                make_record(book_id=3, person_id=2),
+            ]
+        )
+        gold = GoldStandard.from_dataset(dataset)
+        assert gold.matches == frozenset({(1, 2)})
+        assert gold.is_match((1, 2))
+        assert not gold.is_match((1, 3))
+        assert len(gold) == 1
+
+    def test_evaluate(self):
+        gold = GoldStandard(frozenset({(1, 2), (3, 4)}))
+        quality = gold.evaluate([(1, 2), (5, 6)])
+        assert quality.true_positives == 1
+
+
+class TestTaggedGoldStandard:
+    def make(self):
+        return TaggedGoldStandard(
+            [
+                TaggedPair((1, 2), Tag.YES),
+                TaggedPair((1, 3), Tag.NO),
+                TaggedPair((2, 3), Tag.MAYBE),
+            ]
+        )
+
+    def test_matches_only_yes(self):
+        gold = self.make()
+        assert gold.matches == frozenset({(1, 2)})
+
+    def test_known(self):
+        gold = self.make()
+        assert gold.known((1, 2))
+        assert gold.known((2, 3))  # tagged, even if undecidable
+        assert not gold.known((7, 8))
+
+    def test_is_match_three_valued(self):
+        gold = self.make()
+        assert gold.is_match((1, 2)) is True
+        assert gold.is_match((1, 3)) is False
+        assert gold.is_match((2, 3)) is None
+        assert gold.is_match((9, 10)) is None
+
+    def test_evaluate_restricts_to_tagged(self):
+        """Untagged candidates are excluded, not counted as FPs."""
+        gold = self.make()
+        quality = gold.evaluate([(1, 2), (7, 8)])
+        assert quality.n_candidates == 1
+        assert quality.precision == 1.0
+
+    def test_evaluate_unrestricted(self):
+        gold = self.make()
+        quality = gold.evaluate([(1, 2), (7, 8)], restrict_to_tagged=False)
+        assert quality.n_candidates == 2
+        assert quality.precision == 0.5
+
+    def test_len(self):
+        assert len(self.make()) == 3

@@ -1,0 +1,76 @@
+"""Tests for multi-granularity (person vs. family) resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.granularity import (
+    GranularityLevel,
+    config_for,
+    family_config,
+    family_gold_standard,
+)
+from repro.core.pipeline import UncertainERPipeline
+from repro.evaluation.goldstandard import GoldStandard
+
+
+class TestFamilyConfig:
+    def test_loosens_ng(self):
+        base = PipelineConfig(ng=3.0)
+        family = family_config(base, ng_factor=2.0)
+        assert family.ng == 6.0
+
+    def test_disables_same_source_and_classifier(self):
+        base = PipelineConfig(
+            ng=3.0, same_source_discard=True, classify=True
+        )
+        family = family_config(base)
+        assert family.same_source_discard is False
+        assert family.classify is False
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            family_config(PipelineConfig(), ng_factor=0.5)
+
+    def test_config_for_levels(self):
+        base = PipelineConfig(ng=3.0)
+        assert config_for(GranularityLevel.PERSON, base) is base
+        assert config_for(GranularityLevel.FAMILY, base).ng > base.ng
+
+
+class TestFamilyGoldStandard:
+    def test_superset_of_person_gold(self, small_corpus):
+        dataset, persons = small_corpus
+        person_gold = GoldStandard.from_dataset(dataset)
+        family_gold = family_gold_standard(dataset, persons)
+        assert person_gold.matches <= family_gold.matches
+
+    def test_siblings_linked(self, small_corpus):
+        dataset, persons = small_corpus
+        by_family = {}
+        for person in persons:
+            by_family.setdefault(person.family_id, []).append(person)
+        multi = next(
+            members for members in by_family.values() if len(members) >= 2
+        )
+        family_gold = family_gold_standard(dataset, persons)
+        records_a = [r.book_id for r in dataset if r.person_id == multi[0].person_id]
+        records_b = [r.book_id for r in dataset if r.person_id == multi[1].person_id]
+        pair = (min(records_a[0], records_b[0]), max(records_a[0], records_b[0]))
+        assert family_gold.is_match(pair)
+
+
+class TestFamilyResolution:
+    def test_family_recall_of_family_pairs_beats_person_config(
+        self, small_corpus
+    ):
+        """The Capelluto effect: loosened settings keep sibling pairs."""
+        dataset, persons = small_corpus
+        family_gold = family_gold_standard(dataset, persons)
+        base = PipelineConfig(ng=2.0, same_source_discard=True)
+        person_result = UncertainERPipeline(base).run(dataset)
+        family_result = UncertainERPipeline(family_config(base)).run(dataset)
+        person_recall = family_gold.evaluate(person_result.pairs).recall
+        family_recall = family_gold.evaluate(family_result.pairs).recall
+        assert family_recall >= person_recall

@@ -1,0 +1,138 @@
+"""Tests for the incremental resolver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.incremental import IncrementalResolver
+from repro.core.pipeline import UncertainERPipeline
+from repro.records.dataset import Dataset
+from repro.records.schema import PlaceType
+from tests.conftest import make_record
+
+
+@pytest.fixture()
+def resolver(small_corpus):
+    dataset, _persons = small_corpus
+    config = PipelineConfig(ng=3.0, expert_weighting=True)
+    return IncrementalResolver(dataset, config)
+
+
+class TestConstruction:
+    def test_initial_resolution_matches_batch(self, small_corpus):
+        dataset, _persons = small_corpus
+        config = PipelineConfig(ng=3.0, expert_weighting=True)
+        batch = UncertainERPipeline(config).run(dataset)
+        incremental = IncrementalResolver(dataset, config)
+        assert incremental.resolution().pairs == batch.pairs
+
+    def test_validation(self, small_corpus):
+        dataset, _persons = small_corpus
+        with pytest.raises(ValueError):
+            IncrementalResolver(dataset, min_shared_items=0)
+        with pytest.raises(ValueError):
+            IncrementalResolver(
+                dataset, PipelineConfig(classify=True), classifier=None
+            )
+
+    def test_len_counts_records(self, resolver, small_corpus):
+        dataset, _persons = small_corpus
+        assert len(resolver) == len(dataset)
+
+
+class TestAddRecord:
+    def test_duplicate_book_id_rejected(self, resolver, small_corpus):
+        dataset, _persons = small_corpus
+        existing = next(iter(dataset))
+        with pytest.raises(ValueError):
+            resolver.add_record(existing)
+
+    def test_near_duplicate_gets_linked(self, resolver, small_corpus):
+        dataset, _persons = small_corpus
+        template = max(
+            dataset, key=lambda r: len(r.pattern())
+        )
+        newcomer = make_record(
+            book_id=9_999_999,
+            source=("testimony", "fresh-sub"),
+            first=template.first,
+            last=template.last,
+            gender=template.gender,
+            birth_year=template.birth_year,
+            father=template.father,
+            mother=template.mother,
+            places=dict(template.places),
+            person_id=template.person_id,
+        )
+        produced = resolver.add_record(newcomer)
+        pairs = {evidence.pair for evidence in produced}
+        expected = (
+            min(template.book_id, 9_999_999),
+            max(template.book_id, 9_999_999),
+        )
+        assert expected in pairs
+        # and the live resolution sees it immediately
+        assert expected in resolver.resolution()
+
+    def test_unrelated_record_produces_little(self, resolver):
+        loner = make_record(
+            book_id=9_999_998,
+            source=("list", "nowhere-1"),
+            first=("Zzyzx",),
+            last=("Qqqq",),
+            gender=None,
+        )
+        produced = resolver.add_record(loner)
+        assert produced == []
+        assert len(resolver) > 0
+
+    def test_neighborhood_capped(self, small_corpus):
+        dataset, _persons = small_corpus
+        config = PipelineConfig(ng=1.0, max_minsup=3, expert_weighting=True)
+        resolver = IncrementalResolver(dataset, config)
+        template = next(iter(dataset))
+        newcomer = make_record(
+            book_id=9_999_997,
+            source=("testimony", "cap-sub"),
+            first=template.first,
+            last=template.last,
+            gender=template.gender,
+        )
+        produced = resolver.add_record(newcomer)
+        assert len(produced) <= int(config.ng * config.max_minsup)
+
+    def test_same_source_discard_respected(self, small_corpus):
+        dataset, _persons = small_corpus
+        config = PipelineConfig(
+            ng=3.0, expert_weighting=True, same_source_discard=True
+        )
+        resolver = IncrementalResolver(dataset, config)
+        template = next(iter(dataset))
+        clone = make_record(
+            book_id=9_999_996,
+            source=(template.source.kind.value, template.source.identifier),
+            first=template.first,
+            last=template.last,
+            gender=template.gender,
+        )
+        produced = resolver.add_record(clone)
+        assert all(
+            evidence.pair != (template.book_id, 9_999_996)
+            for evidence in produced
+        )
+
+    def test_stream_of_records_improves_recall(self, small_corpus, small_gold):
+        """Splitting the corpus and streaming the rest back in recovers
+        pairs the initial batch could not know about."""
+        dataset, _persons = small_corpus
+        ids = sorted(dataset.record_ids)
+        head = dataset.subset(ids[: len(ids) // 2])
+        tail = [dataset[rid] for rid in ids[len(ids) // 2:]]
+        config = PipelineConfig(ng=3.0, expert_weighting=True)
+        resolver = IncrementalResolver(head, config)
+        before = small_gold.evaluate(resolver.resolution().pairs).recall
+        for record in tail:
+            resolver.add_record(record)
+        after = small_gold.evaluate(resolver.resolution().pairs).recall
+        assert after > before

@@ -1,0 +1,92 @@
+"""Tests for the CSV ingestion/export layer."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.records.io import CSV_COLUMNS, read_csv, write_csv
+
+
+class TestRoundtrip:
+    def test_full_corpus_roundtrip(self, small_corpus, tmp_path):
+        dataset, _persons = small_corpus
+        path = tmp_path / "corpus.csv"
+        write_csv(dataset, path)
+        loaded = read_csv(path)
+        assert len(loaded) == len(dataset)
+        for record in dataset:
+            assert loaded[record.book_id] == record
+
+    def test_gold_standard_survives(self, small_corpus, tmp_path):
+        dataset, _persons = small_corpus
+        path = tmp_path / "gold.csv"
+        write_csv(dataset, path)
+        assert read_csv(path).true_pairs() == dataset.true_pairs()
+
+    def test_guido_records_roundtrip(self, guido_records, tmp_path):
+        from repro.records.dataset import Dataset
+
+        dataset = Dataset(guido_records)
+        path = tmp_path / "foa.csv"
+        write_csv(dataset, path)
+        loaded = read_csv(path)
+        for record in guido_records:
+            assert loaded[record.book_id] == record
+
+    def test_dataset_name_from_filename(self, small_corpus, tmp_path):
+        dataset, _persons = small_corpus
+        path = tmp_path / "my-extract.csv"
+        write_csv(dataset, path)
+        assert read_csv(path).name == "my-extract"
+
+
+class TestLayout:
+    def test_header_is_canonical(self, small_corpus, tmp_path):
+        dataset, _persons = small_corpus
+        path = tmp_path / "c.csv"
+        write_csv(dataset, path)
+        with open(path) as handle:
+            header = next(csv.reader(handle))
+        assert tuple(header) == CSV_COLUMNS
+
+    def test_multivalued_names_joined(self, tmp_path):
+        from repro.records.dataset import Dataset
+        from tests.conftest import make_record
+
+        dataset = Dataset([make_record(book_id=1, first=("John", "Harris"))])
+        path = tmp_path / "m.csv"
+        write_csv(dataset, path)
+        with open(path) as handle:
+            row = list(csv.DictReader(handle))[0]
+        assert row["first"] == "John|Harris"
+        loaded = read_csv(path)
+        assert loaded[1].first == ("John", "Harris")
+
+
+class TestErrors:
+    def test_missing_required_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(ValueError, match="missing required"):
+            read_csv(path)
+
+    def test_bad_row_reports_line(self, tmp_path):
+        path = tmp_path / "bad_row.csv"
+        path.write_text(
+            "book_id,source_kind,source_id\n"
+            "1,list,L1\n"
+            "not-an-int,list,L2\n"
+        )
+        with pytest.raises(ValueError, match=":3"):
+            read_csv(path)
+
+    def test_bad_gender_rejected(self, tmp_path):
+        path = tmp_path / "bad_gender.csv"
+        path.write_text(
+            "book_id,source_kind,source_id,gender\n"
+            "1,list,L1,X\n"
+        )
+        with pytest.raises(ValueError):
+            read_csv(path)

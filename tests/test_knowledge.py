@@ -1,0 +1,129 @@
+"""Tests for entity merging and knowledge-graph construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.resolution import PairEvidence, ResolutionResult
+from repro.graph.knowledge import build_knowledge_graph, merge_entity
+from repro.records.dataset import Dataset
+from repro.records.schema import Gender, PlaceType
+from tests.conftest import make_record
+
+
+class TestMergeEntity:
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            merge_entity(0, [])
+
+    def test_merges_guido_foa(self, guido_records):
+        _son, father_a, father_b, _decoy = guido_records
+        profile = merge_entity(1, [father_a, father_b])
+        assert profile.display_name() == "Guido Foa"  # majority spelling
+        assert profile.birth_year == 1920
+        assert profile.gender is Gender.MALE
+        # both spellings retained
+        assert set(profile.names["last"]) == {"Foa", "Foy"}
+        assert profile.primary("father") == "Donato"
+        assert profile.n_reports == 2
+
+    def test_majority_place(self, guido_records):
+        _son, father_a, father_b, _decoy = guido_records
+        profile = merge_entity(1, [father_a, father_b])
+        assert profile.primary_place(PlaceType.BIRTH) in ("Torino", "Turin")
+        assert profile.primary_place(PlaceType.DEATH) == "Auschwitz"
+
+    def test_sources_collected(self, guido_records):
+        _son, father_a, father_b, _decoy = guido_records
+        profile = merge_entity(1, [father_a, father_b])
+        assert len(profile.sources) == 2
+
+    def test_singleton(self, guido_records):
+        son = guido_records[0]
+        profile = merge_entity(0, [son])
+        assert profile.n_reports == 1
+        assert profile.birth_year == 1936
+
+
+class TestKnowledgeGraph:
+    @pytest.fixture()
+    def resolution(self, guido_records):
+        dataset = Dataset(guido_records)
+        evidence = [
+            PairEvidence((1028769, 1059654), similarity=0.8, confidence=1.5),
+        ]
+        return dataset, ResolutionResult(evidence, n_records=len(dataset))
+
+    def test_entities_and_places_present(self, resolution):
+        dataset, result = resolution
+        graph = build_knowledge_graph(dataset, result, certainty=0.0)
+        entity_nodes = [n for n in graph.nodes if n[0] == "entity"]
+        place_nodes = [n for n in graph.nodes if n[0] == "place"]
+        # father (merged), son, decoy as singletons
+        assert len(entity_nodes) == 3
+        assert ("place", "Auschwitz") in graph.nodes
+        assert place_nodes
+
+    def test_place_edges_typed(self, resolution):
+        dataset, result = resolution
+        graph = build_knowledge_graph(dataset, result)
+        relations = {
+            data["relation"]
+            for _u, _v, data in graph.edges(data=True)
+        }
+        assert "born_in" in relations
+        assert "died_in" in relations
+
+    def test_family_edge_between_father_and_son(self, resolution):
+        """Guido the son and Guido the father share last name + nothing
+        else parental; the merged father and son share the Foa surname
+        but different parents — no family edge. But a shared mother or
+        father name triggers one."""
+        dataset, result = resolution
+        graph = build_knowledge_graph(dataset, result)
+        family_edges = [
+            (u, v)
+            for u, v, data in graph.edges(data=True)
+            if data["relation"] == "possible_family"
+        ]
+        # son (Italo/Estela) vs father (Donato/Olga): no shared parent
+        assert family_edges == []
+
+    def test_certainty_changes_graph(self, resolution):
+        dataset, result = resolution
+        loose = build_knowledge_graph(dataset, result, certainty=0.0)
+        tight = build_knowledge_graph(dataset, result, certainty=2.0)
+        loose_entities = [n for n in loose.nodes if n[0] == "entity"]
+        tight_entities = [n for n in tight.nodes if n[0] == "entity"]
+        # at high certainty the father's two records split into two entities
+        assert len(tight_entities) == len(loose_entities) + 1
+
+
+class TestFamilyEdges:
+    def test_shared_parent_creates_edge(self):
+        """Two sibling entities (same surname + same father) link."""
+        records = [
+            make_record(book_id=1, first=("Elsa",), last=("Capelluto",),
+                        father=("Nissim",), mother=("Zimbul",)),
+            make_record(book_id=2, first=("Giulia",), last=("Capelluto",),
+                        father=("Nissim",), mother=("Zimbul",)),
+        ]
+        dataset = Dataset(records)
+        resolution = ResolutionResult([])  # no same-person evidence
+        graph = build_knowledge_graph(dataset, resolution)
+        family_edges = [
+            (u, v) for u, v, data in graph.edges(data=True)
+            if data["relation"] == "possible_family"
+        ]
+        assert len(family_edges) == 1
+
+    def test_same_surname_without_parents_no_edge(self):
+        records = [
+            make_record(book_id=1, first=("Elsa",), last=("Capelluto",)),
+            make_record(book_id=2, first=("Giulia",), last=("Capelluto",)),
+        ]
+        graph = build_knowledge_graph(Dataset(records), ResolutionResult([]))
+        assert not any(
+            data["relation"] == "possible_family"
+            for _u, _v, data in graph.edges(data=True)
+        )

@@ -1,0 +1,99 @@
+"""Tests for pair-quality metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    f1_score,
+    pair_quality,
+    reduction_ratio,
+)
+
+
+class TestPairQuality:
+    def test_perfect(self):
+        gold = frozenset({(1, 2), (3, 4)})
+        quality = pair_quality([(1, 2), (3, 4)], gold)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0
+
+    def test_half_and_half(self):
+        gold = frozenset({(1, 2), (3, 4)})
+        quality = pair_quality([(1, 2), (5, 6)], gold)
+        assert quality.precision == 0.5
+        assert quality.recall == 0.5
+
+    def test_empty_candidates(self):
+        quality = pair_quality([], frozenset({(1, 2)}))
+        assert quality.precision == 0.0
+        assert quality.recall == 0.0
+        assert quality.f1 == 0.0
+
+    def test_empty_gold(self):
+        quality = pair_quality([(1, 2)], frozenset())
+        assert quality.recall == 0.0
+
+    def test_duplicates_collapse(self):
+        gold = frozenset({(1, 2)})
+        quality = pair_quality([(1, 2), (1, 2)], gold)
+        assert quality.n_candidates == 1
+
+    def test_rejects_uncanonical(self):
+        with pytest.raises(ValueError):
+            pair_quality([(2, 1)], frozenset())
+
+    @given(
+        st.sets(
+            st.tuples(st.integers(0, 20), st.integers(21, 40)), max_size=30
+        ),
+        st.sets(
+            st.tuples(st.integers(0, 20), st.integers(21, 40)), max_size=30
+        ),
+    )
+    def test_bounds(self, candidates, gold):
+        quality = pair_quality(candidates, frozenset(gold))
+        assert 0.0 <= quality.precision <= 1.0
+        assert 0.0 <= quality.recall <= 1.0
+        assert 0.0 <= quality.f1 <= 1.0
+
+
+class TestF1:
+    def test_zero_case(self):
+        assert f1_score(0.0, 0.0) == 0.0
+
+    def test_harmonic_mean(self):
+        assert f1_score(0.5, 0.5) == 0.5
+        assert f1_score(1.0, 0.5) == pytest.approx(2 / 3)
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    def test_bounded_by_min_max(self, p, r):
+        value = f1_score(p, r)
+        assert value <= max(p, r) + 1e-12
+        if p > 0 and r > 0:
+            assert value >= min(p, r) * 0.99 or value <= max(p, r)
+
+
+class TestReductionRatio:
+    def test_no_blocking(self):
+        # comparing all pairs of 10 records = 45 comparisons
+        assert reduction_ratio(45, 10) == 0.0
+
+    def test_full_reduction(self):
+        assert reduction_ratio(0, 10) == 1.0
+
+    def test_paper_range(self):
+        """Blocking reduces comparisons by 87-97% (Section 3.1)."""
+        n_records = 1000
+        total = n_records * (n_records - 1) // 2
+        assert reduction_ratio(int(total * 0.05), n_records) == pytest.approx(0.95)
+
+    def test_tiny_dataset(self):
+        assert reduction_ratio(0, 1) == 1.0
+
+    def test_too_many_candidates(self):
+        with pytest.raises(ValueError):
+            reduction_ratio(100, 5)

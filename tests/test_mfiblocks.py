@@ -1,0 +1,169 @@
+"""Tests for the MFIBlocks algorithm (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking import MFIBlocks, MFIBlocksConfig
+from repro.blocking.scoring import BlockScorer, ScoringMethod
+from repro.records.dataset import Dataset
+from tests.conftest import make_record
+
+
+def duplicate_heavy_dataset():
+    """Five exact-duplicate pairs plus five singletons, distinct names."""
+    records = []
+    book_id = 1
+    names = [("Guido", "Foa"), ("Massimo", "Levi"), ("Donato", "Segre"),
+             ("Alberto", "Treves"), ("Bruna", "Artom")]
+    for person_id, (first, last) in enumerate(names, start=1):
+        for _ in range(2):
+            records.append(
+                make_record(
+                    book_id=book_id,
+                    first=(first,),
+                    last=(last,),
+                    birth_year=1900 + person_id,
+                    person_id=person_id,
+                )
+            )
+            book_id += 1
+    singles = [("Elio", "Bachi"), ("Carla", "Diena"), ("Sergio", "Finzi"),
+               ("Noemi", "Jona"), ("Aldo", "Pavia")]
+    for person_id, (first, last) in enumerate(singles, start=100):
+        records.append(
+            make_record(
+                book_id=book_id,
+                first=(first,),
+                last=(last,),
+                birth_year=1880 + person_id % 20,
+                person_id=person_id,
+            )
+        )
+        book_id += 1
+    return Dataset(records)
+
+
+class TestConfigValidation:
+    def test_max_minsup_floor(self):
+        with pytest.raises(ValueError):
+            MFIBlocksConfig(max_minsup=1)
+
+    def test_ng_positive(self):
+        with pytest.raises(ValueError):
+            MFIBlocksConfig(ng=0)
+
+    def test_min_block_size(self):
+        with pytest.raises(ValueError):
+            MFIBlocksConfig(min_block_size=1)
+
+    def test_defaults(self):
+        config = MFIBlocksConfig()
+        assert config.max_minsup == 5
+        assert config.ng == 3.0
+        assert config.sn_mode == "skip"
+
+
+class TestAlgorithm:
+    def test_finds_exact_duplicates(self):
+        dataset = duplicate_heavy_dataset()
+        result = MFIBlocks(MFIBlocksConfig(max_minsup=3, ng=3.0)).run(dataset)
+        gold = dataset.true_pairs()
+        found = result.candidate_pairs & gold
+        assert len(found) == len(gold)  # every duplicate pair recovered
+
+    def test_blocks_respect_size_cap(self):
+        dataset = duplicate_heavy_dataset()
+        config = MFIBlocksConfig(max_minsup=4, ng=2.0)
+        result = MFIBlocks(config).run(dataset)
+        for block in result.blocks:
+            assert len(block) <= int(config.max_minsup * config.ng)
+
+    def test_blocks_have_keys_and_scores(self):
+        dataset = duplicate_heavy_dataset()
+        result = MFIBlocks(MFIBlocksConfig(max_minsup=3)).run(dataset)
+        assert result.blocks
+        for block in result.blocks:
+            assert block.key  # MFIBlocks blocks carry their MFI
+            assert block.score > 0.0
+
+    def test_pair_scores_in_unit_interval(self):
+        dataset = duplicate_heavy_dataset()
+        result = MFIBlocks(MFIBlocksConfig(max_minsup=3)).run(dataset)
+        for score in result.pair_scores.values():
+            assert 0.0 < score <= 1.0
+
+    def test_exact_duplicates_score_one(self):
+        dataset = duplicate_heavy_dataset()
+        result = MFIBlocks(MFIBlocksConfig(max_minsup=3)).run(dataset)
+        gold = dataset.true_pairs()
+        for pair in gold:
+            assert result.pair_scores[pair] == pytest.approx(1.0)
+
+    def test_empty_dataset(self):
+        result = MFIBlocks().run(Dataset([]))
+        assert result.blocks == []
+        assert result.candidate_pairs == frozenset()
+
+    def test_no_shared_items_no_blocks(self):
+        records = [
+            make_record(book_id=1, first=("Aaa",), last=("Bbb",), gender=None),
+            make_record(book_id=2, first=("Ccc",), last=("Ddd",), gender=None),
+        ]
+        result = MFIBlocks(MFIBlocksConfig(max_minsup=2)).run(Dataset(records))
+        assert result.candidate_pairs == frozenset()
+
+    def test_deterministic(self):
+        dataset = duplicate_heavy_dataset()
+        result_a = MFIBlocks(MFIBlocksConfig()).run(dataset)
+        result_b = MFIBlocks(MFIBlocksConfig()).run(dataset)
+        assert result_a.pair_scores == result_b.pair_scores
+
+    def test_prune_fraction_runs(self):
+        dataset = duplicate_heavy_dataset()
+        result = MFIBlocks(
+            MFIBlocksConfig(prune_fraction=0.01)
+        ).run(dataset)
+        # gender (the most frequent item) was pruned from every bag, so
+        # no block should be keyed solely by it.
+        for block in result.blocks:
+            assert {str(i).split()[0] for i in block.key} != {"G"}
+
+
+class TestNGEffect:
+    def test_larger_ng_more_candidates(self, small_corpus):
+        dataset, _persons = small_corpus
+        tight = MFIBlocks(MFIBlocksConfig(ng=1.5)).run(dataset)
+        loose = MFIBlocks(MFIBlocksConfig(ng=4.0)).run(dataset)
+        assert loose.comparisons() >= tight.comparisons()
+
+    def test_recall_grows_with_ng(self, small_corpus, small_gold):
+        dataset, _persons = small_corpus
+        tight = MFIBlocks(MFIBlocksConfig(ng=1.5)).run(dataset)
+        loose = MFIBlocks(MFIBlocksConfig(ng=4.5)).run(dataset)
+        recall_tight = small_gold.evaluate(tight.candidate_pairs).recall
+        recall_loose = small_gold.evaluate(loose.candidate_pairs).recall
+        assert recall_loose >= recall_tight
+
+    def test_neighborhoods_bounded(self, small_corpus):
+        """SN property: neighborhood sizes stay within the NG cap."""
+        dataset, _persons = small_corpus
+        config = MFIBlocksConfig(max_minsup=5, ng=2.0)
+        result = MFIBlocks(config).run(dataset)
+        cap = int(config.ng * config.max_minsup)
+        for size in result.neighborhoods().values():
+            assert size <= cap
+
+
+class TestScoringVariants:
+    def test_expert_scoring_changes_pair_scores(self):
+        dataset = duplicate_heavy_dataset()
+        uniform = MFIBlocks(MFIBlocksConfig(max_minsup=3)).run(dataset)
+        expert = MFIBlocks(
+            MFIBlocksConfig(
+                max_minsup=3,
+                scoring=BlockScorer(method=ScoringMethod.EXPERT),
+            )
+        ).run(dataset)
+        assert uniform.candidate_pairs  # sanity
+        assert expert.candidate_pairs

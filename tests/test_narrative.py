@@ -1,0 +1,83 @@
+"""Tests for narrative generation."""
+
+from __future__ import annotations
+
+from repro.core.resolution import PairEvidence, ResolutionResult
+from repro.graph.knowledge import merge_entity
+from repro.graph.narrative import narrative_for, ranked_narratives
+from repro.records.dataset import Dataset
+
+
+class TestNarrativeFor:
+    def test_full_story(self, guido_records):
+        _son, father_a, father_b, _decoy = guido_records
+        profile = merge_entity(1, [father_a, father_b])
+        text = narrative_for(profile)
+        assert text.startswith("Guido Foa")
+        assert "was born" in text
+        assert "1920" in text
+        assert "Donato" in text and "Olga" in text
+        assert "perished in Auschwitz" in text
+        assert "2 reports" in text
+
+    def test_sparse_record_still_renders(self, guido_records):
+        decoy = guido_records[3]
+        profile = merge_entity(0, [decoy])
+        text = narrative_for(profile)
+        assert text.startswith("Avraham Kesler")
+        assert "1 report" in text
+
+    def test_spouse_mentioned(self, guido_records):
+        _son, father_a, _father_b, _decoy = guido_records
+        profile = merge_entity(0, [father_a])
+        assert "Helena" in narrative_for(profile)
+
+
+class TestRankedNarratives:
+    def make_resolution(self, guido_records):
+        dataset = Dataset(guido_records)
+        evidence = [
+            PairEvidence((1028769, 1059654), similarity=0.8, confidence=1.5),
+            PairEvidence((1016196, 1059654), similarity=0.3, confidence=-0.5),
+        ]
+        return dataset, ResolutionResult(evidence)
+
+    def test_returns_sorted_by_confidence(self, guido_records):
+        dataset, resolution = self.make_resolution(guido_records)
+        narratives = ranked_narratives(
+            dataset, resolution, certainty_levels=(1.0, 0.0, -1.0)
+        )
+        confidences = [narrative.confidence for narrative in narratives]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_alternative_clusterings_both_present(self, guido_records):
+        """Uncertain ER: the two-record father entity appears at high
+        certainty; the merged three-record alternative at low."""
+        dataset, resolution = self.make_resolution(guido_records)
+        narratives = ranked_narratives(
+            dataset, resolution, certainty_levels=(1.0, -1.0)
+        )
+        sizes = {narrative.entity.n_reports for narrative in narratives}
+        assert 2 in sizes  # father's pair
+        assert 3 in sizes  # father + son alternative
+
+    def test_min_reports_filter(self, guido_records):
+        dataset, resolution = self.make_resolution(guido_records)
+        narratives = ranked_narratives(
+            dataset, resolution, certainty_levels=(0.0,), min_reports=3
+        )
+        assert all(n.entity.n_reports >= 3 for n in narratives)
+
+    def test_min_reports_validation(self, guido_records):
+        dataset, resolution = self.make_resolution(guido_records)
+        import pytest
+        with pytest.raises(ValueError):
+            ranked_narratives(dataset, resolution, min_reports=0)
+
+    def test_dedupes_stable_clusters(self, guido_records):
+        dataset, resolution = self.make_resolution(guido_records)
+        narratives = ranked_narratives(
+            dataset, resolution, certainty_levels=(1.2, 1.1, 1.0)
+        )
+        keys = [narrative.entity.record_ids for narrative in narratives]
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,85 @@
+"""End-to-end test of the paper's running example (Guido Foa, Table 1).
+
+The introduction's challenge: a naive first+last query misses the third
+record ("Guido Foy" of Canischio), while the ER pipeline should link the
+two father records and keep the son distinct.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking import MFIBlocks, MFIBlocksConfig
+from repro.core import PipelineConfig, UncertainERPipeline
+from repro.graph import build_knowledge_graph, narrative_for, merge_entity
+from repro.records.dataset import Dataset
+
+
+@pytest.fixture(scope="module")
+def foa_dataset(guido_records):
+    return Dataset(guido_records, name="foa")
+
+
+class TestNaiveQueryMissesFoy:
+    def test_exact_match_query_finds_two_of_three(self, foa_dataset):
+        hits = [
+            record.book_id
+            for record in foa_dataset
+            if "Guido" in record.first and "Foa" in record.last
+        ]
+        assert sorted(hits) == [1016196, 1059654]  # 1028769 missed
+
+
+class TestBlockingLinksTheFatherRecords:
+    def test_father_pair_found(self, foa_dataset):
+        result = MFIBlocks(MFIBlocksConfig(max_minsup=2, ng=4.0)).run(foa_dataset)
+        assert (1028769, 1059654) in result.candidate_pairs
+
+    def test_decoy_not_paired(self, foa_dataset):
+        result = MFIBlocks(MFIBlocksConfig(max_minsup=2, ng=4.0)).run(foa_dataset)
+        assert not any(1990001 in pair for pair in result.candidate_pairs)
+
+    def test_father_pair_ranks_above_father_son(self, foa_dataset):
+        result = MFIBlocks(MFIBlocksConfig(max_minsup=2, ng=4.0)).run(foa_dataset)
+        father_pair = result.pair_scores.get((1028769, 1059654), 0.0)
+        son_pairs = [
+            score
+            for pair, score in result.pair_scores.items()
+            if 1016196 in pair
+        ]
+        assert father_pair > 0
+        for score in son_pairs:
+            assert father_pair > score
+
+
+class TestEndToEndNarrative:
+    def test_pipeline_to_narrative(self, foa_dataset):
+        pipeline = UncertainERPipeline(
+            PipelineConfig(max_minsup=2, ng=4.0, expert_weighting=True)
+        )
+        resolution = pipeline.run(foa_dataset)
+        # resolve at a certainty that keeps the strong father pair only
+        father_score = resolution[(1028769, 1059654)].ranking_key
+        entities = resolution.entities(
+            certainty=father_score * 0.9, include_singletons=False
+        )
+        father_cluster = next(
+            entity for entity in entities if 1059654 in entity
+        )
+        assert father_cluster == frozenset({1028769, 1059654})
+        profile = merge_entity(0, [foa_dataset[rid] for rid in sorted(father_cluster)])
+        text = narrative_for(profile)
+        assert "Guido" in text
+        assert "1920" in text
+        assert "Auschwitz" in text
+
+    def test_knowledge_graph_shape(self, foa_dataset):
+        pipeline = UncertainERPipeline(
+            PipelineConfig(max_minsup=2, ng=4.0, expert_weighting=True)
+        )
+        resolution = pipeline.run(foa_dataset)
+        graph = build_knowledge_graph(foa_dataset, resolution, certainty=0.0)
+        entities = [n for n in graph.nodes if n[0] == "entity"]
+        # At most: merged father (+ possibly linked son) and decoy.
+        assert 2 <= len(entities) <= 3
+        assert ("place", "Auschwitz") in graph.nodes

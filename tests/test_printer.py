@@ -1,0 +1,58 @@
+"""Tests for the Tables 7-8 style tree printer."""
+
+from __future__ import annotations
+
+from repro.classify.adtree import (
+    ADTreeModel,
+    CategoricalCondition,
+    NumericCondition,
+    PredictionNode,
+    SplitterNode,
+)
+from repro.classify.printer import render_tree
+
+
+def small_tree():
+    root = PredictionNode(-0.289)
+    yes = PredictionNode(-1.314)
+    no = PredictionNode(0.539)
+    root.splitters.append(
+        SplitterNode(1, CategoricalCondition("sameFFN", "no"), yes, no)
+    )
+    yes.splitters.append(
+        SplitterNode(
+            6, NumericCondition("MFNdist", 0.728),
+            PredictionNode(-0.718), PredictionNode(1.528),
+        )
+    )
+    return ADTreeModel(root)
+
+
+class TestRenderTree:
+    def test_root_line(self):
+        assert render_tree(small_tree()).splitlines()[0] == ": -0.289"
+
+    def test_branch_lines_present(self):
+        text = render_tree(small_tree())
+        assert "| (1)sameFFN = no: -1.314" in text
+        assert "| (1)sameFFN != no: 0.539" in text
+
+    def test_nested_indentation(self):
+        text = render_tree(small_tree())
+        assert "| | (6)MFNdist < 0.728: -0.718" in text
+        assert "| | (6)MFNdist >= 0.728: 1.528" in text
+
+    def test_yes_branch_subtree_before_no_branch(self):
+        lines = render_tree(small_tree()).splitlines()
+        yes_index = lines.index("| (1)sameFFN = no: -1.314")
+        nested_index = lines.index("| | (6)MFNdist < 0.728: -0.718")
+        no_index = lines.index("| (1)sameFFN != no: 0.539")
+        assert yes_index < nested_index < no_index
+
+    def test_root_only_tree(self):
+        model = ADTreeModel(PredictionNode(0.125))
+        assert render_tree(model) == ": 0.125"
+
+    def test_custom_indent(self):
+        text = render_tree(small_tree(), indent="— ")
+        assert "— (1)sameFFN = no: -1.314" in text

@@ -1,0 +1,135 @@
+"""Tests for the probabilistic same-as view (Section 3.2 extension)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.probdb import ProbabilisticSameAs, match_probability
+from repro.core.resolution import PairEvidence, ResolutionResult
+
+
+def make_resolution(entries):
+    return ResolutionResult(
+        [PairEvidence(pair, similarity=0.5, confidence=conf)
+         for pair, conf in entries]
+    )
+
+
+class TestMatchProbability:
+    def test_zero_confidence_is_half(self):
+        assert match_probability(0.0) == 0.5
+
+    def test_monotone(self):
+        assert match_probability(2.0) > match_probability(0.5) > match_probability(-1.0)
+
+    def test_extremes(self):
+        assert match_probability(50.0) == pytest.approx(1.0)
+        assert match_probability(-50.0) == pytest.approx(0.0)
+
+    def test_scale_sharpens(self):
+        soft = match_probability(1.0, scale=0.5)
+        sharp = match_probability(1.0, scale=3.0)
+        assert sharp > soft
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            match_probability(1.0, scale=0)
+
+    @given(st.floats(min_value=-30, max_value=30, allow_nan=False))
+    def test_bounded(self, confidence):
+        assert 0.0 <= match_probability(confidence) <= 1.0
+
+
+class TestProbabilisticSameAs:
+    def test_certain_edge(self):
+        db = ProbabilisticSameAs(
+            make_resolution([((1, 2), 50.0)]), n_worlds=100
+        )
+        assert db.same_entity_probability(1, 2) == 1.0
+
+    def test_impossible_edge(self):
+        db = ProbabilisticSameAs(
+            make_resolution([((1, 2), -50.0)]), n_worlds=100
+        )
+        assert db.same_entity_probability(1, 2) == 0.0
+
+    def test_self_probability(self):
+        db = ProbabilisticSameAs(make_resolution([((1, 2), 0.0)]), n_worlds=10)
+        assert db.same_entity_probability(1, 1) == 1.0
+
+    def test_half_probability_edge(self):
+        db = ProbabilisticSameAs(
+            make_resolution([((1, 2), 0.0)]), n_worlds=4000, seed=3
+        )
+        assert db.same_entity_probability(1, 2) == pytest.approx(0.5, abs=0.05)
+
+    def test_transitive_evidence(self):
+        """P(a~c) > 0 even with no direct a-c edge, via b."""
+        db = ProbabilisticSameAs(
+            make_resolution([((1, 2), 3.0), ((2, 3), 3.0)]),
+            n_worlds=2000, seed=5,
+        )
+        p_direct = match_probability(3.0)
+        p_transitive = db.same_entity_probability(1, 3)
+        assert p_transitive == pytest.approx(p_direct ** 2, abs=0.05)
+
+    def test_expected_entities_bounds(self):
+        db = ProbabilisticSameAs(
+            make_resolution([((1, 2), 0.0), ((3, 4), 0.0)]),
+            n_worlds=2000, seed=7,
+        )
+        expected = db.expected_entities()
+        # 4 records; each edge halves a pair of singletons with p=.5:
+        # E[entities] = 2 * (2 - 0.5) = 3
+        assert expected == pytest.approx(3.0, abs=0.1)
+
+    def test_entity_distribution_sums_to_one(self):
+        db = ProbabilisticSameAs(
+            make_resolution([((1, 2), 1.0), ((2, 3), -1.0)]),
+            n_worlds=500, seed=9,
+        )
+        distribution = db.entity_distribution(2)
+        assert sum(p for _, p in distribution) == pytest.approx(1.0)
+        assert all(2 in cluster for cluster, _ in distribution)
+        probabilities = [p for _, p in distribution]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_most_probable_world(self):
+        db = ProbabilisticSameAs(
+            make_resolution([((1, 2), 5.0), ((3, 4), -5.0)]), n_worlds=10
+        )
+        world = db.most_probable_world()
+        assert frozenset({1, 2}) in world
+        assert frozenset({3}) in world
+        assert frozenset({4}) in world
+
+    def test_worlds_memoized_and_deterministic(self):
+        resolution = make_resolution([((1, 2), 0.3)])
+        db_a = ProbabilisticSameAs(resolution, n_worlds=50, seed=11)
+        db_b = ProbabilisticSameAs(resolution, n_worlds=50, seed=11)
+        assert db_a.worlds is db_a.worlds
+        assert db_a.worlds == db_b.worlds
+
+    def test_n_worlds_validation(self):
+        with pytest.raises(ValueError):
+            ProbabilisticSameAs(make_resolution([]), n_worlds=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.tuples(st.integers(0, 5), st.integers(6, 10)),
+                st.floats(min_value=-4, max_value=4, allow_nan=False),
+            ),
+            max_size=8,
+            unique_by=lambda e: e[0],
+        )
+    )
+    def test_probability_axioms(self, entries):
+        db = ProbabilisticSameAs(make_resolution(entries), n_worlds=60, seed=1)
+        for (a, b), _conf in entries:
+            p = db.same_entity_probability(a, b)
+            assert 0.0 <= p <= 1.0
+            assert p == db.same_entity_probability(b, a)

@@ -1,0 +1,63 @@
+"""Tests for most-frequent-item pruning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mining.pruning import prune_frequent_items
+
+
+def bags(*itemsets):
+    return {index: frozenset(items) for index, items in enumerate(itemsets)}
+
+
+class TestPruneFrequentItems:
+    def test_removes_most_frequent(self):
+        item_bags = bags(
+            {"common", "a"}, {"common", "b"}, {"common", "c"}, {"common"}
+        )
+        pruned, removed = prune_frequent_items(item_bags, fraction=0.25)
+        assert removed == {"common"}
+        for items in pruned.values():
+            assert "common" not in items
+
+    def test_zero_fraction_noop(self):
+        item_bags = bags({"a"}, {"a", "b"})
+        pruned, removed = prune_frequent_items(item_bags, fraction=0.0)
+        assert removed == set()
+        assert pruned == item_bags
+
+    def test_does_not_mutate_input(self):
+        item_bags = bags({"a", "b"}, {"a"})
+        before = {rid: set(items) for rid, items in item_bags.items()}
+        prune_frequent_items(item_bags, fraction=0.5)
+        assert {rid: set(items) for rid, items in item_bags.items()} == before
+
+    def test_at_least_one_pruned_for_tiny_fraction(self):
+        item_bags = bags({"a", "b"}, {"a", "c"})
+        _, removed = prune_frequent_items(item_bags, fraction=0.0001)
+        assert len(removed) == 1
+        assert removed == {"a"}
+
+    def test_full_fraction_empties_bags(self):
+        item_bags = bags({"a", "b"}, {"c"})
+        pruned, removed = prune_frequent_items(item_bags, fraction=1.0)
+        assert removed == {"a", "b", "c"}
+        assert all(not items for items in pruned.values())
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            prune_frequent_items(bags({"a"}), fraction=-0.1)
+        with pytest.raises(ValueError):
+            prune_frequent_items(bags({"a"}), fraction=1.5)
+
+    def test_empty_input(self):
+        pruned, removed = prune_frequent_items({}, fraction=0.5)
+        assert pruned == {}
+        assert removed == set()
+
+    def test_deterministic_tie_break(self):
+        item_bags = bags({"x", "y"})
+        _, removed_a = prune_frequent_items(item_bags, fraction=0.5)
+        _, removed_b = prune_frequent_items(item_bags, fraction=0.5)
+        assert removed_a == removed_b

@@ -1,0 +1,67 @@
+"""Tests for the text table/series reporters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.reporting import format_percent, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            ["Condition", "Recall"],
+            [["Base", 0.77], ["SameSrc", 0.691]],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("Condition")
+        assert set(lines[1]) <= {"-", " "}
+        assert "0.770" in lines[2]
+        assert "0.691" in lines[3]
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="Table 9")
+        assert text.splitlines()[0] == "Table 9"
+
+    def test_none_renders_empty(self):
+        text = format_table(["a", "b"], [[1, None]])
+        assert text.splitlines()[-1].strip() == "1"
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_float_format(self):
+        text = format_table(["x"], [[0.123456]], float_format=".1f")
+        assert "0.1" in text
+        assert "0.123" not in text
+
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["long-name-here", 1], ["s", 2]])
+        lines = text.splitlines()
+        assert lines[2].index("1") == lines[3].index("2")
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        text = format_series(
+            "NG",
+            [1.5, 2.0],
+            [("Recall 5", [0.5, 0.6]), ("Precision 5", [0.3, 0.2])],
+        )
+        lines = text.splitlines()
+        assert "NG" in lines[0]
+        assert "Recall 5" in lines[0]
+        assert "0.500" in lines[2]
+
+    def test_short_series_padded(self):
+        text = format_series("x", [1, 2], [("s", [9])])
+        assert text  # second row renders with an empty cell
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.942) == "94.2%"
+
+    def test_decimals(self):
+        assert format_percent(0.5, decimals=0) == "50%"

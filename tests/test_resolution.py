@@ -1,0 +1,140 @@
+"""Tests for ranked resolution and certainty queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.resolution import (
+    PairEvidence,
+    ResolutionResult,
+    connected_components,
+)
+from repro.evaluation.goldstandard import GoldStandard
+
+
+def evidence_set():
+    return [
+        PairEvidence((1, 2), similarity=0.9, confidence=2.0),
+        PairEvidence((2, 3), similarity=0.6, confidence=0.5),
+        PairEvidence((4, 5), similarity=0.8, confidence=-1.0),
+        PairEvidence((6, 7), similarity=0.4),
+    ]
+
+
+class TestConnectedComponents:
+    def test_chain_merges(self):
+        components = connected_components([(1, 2), (2, 3)])
+        assert components == [frozenset({1, 2, 3})]
+
+    def test_separate_components(self):
+        components = connected_components([(1, 2), (4, 5)])
+        assert frozenset({1, 2}) in components
+        assert frozenset({4, 5}) in components
+
+    def test_seeds_add_singletons(self):
+        components = connected_components([(1, 2)], seeds=[1, 2, 9])
+        assert frozenset({9}) in components
+
+    def test_empty(self):
+        assert connected_components([]) == []
+
+    def test_large_chain(self):
+        pairs = [(i, i + 1) for i in range(1, 100)]
+        components = connected_components(pairs)
+        assert len(components) == 1
+        assert len(components[0]) == 100
+
+
+class TestResolutionResult:
+    def test_rejects_uncanonical(self):
+        with pytest.raises(ValueError):
+            ResolutionResult([PairEvidence((2, 1), 0.5)])
+
+    def test_container_protocol(self):
+        result = ResolutionResult(evidence_set())
+        assert len(result) == 4
+        assert (1, 2) in result
+        assert result[(1, 2)].similarity == 0.9
+
+    def test_ranking_key_prefers_confidence(self):
+        with_confidence = PairEvidence((1, 2), 0.2, confidence=3.0)
+        without = PairEvidence((3, 4), 0.9)
+        assert with_confidence.ranking_key == 3.0
+        assert without.ranking_key == 0.9
+
+    def test_ranked_descending(self):
+        result = ResolutionResult(evidence_set())
+        keys = [evidence.ranking_key for evidence in result.ranked()]
+        assert keys == sorted(keys, reverse=True)
+
+    def test_top_k(self):
+        result = ResolutionResult(evidence_set())
+        top = result.top(2)
+        assert len(top) == 2
+        assert top[0].pair == (1, 2)
+        with pytest.raises(ValueError):
+            result.top(-1)
+
+    def test_resolve_threshold(self):
+        result = ResolutionResult(evidence_set())
+        crisp = result.resolve(certainty=0.45)
+        assert (1, 2) in crisp
+        assert (2, 3) in crisp
+        assert (4, 5) not in crisp  # confidence -1 ranks below threshold
+
+    def test_resolve_monotone_in_certainty(self):
+        result = ResolutionResult(evidence_set())
+        sizes = [
+            len(result.resolve(certainty=threshold))
+            for threshold in (-2.0, 0.0, 0.5, 1.0, 3.0)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_entities_at_levels(self):
+        result = ResolutionResult(evidence_set())
+        loose = result.entities(certainty=-5.0)
+        assert frozenset({1, 2, 3}) in loose
+        tight = result.entities(certainty=1.0)
+        assert frozenset({1, 2}) in tight
+        assert not any(3 in entity for entity in tight)
+
+    def test_entities_with_singletons(self):
+        result = ResolutionResult(evidence_set())
+        entities = result.entities(certainty=10.0, include_singletons=True)
+        # every referenced record appears as its own singleton
+        members = set().union(*entities)
+        assert members == {1, 2, 3, 4, 5, 6, 7}
+
+    def test_evaluate_and_sweep(self):
+        result = ResolutionResult(evidence_set())
+        gold = GoldStandard(frozenset({(1, 2), (4, 5)}))
+        quality = result.evaluate(gold, certainty=0.0)
+        assert quality.true_positives == 1  # (1,2); (4,5) filtered by confidence
+        sweep = result.sweep(gold, [0.0, 1.0])
+        assert len(sweep) == 2
+        recalls = [q.recall for _, q in sweep]
+        assert recalls == sorted(recalls, reverse=True)
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, tmp_path):
+        result = ResolutionResult(evidence_set(), n_records=9)
+        path = tmp_path / "resolution.json"
+        result.to_json(path)
+        loaded = ResolutionResult.from_json(path)
+        assert loaded.n_records == 9
+        assert loaded.pairs == result.pairs
+        for evidence in result:
+            restored = loaded[evidence.pair]
+            assert restored.similarity == evidence.similarity
+            assert restored.confidence == evidence.confidence
+            assert restored.same_source == evidence.same_source
+
+    def test_roundtrip_preserves_ranking(self, tmp_path):
+        result = ResolutionResult(evidence_set())
+        path = tmp_path / "r.json"
+        result.to_json(path)
+        loaded = ResolutionResult.from_json(path)
+        assert [e.pair for e in loaded.ranked()] == [
+            e.pair for e in result.ranked()
+        ]

@@ -1,0 +1,139 @@
+"""Tests for block scoring and the sparse-neighborhood filter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking.scoring import (
+    DEFAULT_EXPERT_WEIGHTS,
+    BlockScorer,
+    ScoringMethod,
+    SparseNeighborhoodFilter,
+    neighborhood_cap,
+)
+from repro.records.itembag import Item, ItemType
+
+
+def bag(*pairs):
+    return frozenset(Item(t, v) for t, v in pairs)
+
+
+BAGS = {
+    1: bag((ItemType.FIRST_NAME, "Guido"), (ItemType.LAST_NAME, "Foa"),
+           (ItemType.GENDER, "M")),
+    2: bag((ItemType.FIRST_NAME, "Guido"), (ItemType.LAST_NAME, "Foa"),
+           (ItemType.GENDER, "M")),
+    3: bag((ItemType.FIRST_NAME, "Guido"), (ItemType.LAST_NAME, "Foy"),
+           (ItemType.GENDER, "M")),
+    4: bag((ItemType.FIRST_NAME, "Massimo"), (ItemType.LAST_NAME, "Levi")),
+}
+
+
+class TestBlockScorer:
+    def test_uniform_identical_records(self):
+        scorer = BlockScorer()
+        assert scorer.score_block([1, 2], BAGS) == 1.0
+
+    def test_uniform_mixed_block_lower(self):
+        scorer = BlockScorer()
+        tight = scorer.score_block([1, 2], BAGS)
+        loose = scorer.score_block([1, 2, 4], BAGS)
+        assert loose < tight
+
+    def test_single_record_scores_zero(self):
+        assert BlockScorer().score_block([1], BAGS) == 0.0
+
+    def test_weighted_method_uses_defaults_when_unset(self):
+        scorer = BlockScorer(method=ScoringMethod.WEIGHTED)
+        value = scorer.pair_similarity(BAGS[1], BAGS[3])
+        assert 0.0 < value < 1.0
+
+    def test_weighted_differs_from_uniform(self):
+        uniform = BlockScorer().pair_similarity(BAGS[1], BAGS[3])
+        weighted = BlockScorer(
+            method=ScoringMethod.WEIGHTED, weights=DEFAULT_EXPERT_WEIGHTS
+        ).pair_similarity(BAGS[1], BAGS[3])
+        assert weighted != pytest.approx(uniform)
+
+    def test_expert_method_gives_partial_credit(self):
+        uniform = BlockScorer().pair_similarity(BAGS[1], BAGS[3])
+        expert = BlockScorer(method=ScoringMethod.EXPERT).pair_similarity(
+            BAGS[1], BAGS[3]
+        )
+        assert expert > uniform  # Foa/Foy gets Jaro-Winkler credit
+
+
+class TestNeighborhoodCap:
+    def test_formula(self):
+        assert neighborhood_cap(3.0, 5) == 15
+        assert neighborhood_cap(3.5, 4) == 14
+        assert neighborhood_cap(1.5, 2) == 3
+
+    def test_at_least_one(self):
+        assert neighborhood_cap(0.1, 2) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            neighborhood_cap(0, 5)
+        with pytest.raises(ValueError):
+            neighborhood_cap(2.0, 1)
+
+
+def entry(records, score):
+    return (frozenset(records), frozenset(), score)
+
+
+class TestSparseNeighborhoodFilter:
+    def test_admits_within_cap(self):
+        sn = SparseNeighborhoodFilter(ng=3.0)
+        admitted = sn.filter_blocks([entry({1, 2}, 0.9)], minsup=2)
+        assert len(admitted) == 1
+
+    def test_skip_mode_skips_only_violators(self):
+        sn = SparseNeighborhoodFilter(ng=0.5, mode="skip")  # cap = 1 at minsup 2
+        blocks = [
+            entry({1, 2}, 0.9),   # admitted; 1 and 2 now have 1 neighbor
+            entry({1, 3}, 0.8),   # violates: record 1 would exceed cap
+            entry({4, 5}, 0.7),   # unrelated records — still admitted
+        ]
+        admitted = sn.filter_blocks(blocks, minsup=2)
+        kept = [records for records, _, _ in admitted]
+        assert frozenset({1, 2}) in kept
+        assert frozenset({4, 5}) in kept
+        assert frozenset({1, 3}) not in kept
+
+    def test_threshold_mode_prunes_tail(self):
+        sn = SparseNeighborhoodFilter(ng=0.5, mode="threshold")
+        blocks = [
+            entry({1, 2}, 0.9),
+            entry({1, 3}, 0.8),   # violation raises minTh to 0.8
+            entry({4, 5}, 0.7),   # pruned despite being innocent
+        ]
+        admitted = sn.filter_blocks(blocks, minsup=2)
+        kept = [records for records, _, _ in admitted]
+        assert kept == [frozenset({1, 2})]
+        assert sn.min_threshold == 0.8
+
+    def test_state_persists_across_iterations(self):
+        sn = SparseNeighborhoodFilter(ng=0.5, mode="skip")
+        sn.filter_blocks([entry({1, 2}, 0.9)], minsup=2)
+        admitted = sn.filter_blocks([entry({1, 3}, 0.9)], minsup=2)
+        assert admitted == []
+
+    def test_zero_score_blocks_never_admitted(self):
+        sn = SparseNeighborhoodFilter(ng=3.0)
+        assert sn.filter_blocks([entry({1, 2}, 0.0)], minsup=2) == []
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SparseNeighborhoodFilter(ng=-1)
+        with pytest.raises(ValueError):
+            SparseNeighborhoodFilter(ng=2.0, mode="bogus")
+
+    def test_descending_order_processing(self):
+        """Higher-scoring blocks win the neighborhood budget."""
+        sn = SparseNeighborhoodFilter(ng=0.5, mode="skip")
+        blocks = [entry({1, 3}, 0.5), entry({1, 2}, 0.9)]
+        admitted = sn.filter_blocks(blocks, minsup=2)
+        kept = [records for records, _, _ in admitted]
+        assert kept == [frozenset({1, 2})]

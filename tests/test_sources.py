@@ -1,0 +1,94 @@
+"""Tests for the source-template model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datagen.sources import (
+    FIELDS,
+    LIST_TEMPLATES,
+    MV_TEMPLATE,
+    SourceTemplate,
+    TESTIMONY_TEMPLATE,
+)
+
+
+class TestSourceTemplateValidation:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            SourceTemplate("bad", {"shoe_size": 1.0})
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ValueError):
+            SourceTemplate("bad", {"first": 1.5})
+
+    def test_probability_accessor_default(self):
+        template = SourceTemplate("t", {"first": 0.5})
+        assert template.probability("first") == 0.5
+        assert template.probability("spouse") == 0.0
+
+
+class TestSampling:
+    def test_pinned_fields_always_present(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            fields = MV_TEMPLATE.sample_fields(rng)
+            assert fields == frozenset(
+                {"first", "last", "father", "birth_place", "death_place"}
+            )
+
+    def test_zero_probability_fields_never_present(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            fields = MV_TEMPLATE.sample_fields(rng)
+            assert "gender" not in fields
+            assert "profession" not in fields
+
+    def test_month_conditional_on_year(self):
+        rng = random.Random(3)
+        for _ in range(200):
+            fields = TESTIMONY_TEMPLATE.sample_fields(rng)
+            if "birth_month" in fields:
+                assert "birth_year" in fields
+            if "birth_day" in fields:
+                assert "birth_month" in fields
+
+    def test_sampling_respects_probabilities(self):
+        rng = random.Random(4)
+        template = SourceTemplate("t", {"first": 1.0, "profession": 0.2})
+        hits = sum(
+            "profession" in template.sample_fields(rng) for _ in range(1000)
+        )
+        assert 120 < hits < 280
+
+    def test_fields_subset_of_registry(self):
+        rng = random.Random(5)
+        for template in (TESTIMONY_TEMPLATE, *LIST_TEMPLATES.values()):
+            fields = template.sample_fields(rng)
+            assert fields <= set(FIELDS)
+
+
+class TestTemplateCatalogue:
+    def test_four_list_flavors(self):
+        assert set(LIST_TEMPLATES) == {
+            "deportation", "camp", "ghetto", "memorial"
+        }
+
+    def test_names_match_keys(self):
+        for flavor, template in LIST_TEMPLATES.items():
+            assert template.name == flavor
+
+    def test_lists_always_record_names(self):
+        """Victim lists always have name columns; missing names would be
+        illegible entries, not missing columns."""
+        for template in LIST_TEMPLATES.values():
+            assert template.probability("first") == 1.0
+            assert template.probability("last") == 1.0
+
+    def test_camp_records_dates_most(self):
+        camp = LIST_TEMPLATES["camp"].probability("birth_year")
+        for flavor, template in LIST_TEMPLATES.items():
+            if flavor != "camp":
+                assert template.probability("birth_year") <= camp

@@ -1,0 +1,130 @@
+"""Tests for submitter generation and deduplication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.submitters import (
+    SubmitterGenerator,
+    SubmitterRecord,
+    dedupe_submitters,
+    group_by_signature,
+    signature_similarity,
+)
+
+
+@pytest.fixture(scope="module")
+def submitter_records():
+    return SubmitterGenerator(n_submitters=120, seed=7).generate()
+
+
+class TestGenerator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubmitterGenerator(n_submitters=0)
+        with pytest.raises(ValueError):
+            SubmitterGenerator(communities=("narnia",))
+        with pytest.raises(ValueError):
+            SubmitterGenerator(pages_weights=(1.0,))
+
+    def test_deterministic(self):
+        a = SubmitterGenerator(n_submitters=30, seed=5).generate()
+        b = SubmitterGenerator(n_submitters=30, seed=5).generate()
+        assert a == b
+
+    def test_pages_between_one_and_five(self, submitter_records):
+        from collections import Counter
+
+        pages = Counter(r.submitter_id for r in submitter_records)
+        assert set(pages.values()) <= set(range(1, 6))
+
+    def test_record_ids_unique(self, submitter_records):
+        ids = [r.record_id for r in submitter_records]
+        assert len(ids) == len(set(ids))
+
+    def test_noise_creates_signature_drift(self, submitter_records):
+        """Some multi-page submitters appear under several signatures —
+        the double-counting the paper describes."""
+        by_submitter = {}
+        for record in submitter_records:
+            by_submitter.setdefault(record.submitter_id, set()).add(
+                record.signature
+            )
+        drifted = [s for s, sigs in by_submitter.items() if len(sigs) > 1]
+        assert drifted
+
+
+class TestNaiveGrouping:
+    def test_overcounts_truth(self, submitter_records):
+        groups = group_by_signature(submitter_records)
+        truth = len({r.submitter_id for r in submitter_records})
+        assert len(groups) > truth
+
+    def test_groups_cover_all_records(self, submitter_records):
+        groups = group_by_signature(submitter_records)
+        assert sum(len(g) for g in groups.values()) == len(submitter_records)
+
+
+class TestSignatureSimilarity:
+    def test_identical(self):
+        signature = ("Guido", "Foa", "Torino")
+        assert signature_similarity(signature, signature) == pytest.approx(1.0)
+
+    def test_transliteration_high(self):
+        a = ("Moshe", "Rozenberg", "Warszawa")
+        b = ("Moshe", "Rosenberg", "Warsaw")
+        assert signature_similarity(a, b) > 0.9
+
+    def test_different_low(self):
+        a = ("Guido", "Foa", "Torino")
+        b = ("Zelig", "Brockman", "Minsk")
+        assert signature_similarity(a, b) < 0.6
+
+
+class TestDedupe:
+    def test_threshold_validation(self, submitter_records):
+        with pytest.raises(ValueError):
+            dedupe_submitters(submitter_records, threshold=0)
+
+    def test_reduces_signature_count(self, submitter_records):
+        result = dedupe_submitters(submitter_records, threshold=0.9)
+        assert result.n_entities <= result.n_signatures
+        assert result.n_entities < len(
+            group_by_signature(submitter_records)
+        )
+
+    def test_moves_toward_truth(self, submitter_records):
+        naive = len(group_by_signature(submitter_records))
+        truth = len({r.submitter_id for r in submitter_records})
+        result = dedupe_submitters(submitter_records, threshold=0.9)
+        assert abs(result.n_entities - truth) < abs(naive - truth)
+
+    def test_high_threshold_precise(self, submitter_records):
+        result = dedupe_submitters(submitter_records, threshold=0.95)
+        precision, _recall = result.evaluate(submitter_records)
+        assert precision > 0.9
+
+    def test_lower_threshold_more_recall(self, submitter_records):
+        strict = dedupe_submitters(submitter_records, threshold=0.95)
+        loose = dedupe_submitters(submitter_records, threshold=0.85)
+        _, recall_strict = strict.evaluate(submitter_records)
+        _, recall_loose = loose.evaluate(submitter_records)
+        assert recall_loose >= recall_strict
+
+    def test_clusters_partition_signatures(self, submitter_records):
+        result = dedupe_submitters(submitter_records)
+        seen = set()
+        for cluster in result.clusters:
+            assert not (cluster & seen)
+            seen |= cluster
+        assert len(seen) == result.n_signatures
+
+    def test_overcount_ratio(self):
+        records = [
+            SubmitterRecord(1, "Guido", "Foa", "Torino", 1),
+            SubmitterRecord(2, "Guido", "Foy", "Torino", 1),
+        ]
+        result = dedupe_submitters(records, threshold=0.85)
+        assert result.n_signatures == 2
+        assert result.n_entities == 1
+        assert result.overcount_ratio == 2.0

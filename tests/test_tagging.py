@@ -1,0 +1,122 @@
+"""Tests for the expert-tag simulator."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.datagen.tagging import ExpertTagger, Tag, TaggedPair, simplify_tags
+from repro.records.dataset import Dataset
+from tests.conftest import make_record
+
+
+@pytest.fixture(scope="module")
+def tagged_universe(small_corpus):
+    dataset, _persons = small_corpus
+    gold = dataset.true_pairs()
+    ids = sorted(dataset.record_ids)
+    # gold pairs plus an equal number of random-ish non-pairs
+    non_pairs = []
+    for offset, a in enumerate(ids):
+        b = ids[(offset + 7) % len(ids)]
+        if a < b and (a, b) not in gold:
+            non_pairs.append((a, b))
+        if len(non_pairs) >= len(gold):
+            break
+    pairs = sorted(gold) + non_pairs
+    tagger = ExpertTagger(dataset, seed=31)
+    return dataset, gold, tagger.tag_pairs(pairs)
+
+
+class TestTagEnum:
+    def test_simplified(self):
+        assert Tag.YES.simplified() is True
+        assert Tag.PROBABLY_YES.simplified() is True
+        assert Tag.MAYBE.simplified() is None
+        assert Tag.PROBABLY_NO.simplified() is False
+        assert Tag.NO.simplified() is False
+
+    def test_tagged_pair_label(self):
+        assert TaggedPair((1, 2), Tag.MAYBE).label is None
+
+
+class TestExpertTagger:
+    def test_deterministic(self, small_corpus):
+        dataset, _persons = small_corpus
+        gold = sorted(dataset.true_pairs())[:20]
+        tags_a = ExpertTagger(dataset, seed=5).tag_pairs(gold)
+        tags_b = ExpertTagger(dataset, seed=5).tag_pairs(gold)
+        assert tags_a == tags_b
+
+    def test_true_pairs_lean_yes(self, tagged_universe):
+        _dataset, gold, tagged = tagged_universe
+        true_tags = [entry.tag for entry in tagged if entry.pair in gold]
+        yesish = sum(1 for tag in true_tags if tag.simplified() is True)
+        assert yesish / len(true_tags) > 0.6
+
+    def test_false_pairs_lean_no(self, tagged_universe):
+        _dataset, gold, tagged = tagged_universe
+        false_tags = [entry.tag for entry in tagged if entry.pair not in gold]
+        noish = sum(1 for tag in false_tags if tag.simplified() is False)
+        assert noish / len(false_tags) > 0.7
+
+    def test_maybe_fraction_modest(self, tagged_universe):
+        """The paper had 611 Maybe of 10,017 tagged pairs (~6%)."""
+        _dataset, _gold, tagged = tagged_universe
+        maybes = sum(1 for entry in tagged if entry.tag is Tag.MAYBE)
+        assert 0.0 < maybes / len(tagged) < 0.25
+
+    def test_rich_identical_pair_tagged_yes(self):
+        record_a = make_record(
+            book_id=1, birth_year=1920, birth_day=1, birth_month=2,
+            father=("Donato",), mother=("Olga",), profession="tailor",
+            person_id=1,
+        )
+        record_b = make_record(
+            book_id=2, birth_year=1920, birth_day=1, birth_month=2,
+            father=("Donato",), mother=("Olga",), profession="tailor",
+            person_id=1,
+        )
+        dataset = Dataset([record_a, record_b])
+        tagged = ExpertTagger(dataset, seed=1).tag_pairs([(1, 2)])
+        assert tagged[0].tag in (Tag.YES, Tag.PROBABLY_YES)
+
+    def test_information_poor_match_drifts_to_maybe(self):
+        """A true pair with almost nothing to compare is undecidable."""
+        record_a = make_record(book_id=1, gender=None, person_id=1, last=("Foa",), first=())
+        record_b = make_record(book_id=2, gender=None, person_id=1, last=("Foa",), first=())
+        dataset = Dataset([record_a, record_b])
+        counts = Counter(
+            ExpertTagger(dataset, seed=seed).tag_pair((1, 2)).tag
+            for seed in range(40)
+        )
+        assert counts[Tag.MAYBE] > 5
+        assert counts[Tag.YES] == 0
+
+
+class TestSimplifyTags:
+    def make(self):
+        return [
+            TaggedPair((1, 2), Tag.YES),
+            TaggedPair((1, 3), Tag.PROBABLY_YES),
+            TaggedPair((2, 3), Tag.MAYBE),
+            TaggedPair((3, 4), Tag.PROBABLY_NO),
+            TaggedPair((4, 5), Tag.NO),
+        ]
+
+    def test_omit_maybe(self):
+        labels = simplify_tags(self.make(), maybe_as=None)
+        assert (2, 3) not in labels
+        assert labels[(1, 2)] is True
+        assert labels[(1, 3)] is True
+        assert labels[(3, 4)] is False
+
+    def test_maybe_as_no(self):
+        labels = simplify_tags(self.make(), maybe_as=False)
+        assert labels[(2, 3)] is False
+        assert len(labels) == 5
+
+    def test_maybe_as_yes(self):
+        labels = simplify_tags(self.make(), maybe_as=True)
+        assert labels[(2, 3)] is True
