@@ -55,7 +55,7 @@ def test_ablation_adtree_vs_cart(italy, italy_tagged, benchmark):
     rows = []
     accuracies = {}
     for fraction in (0.0, 0.3, 0.6):
-        eval_x = test_x if fraction == 0.0 else _sparsify(test_x, fraction)
+        eval_x = test_x if fraction == 0.0 else _sparsify(test_x, fraction)  # reprolint: disable=RL003 -- literal loop constant, not a computed score
         adtree_acc = evaluate_model(adtree, eval_x, test_y).accuracy
         cart_acc = evaluate_model(cart, eval_x, test_y).accuracy
         accuracies[fraction] = (adtree_acc, cart_acc)

@@ -27,7 +27,7 @@ def test_submitter_dedup(benchmark):
     rows = []
     results = {}
     for threshold in (0.95, 0.92, 0.88):
-        if threshold == 0.92:
+        if threshold == 0.92:  # reprolint: disable=RL003 -- literal loop constant, not a computed score
             result = benchmark.pedantic(
                 dedupe_submitters, args=(records, threshold),
                 rounds=1, iterations=1,

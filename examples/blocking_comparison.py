@@ -31,9 +31,9 @@ def main() -> None:
 
     rows = []
     for algorithm in algorithms:
-        start = time.perf_counter()
+        start = time.perf_counter()  # reprolint: disable=RL005 -- demo prints wall-times on purpose
         result = algorithm.run(dataset)
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # reprolint: disable=RL005 -- demo prints wall-times on purpose
         quality = gold.evaluate(result.candidate_pairs)
         rows.append([
             algorithm.name,

@@ -20,6 +20,8 @@ Quickstart::
         print(sorted(entity))
 """
 
+from __future__ import annotations
+
 from repro.blocking import MFIBlocks, MFIBlocksConfig
 from repro.classify import ADTreeLearner, ADTreeModel, PairClassifier, render_tree
 from repro.core import (

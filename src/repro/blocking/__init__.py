@@ -1,5 +1,7 @@
 """Blocking layer: MFIBlocks (Algorithm 1) and the Table-10 baselines."""
 
+from __future__ import annotations
+
 from repro.blocking.base import Block, BlockingAlgorithm, BlockingResult, canonical_pair
 from repro.blocking.mfiblocks import MFIBlocks, MFIBlocksConfig
 from repro.blocking.scoring import (

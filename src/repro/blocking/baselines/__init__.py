@@ -1,5 +1,7 @@
 """The ten baseline blocking techniques compared in Table 10."""
 
+from __future__ import annotations
+
 from repro.blocking.baselines.canopy import CanopyClustering, ExtendedCanopyClustering
 from repro.blocking.baselines.neighborhood import (
     ExtendedSortedNeighborhood,

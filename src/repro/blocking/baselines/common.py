@@ -14,7 +14,16 @@ changing the headline result (recall ~1, precision <0.001).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Set,
+)
 
 from repro.blocking.base import Block, BlockingAlgorithm, BlockingResult
 from repro.records.dataset import Dataset
@@ -33,7 +42,7 @@ def blocks_from_keys(
     for rid, keys in record_keys.items():
         for key in keys:
             postings.setdefault(key, []).append(rid)
-    seen: set = set()
+    seen: Set[FrozenSet[int]] = set()
     blocks: List[FrozenSet[int]] = []
     for key in sorted(postings, key=repr):
         members = frozenset(postings[key])
@@ -50,7 +59,7 @@ def blocks_from_keys(
 
 def key_blocks(
     dataset: Dataset,
-    extractor,
+    extractor: Callable[[FrozenSet[Item]], Iterable[Hashable]],
     min_block_size: int = 2,
     max_block_size: Optional[int] = None,
 ) -> BlockingResult:

@@ -1,6 +1,8 @@
 """ADTree classification substrate (Freund & Mason, as used via Weka in
 the paper): model, boosting learner, training harness, tree printer."""
 
+from __future__ import annotations
+
 from repro.classify.adtree import (
     ADTreeModel,
     CategoricalCondition,

@@ -98,6 +98,19 @@ def build_parser() -> argparse.ArgumentParser:
                             help="skip the Cls conditions")
     experiment.add_argument("--tag-seed", type=int, default=97)
 
+    lint = commands.add_parser(
+        "lint",
+        help="run the reprolint determinism checks (tools/reprolint)",
+    )
+    lint.add_argument("paths", nargs="*", type=Path,
+                      help="files or directories "
+                           "(default: [tool.reprolint] paths)")
+    lint.add_argument("--format", choices=("human", "json"), default="human")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule codes to run exclusively")
+    lint.add_argument("--statistics", action="store_true",
+                      help="append per-rule counts")
+
     return parser
 
 
@@ -252,12 +265,51 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Shell into ``tools.reprolint`` so CLI users get the CI checks locally.
+
+    The ``tools`` package lives in the repository, not in the installed
+    distribution: prefer an in-process import (works from a repo
+    checkout and in tests), and fall back to ``python -m
+    tools.reprolint`` from the repo root when the current process
+    cannot see it.
+    """
+    lint_argv: List[str] = [str(path) for path in args.paths]
+    lint_argv += ["--format", args.format]
+    if args.select:
+        lint_argv += ["--select", args.select]
+    if args.statistics:
+        lint_argv.append("--statistics")
+
+    try:
+        from tools.reprolint.cli import main as reprolint_main
+    except ImportError:
+        repo_root = Path(__file__).resolve().parents[2]
+        if not (repo_root / "tools" / "reprolint").is_dir():
+            print(
+                "repro lint: the `tools.reprolint` package is not importable "
+                "and no repository checkout was found; run from the repo "
+                "root (python -m tools.reprolint)",
+                file=sys.stderr,
+            )
+            return 2
+        import subprocess
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", *lint_argv],
+            cwd=repo_root,
+        )
+        return completed.returncode
+    return reprolint_main(lint_argv)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "analyze": _cmd_analyze,
     "resolve": _cmd_resolve,
     "narratives": _cmd_narratives,
     "experiment": _cmd_experiment,
+    "lint": _cmd_lint,
 }
 
 

@@ -2,6 +2,8 @@
 resolution model — soft blocking, ranked resolution, certainty-threshold
 querying, and multi-granularity entities."""
 
+from __future__ import annotations
+
 from repro.core.config import PipelineConfig
 from repro.core.granularity import (
     GranularityLevel,

@@ -86,7 +86,9 @@ def connected_components(
 class ResolutionResult:
     """The ranked, queryable outcome of an uncertain-ER run."""
 
-    def __init__(self, evidence: Iterable[PairEvidence], n_records: int = 0):
+    def __init__(
+        self, evidence: Iterable[PairEvidence], n_records: int = 0
+    ) -> None:
         self._evidence: Dict[Pair, PairEvidence] = {}
         for entry in evidence:
             a, b = entry.pair

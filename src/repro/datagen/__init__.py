@@ -1,6 +1,8 @@
 """Synthetic Names-Project corpus generation (the paper's private data,
 rebuilt statistically — see DESIGN.md for the substitution argument)."""
 
+from __future__ import annotations
+
 from repro.datagen.corpus import build_corpus, build_italy_set, build_random_set
 from repro.datagen.generator import CorpusGenerator, GeneratorConfig, PersonProfile
 from repro.datagen.places import Gazetteer, build_gazetteer

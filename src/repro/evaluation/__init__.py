@@ -1,5 +1,7 @@
 """Evaluation substrate: pair metrics, gold standards, reporting."""
 
+from __future__ import annotations
+
 from repro.evaluation.experiments import ConditionResult, compare_blockers, run_conditions, run_ng_sweep
 from repro.evaluation.goldstandard import GoldStandard, TaggedGoldStandard
 from repro.evaluation.metrics import (

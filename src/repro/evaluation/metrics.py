@@ -45,9 +45,10 @@ class PairQuality:
 
 def f1_score(precision: float, recall: float) -> float:
     """Harmonic mean of precision and recall (0 when both are 0)."""
-    if precision + recall == 0.0:
+    denominator = precision + recall
+    if denominator <= 0.0:
         return 0.0
-    return 2.0 * precision * recall / (precision + recall)
+    return 2.0 * precision * recall / denominator
 
 
 def pair_quality(

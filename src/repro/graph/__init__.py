@@ -1,5 +1,7 @@
 """Knowledge-graph and narrative layer (the Figure 2 use case)."""
 
+from __future__ import annotations
+
 from repro.graph.knowledge import EntityProfile, build_knowledge_graph, merge_entity
 from repro.graph.narrative import Narrative, narrative_for, ranked_narratives
 from repro.graph.rescuers import RescuerRecord, link_rescuers

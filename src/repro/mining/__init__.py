@@ -1,5 +1,7 @@
 """Frequent-itemset mining substrate: FP-tree, FP-Growth, FPMax, pruning."""
 
+from __future__ import annotations
+
 from repro.mining.fpgrowth import (
     Itemset,
     frequent_itemsets,

@@ -32,7 +32,7 @@ def prune_frequent_items(
     """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-    if fraction == 0.0 or not item_bags:
+    if fraction <= 0.0 or not item_bags:
         return dict(item_bags), set()
 
     support: Dict[T, int] = {}

@@ -1,5 +1,7 @@
 """Data model substrate: victim-report schema, item bags, datasets, patterns."""
 
+from __future__ import annotations
+
 from repro.records.dataset import Dataset
 from repro.records.itembag import Item, ItemKind, ItemType, record_to_items
 from repro.records.schema import (

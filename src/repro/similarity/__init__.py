@@ -1,6 +1,8 @@
 """Similarity substrate: string/date/geo metrics, Eq.-1 item similarity,
 and the 48 pairwise features of Section 5.1."""
 
+from __future__ import annotations
+
 from repro.similarity.features import (
     FEATURE_NAMES,
     FEATURES,

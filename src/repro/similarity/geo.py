@@ -1,6 +1,8 @@
 """Re-export of the geographic primitives (kept at :mod:`repro.geo` so the
 records substrate can use coordinates without importing this package)."""
 
+from __future__ import annotations
+
 from repro.geo import (
     EARTH_RADIUS_KM,
     GEO_NORMALIZER_KM,

@@ -1,6 +1,8 @@
 """Submitter entity resolution — the sub-problem the paper leaves open
 (Section 2's 514,251 naively-grouped submitters)."""
 
+from __future__ import annotations
+
 from repro.submitters.dedupe import (
     SubmitterDedupeResult,
     dedupe_submitters,

@@ -165,3 +165,30 @@ class TestCsvFormat:
               "--out", str(path)])
         assert main(["analyze", str(path)]) == 0
         assert "Item type prevalence" in capsys.readouterr().out
+
+
+class TestLint:
+    def test_lint_clean_file_exits_zero(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(clean)]) == 0
+
+    def test_lint_reports_findings(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nx = random.random()\n")
+        assert main(["lint", str(dirty)]) == 1
+        assert "RL001" in capsys.readouterr().out
+
+    def test_lint_json_format(self, tmp_path, capsys):
+        import json
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nx = random.random()\n")
+        main(["lint", str(dirty), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"RL001": 1}
+
+    def test_lint_select(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nx = random.random()\n")
+        assert main(["lint", str(dirty), "--select", "RL003"]) == 0

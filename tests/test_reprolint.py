@@ -1,0 +1,512 @@
+"""Tests for tools/reprolint: every rule, suppressions, config, CLI.
+
+Each rule gets positive fixtures (must flag) and negative fixtures
+(must stay quiet), because a determinism linter that over-reports gets
+suppressed into uselessness just as surely as one that under-reports
+lets nondeterminism through.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from tools.reprolint.cli import main as reprolint_main
+from tools.reprolint.config import Config, _parse_toml_subset, load_config
+from tools.reprolint.engine import lint_paths, lint_source
+from tools.reprolint.rules import ALL_RULES, RULES_BY_CODE
+
+
+def findings_for(source, rule=None, path="src/module.py", config=None):
+    source = textwrap.dedent(source)
+    found = lint_source(source, path=path, config=config)
+    if rule is not None:
+        found = [finding for finding in found if finding.rule == rule]
+    return found
+
+
+class TestRL001UnseededRandom:
+    def test_global_random_functions_flagged(self):
+        source = """
+            import random
+            x = random.random()
+            random.shuffle(items)
+        """
+        assert len(findings_for(source, "RL001")) == 2
+
+    def test_from_import_flagged(self):
+        source = """
+            from random import shuffle
+            shuffle(items)
+        """
+        assert len(findings_for(source, "RL001")) == 1
+
+    def test_seeded_instance_ok(self):
+        source = """
+            import random
+            rng = random.Random(17)
+            rng.shuffle(items)
+            x = rng.random()
+        """
+        assert findings_for(source, "RL001") == []
+
+    def test_unseeded_constructor_flagged(self):
+        source = """
+            import random
+            rng = random.Random()
+        """
+        assert len(findings_for(source, "RL001")) == 1
+
+    def test_numpy_global_state_flagged(self):
+        source = """
+            import numpy as np
+            a = np.random.rand(3)
+            np.random.seed(0)
+        """
+        assert len(findings_for(source, "RL001")) == 2
+
+    def test_numpy_default_rng_seeded_ok_unseeded_flagged(self):
+        source = """
+            from numpy.random import default_rng
+            good = default_rng(42)
+            bad = default_rng()
+        """
+        found = findings_for(source, "RL001")
+        assert len(found) == 1
+        assert found[0].line == 4
+
+    def test_unrelated_names_ok(self):
+        source = """
+            class Sampler:
+                def random(self):
+                    return 4
+            x = Sampler().random()
+        """
+        assert findings_for(source, "RL001") == []
+
+
+class TestRL002UnorderedIteration:
+    def test_loop_over_set_appending_flagged(self):
+        source = """
+            def collect(pairs):
+                out = []
+                for pair in set(pairs):
+                    out.append(pair)
+                return out
+        """
+        assert len(findings_for(source, "RL002")) == 1
+
+    def test_sorted_wrap_ok(self):
+        source = """
+            def collect(pairs):
+                out = []
+                for pair in sorted(set(pairs)):
+                    out.append(pair)
+                return out
+        """
+        assert findings_for(source, "RL002") == []
+
+    def test_list_materialization_flagged(self):
+        assert len(findings_for("x = list({1, 2, 3})\n", "RL002")) == 1
+
+    def test_local_variable_tracking(self):
+        source = """
+            def emit(items):
+                seen = set()
+                for item in items:
+                    seen.add(item)
+                for item in seen:
+                    yield item
+        """
+        found = findings_for(source, "RL002")
+        assert len(found) == 1
+        assert found[0].line == 6
+
+    def test_set_union_operator_flagged(self):
+        source = "pairs = list(set(a) | set(b))\n"
+        assert len(findings_for(source, "RL002")) == 1
+
+    def test_order_insensitive_consumers_ok(self):
+        source = """
+            def stats(s):
+                return sum(set(s)), len(set(s)), max(set(s))
+        """
+        assert findings_for(source, "RL002") == []
+
+    def test_membership_ok(self):
+        source = "hit = x in {1, 2, 3}\n"
+        assert findings_for(source, "RL002") == []
+
+    def test_accumulating_loop_ok(self):
+        source = """
+            def total(s):
+                acc = 0
+                for x in set(s):
+                    acc += x
+                return acc
+        """
+        assert findings_for(source, "RL002") == []
+
+    def test_dict_values_to_writer_flagged(self):
+        source = """
+            def dump(writer, rows):
+                for row in rows.values():
+                    writer.writerow(row)
+        """
+        assert len(findings_for(source, "RL002")) == 1
+
+    def test_dict_values_plain_loop_ok(self):
+        source = """
+            def tally(rows):
+                total = 0
+                for row in rows.values():
+                    total += row.count
+                return total
+        """
+        assert findings_for(source, "RL002") == []
+
+    def test_join_over_set_flagged(self):
+        source = "text = ', '.join({'b', 'a'})\n"
+        assert len(findings_for(source, "RL002")) == 1
+
+
+class TestRL003FloatEquality:
+    def test_float_literal_equality_flagged(self):
+        assert len(findings_for("ok = score == 0.5\n", "RL003")) == 1
+
+    def test_not_equal_flagged(self):
+        assert len(findings_for("ok = x != 1.5\n", "RL003")) == 1
+
+    def test_division_result_flagged(self):
+        assert len(findings_for("ok = (a / b) == c\n", "RL003")) == 1
+
+    def test_int_equality_ok(self):
+        assert findings_for("ok = count == 3\n", "RL003") == []
+
+    def test_ordering_comparison_ok(self):
+        assert findings_for("ok = score >= 0.5\n", "RL003") == []
+
+
+class TestRL004MutableDefault:
+    def test_literal_defaults_flagged(self):
+        source = """
+            def f(a=[], b={}, c=set()):
+                return a, b, c
+        """
+        assert len(findings_for(source, "RL004")) == 3
+
+    def test_keyword_only_default_flagged(self):
+        source = """
+            def f(*, cache={}):
+                return cache
+        """
+        assert len(findings_for(source, "RL004")) == 1
+
+    def test_none_and_immutable_ok(self):
+        source = """
+            def f(a=None, b=(), c="x", d=0):
+                return a, b, c, d
+        """
+        assert findings_for(source, "RL004") == []
+
+
+class TestRL005WallClock:
+    def test_datetime_now_flagged_in_src(self):
+        source = """
+            from datetime import datetime
+            stamp = datetime.now()
+        """
+        assert len(findings_for(source, "RL005")) == 1
+
+    def test_time_calls_flagged_in_src(self):
+        source = """
+            import time
+            t0 = time.perf_counter()
+            t1 = time.time()
+        """
+        assert len(findings_for(source, "RL005")) == 2
+
+    def test_allowed_under_benchmarks(self):
+        source = """
+            import time
+            t0 = time.perf_counter()
+        """
+        assert findings_for(source, "RL005", path="benchmarks/bench_x.py") == []
+
+    def test_parsing_datetimes_ok(self):
+        source = """
+            from datetime import datetime
+            parsed = datetime(1941, 6, 22)
+        """
+        assert findings_for(source, "RL005") == []
+
+
+class TestRL006SwallowedException:
+    def test_bare_except_flagged(self):
+        source = """
+            try:
+                work()
+            except:
+                recover()
+        """
+        assert len(findings_for(source, "RL006")) == 1
+
+    def test_broad_swallow_flagged(self):
+        source = """
+            try:
+                work()
+            except Exception:
+                pass
+        """
+        assert len(findings_for(source, "RL006")) == 1
+
+    def test_narrow_swallow_ok(self):
+        source = """
+            try:
+                work()
+            except KeyError:
+                pass
+        """
+        assert findings_for(source, "RL006") == []
+
+    def test_broad_but_handled_ok(self):
+        source = """
+            try:
+                work()
+            except Exception as exc:
+                log(exc)
+                raise
+        """
+        assert findings_for(source, "RL006") == []
+
+
+class TestRL007FutureAnnotations:
+    def test_missing_import_flagged_in_package(self):
+        source = """
+            import os
+            x = os.sep
+        """
+        assert len(findings_for(source, "RL007", path="src/repro/mod.py")) == 1
+
+    def test_present_import_ok(self):
+        source = """
+            from __future__ import annotations
+            import os
+        """
+        assert findings_for(source, "RL007", path="src/repro/mod.py") == []
+
+    def test_docstring_only_module_ok(self):
+        assert findings_for('"""doc."""\n', "RL007", path="src/repro/mod.py") == []
+
+    def test_outside_package_ok(self):
+        assert findings_for("import os\n", "RL007", path="tests/mod.py") == []
+
+
+class TestSuppressions:
+    def test_line_suppression_with_justification(self):
+        source = (
+            "import random\n"
+            "x = random.random()  "
+            "# reprolint: disable=RL001 -- deliberate chaos monkey\n"
+        )
+        assert findings_for(source, "RL001") == []
+
+    def test_suppression_is_per_rule(self):
+        source = (
+            "import random\n"
+            "x = random.random()  # reprolint: disable=RL005\n"
+        )
+        assert len(findings_for(source, "RL001")) == 1
+
+    def test_multiple_codes(self):
+        source = (
+            "import random\n"
+            "ok = random.random() == 0.5  "
+            "# reprolint: disable=RL001,RL003\n"
+        )
+        assert findings_for(source) == []
+
+    def test_bare_disable_silences_everything(self):
+        source = (
+            "import random\n"
+            "ok = random.random() == 0.5  # reprolint: disable\n"
+        )
+        assert findings_for(source) == []
+
+    def test_hash_inside_string_is_not_a_suppression(self):
+        source = (
+            "import random\n"
+            'label = "# reprolint: disable=RL001"\n'
+            "x = random.random()\n"
+        )
+        assert len(findings_for(source, "RL001")) == 1
+
+
+class TestEngine:
+    def test_syntax_error_reported_as_rl000(self):
+        found = lint_source("def broken(:\n", path="src/x.py")
+        assert [finding.rule for finding in found] == ["RL000"]
+
+    def test_findings_sorted_and_stable(self):
+        source = """
+            import random
+            b = random.random()
+            a = random.random() == 0.5
+        """
+        found = findings_for(source)
+        assert found == sorted(found)
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        package = tmp_path / "src"
+        package.mkdir()
+        (package / "bad.py").write_text(
+            "import random\nx = random.random()\n"
+        )
+        (package / "good.py").write_text("x = 1\n")
+        found = lint_paths([package], config=Config(), root=tmp_path)
+        assert [finding.path for finding in found] == ["src/bad.py"]
+
+
+class TestConfig:
+    def test_per_path_ignores(self):
+        config = Config(per_path_ignores={"tests/": ("RL003",)})
+        source = "ok = x == 0.5\n"
+        assert findings_for(source, "RL003", path="tests/t.py",
+                            config=config) == []
+        assert len(findings_for(source, "RL003", path="src/m.py",
+                                config=config)) == 1
+
+    def test_select_and_ignore(self):
+        config = Config(select=("RL001",))
+        source = (
+            "import random\n"
+            "ok = random.random() == 0.5\n"
+        )
+        found = findings_for(source, config=config)
+        assert {finding.rule for finding in found} == {"RL001"}
+
+    def test_load_config_reads_pyproject(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(textwrap.dedent("""
+            [tool.reprolint]
+            paths = ["lib"]
+            wallclock-allowed-paths = ["perf"]
+
+            [tool.reprolint.per-path-ignores]
+            "lib/legacy/" = ["RL007"]
+        """))
+        config = load_config(pyproject)
+        assert config.paths == ("lib",)
+        assert config.wallclock_allowed_paths == ("perf",)
+        assert config.per_path_ignores == {"lib/legacy/": ("RL007",)}
+
+    def test_repo_config_matches_acceptance_gate(self):
+        # The committed pyproject must keep the acceptance invocation
+        # (`python -m tools.reprolint src tests benchmarks`) green.
+        config = load_config()
+        assert "src" in config.paths
+        assert config.rule_enabled("RL003", "src/repro/x.py")
+        assert not config.rule_enabled("RL003", "tests/test_x.py")
+
+    def test_toml_subset_parser_matches_tomllib_on_repo_config(self):
+        # CI's 3.9 job reads pyproject via the subset parser; it must
+        # see the same [tool.reprolint] table tomllib sees on 3.11+.
+        from pathlib import Path
+
+        from tools.reprolint.config import _config_from_table
+
+        pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+        if not pyproject.is_file():
+            pytest.skip("repository checkout required")
+        tomllib = pytest.importorskip("tomllib")
+        with open(pyproject, "rb") as handle:
+            expected_table = tomllib.load(handle)["tool"]["reprolint"]
+        subset_table = _parse_toml_subset(pyproject.read_text())["tool"][
+            "reprolint"
+        ]
+        assert _config_from_table(subset_table) == _config_from_table(
+            expected_table
+        )
+
+    def test_toml_subset_parser_shapes(self):
+        parsed = _parse_toml_subset(textwrap.dedent("""
+            [tool.reprolint]
+            paths = [
+                "src",
+                "tests",
+            ]
+            flag = true
+            count = 3
+            name = "x"  # trailing comment
+        """))
+        table = parsed["tool"]["reprolint"]
+        assert table["paths"] == ["src", "tests"]
+        assert table["flag"] is True
+        assert table["count"] == 3
+        assert table["name"] == "x"
+
+
+class TestCLI:
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert reprolint_main([str(clean)]) == 0
+
+    def test_exit_one_with_findings(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nx = random.random()\n")
+        assert reprolint_main([str(dirty)]) == 1
+        assert "RL001" in capsys.readouterr().out
+
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert reprolint_main([str(missing)]) == 2
+
+    def test_json_output_schema(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nx = random.random()\n")
+        reprolint_main([str(dirty), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["total"] == 1
+        assert payload["counts"] == {"RL001": 1}
+        finding = payload["findings"][0]
+        assert set(finding) == {
+            "path", "line", "col", "rule", "message", "severity",
+        }
+        assert finding["rule"] == "RL001"
+        assert finding["line"] == 2
+        assert finding["severity"] == "error"
+
+    def test_list_rules_covers_catalogue(self, capsys):
+        assert reprolint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_cls in ALL_RULES:
+            assert rule_cls.code in out
+
+    def test_select_filter(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nok = random.random() == 0.5\n")
+        reprolint_main([str(dirty), "--format", "json", "--select", "RL003"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"RL003": 1}
+
+
+class TestSelfHosting:
+    def test_rule_codes_unique_and_sequential(self):
+        codes = [rule_cls.code for rule_cls in ALL_RULES]
+        assert codes == sorted(codes)
+        assert len(set(codes)) == len(codes)
+        assert set(RULES_BY_CODE) == set(codes)
+
+    def test_reprolint_lints_itself_clean(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        tools_dir = root / "tools"
+        if not tools_dir.is_dir():  # installed-package run; nothing to lint
+            pytest.skip("repository checkout required")
+        found = lint_paths([tools_dir], config=load_config(), root=root)
+        assert found == []

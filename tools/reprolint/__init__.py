@@ -1,0 +1,43 @@
+"""reprolint — repo-specific determinism and safety lints.
+
+A small AST-based static-analysis pass (stdlib only) enforcing the
+reproducibility contract of this repository: ranked pair lists must be
+byte-identical run-over-run, so unseeded randomness, order-dependent
+iteration over unordered collections, and exact float comparisons on
+scores are all build-breaking findings.
+
+Run it as a module::
+
+    python -m tools.reprolint src tests benchmarks
+
+Rules
+-----
+RL001  unseeded or process-global RNG use
+RL002  iteration order of ``set``/``dict.values()`` feeding ordered output
+RL003  float equality comparison (use ``math.isclose`` with an epsilon)
+RL004  mutable default argument
+RL005  wall-clock access outside the benchmark tree
+RL006  bare ``except`` or silently swallowed exception
+RL007  missing ``from __future__ import annotations`` in library modules
+
+Findings are suppressed per line with ``# reprolint: disable=RL002`` (a
+justification after ``--`` is encouraged) and configured via the
+``[tool.reprolint]`` table in ``pyproject.toml``.
+"""
+
+from tools.reprolint.findings import Finding, Severity
+from tools.reprolint.config import Config, load_config
+from tools.reprolint.engine import lint_file, lint_paths, lint_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Config",
+    "Finding",
+    "Severity",
+    "__version__",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+]

@@ -1,0 +1,170 @@
+"""Command-line front end: ``python -m tools.reprolint [paths...]``.
+
+Exit codes: 0 clean, 1 findings, 2 bad invocation. Output formats:
+``human`` (compiler-style lines plus a per-rule summary) and ``json``
+(schema documented in docs/STATIC_ANALYSIS.md and pinned by
+tests/test_reprolint.py).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from tools.reprolint.config import Config, find_pyproject, load_config
+from tools.reprolint.engine import lint_paths
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules import ALL_RULES
+
+__all__ = ["main", "build_parser"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "determinism- and safety-focused static analysis for the "
+            "uncertain-ER reproduction"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories (default: [tool.reprolint] paths)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run exclusively (e.g. RL001,RL005)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="pyproject.toml to read [tool.reprolint] from "
+        "(default: discovered upward from cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append per-rule counts to human output",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_cls in ALL_RULES:
+        doc = (rule_cls.__module__ and sys.modules[rule_cls.__module__].__doc__) or ""
+        headline = doc.strip().splitlines()[0] if doc.strip() else rule_cls.name
+        lines.append(f"{rule_cls.code}  {rule_cls.name:<22} {headline}")
+    return "\n".join(lines)
+
+
+def _render_human(findings: List[Finding], statistics: bool) -> str:
+    lines = [finding.format_human() for finding in findings]
+    if statistics and findings:
+        counts: dict = {}
+        for finding in findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        lines.append("")
+        for rule in sorted(counts):
+            lines.append(f"{counts[rule]:>5}  {rule}")
+    if findings:
+        total = len(findings)
+        lines.append(f"found {total} finding{'s' if total != 1 else ''}")
+    return "\n".join(lines)
+
+
+def _render_json(findings: List[Finding]) -> str:
+    counts: dict = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [finding.to_dict() for finding in findings],
+        "counts": {rule: counts[rule] for rule in sorted(counts)},
+        "total": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    pyproject = args.config if args.config is not None else find_pyproject()
+    if args.config is not None and not args.config.is_file():
+        print(f"reprolint: config not found: {args.config}", file=sys.stderr)
+        return 2
+    config: Config = load_config(pyproject)
+
+    known_codes = {rule_cls.code for rule_cls in ALL_RULES} | {"RL000"}
+    if args.select:
+        config.select = tuple(
+            code.strip().upper() for code in args.select.split(",") if code.strip()
+        )
+    if args.ignore:
+        config.ignore = tuple(
+            code.strip().upper() for code in args.ignore.split(",") if code.strip()
+        )
+    unknown = [
+        code
+        for code in (*config.select, *config.ignore)
+        if code not in known_codes
+    ]
+    if unknown:
+        print(
+            f"reprolint: unknown rule code(s): {', '.join(sorted(set(unknown)))} "
+            "(see --list-rules)",
+            file=sys.stderr,
+        )
+        return 2
+
+    root = pyproject.parent if pyproject is not None else Path.cwd()
+    paths = list(args.paths) or [root / p for p in config.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"reprolint: no such path(s): {', '.join(missing)}", file=sys.stderr
+        )
+        return 2
+
+    findings = lint_paths(paths, config=config, root=root)
+
+    if args.format == "json":
+        print(_render_json(findings))
+    else:
+        output = _render_human(findings, statistics=args.statistics)
+        if output:
+            print(output)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

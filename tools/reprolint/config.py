@@ -1,0 +1,278 @@
+"""Configuration: the ``[tool.reprolint]`` table of ``pyproject.toml``.
+
+Python 3.11+ parses the file with :mod:`tomllib`. Earlier interpreters
+(the repo supports 3.9) fall back to a deliberately tiny TOML-subset
+reader that understands exactly the shapes this config uses: section
+headers, string/int/bool scalars, and (possibly multi-line) arrays of
+strings. No third-party dependency either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+try:  # Python >= 3.11
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - exercised only on 3.9/3.10
+    _toml = None  # type: ignore[assignment]
+
+__all__ = ["Config", "load_config", "find_pyproject"]
+
+DEFAULT_PATHS: Tuple[str, ...] = ("src", "tests", "benchmarks")
+DEFAULT_EXCLUDE: Tuple[str, ...] = (
+    "__pycache__",
+    ".git",
+    ".venv",
+    "build",
+    "dist",
+)
+
+
+@dataclass
+class Config:
+    """Resolved reprolint settings (defaults match this repository)."""
+
+    paths: Tuple[str, ...] = DEFAULT_PATHS
+    exclude: Tuple[str, ...] = DEFAULT_EXCLUDE
+    select: Tuple[str, ...] = ()  # empty means "all rules"
+    ignore: Tuple[str, ...] = ()
+    # RL005: path prefixes where wall-clock access is legitimate.
+    wallclock_allowed_paths: Tuple[str, ...] = ("benchmarks",)
+    # RL007: package roots whose modules must import future annotations.
+    future_required_packages: Tuple[str, ...] = ("src/repro",)
+    # Like ruff's per-file-ignores: path prefix -> rule codes ignored there.
+    per_path_ignores: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def rule_enabled(self, code: str, path: str) -> bool:
+        """Is ``code`` active for a file at repo-relative ``path``?"""
+        if self.select and code not in self.select:
+            return False
+        if code in self.ignore:
+            return False
+        norm = path.replace("\\", "/")
+        for prefix in sorted(self.per_path_ignores):
+            if norm.startswith(prefix.rstrip("/")):
+                if code in self.per_path_ignores[prefix]:
+                    return False
+        return True
+
+    def is_excluded(self, path: str) -> bool:
+        parts = Path(path).parts
+        return any(pattern in parts for pattern in self.exclude)
+
+
+def find_pyproject(start: Optional[Path] = None) -> Optional[Path]:
+    """Walk up from ``start`` (default cwd) to the nearest pyproject.toml."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(pyproject: Optional[Path] = None) -> Config:
+    """Build a :class:`Config` from pyproject.toml (or pure defaults)."""
+    if pyproject is None:
+        pyproject = find_pyproject()
+    if pyproject is None or not pyproject.is_file():
+        return Config()
+    data = _parse_toml(pyproject)
+    table = data.get("tool", {}).get("reprolint", {})
+    if not isinstance(table, dict):
+        return Config()
+    return _config_from_table(table)
+
+
+def _config_from_table(table: Mapping[str, Any]) -> Config:
+    config = Config()
+
+    def str_tuple(key: str, default: Tuple[str, ...]) -> Tuple[str, ...]:
+        value = table.get(key)
+        if isinstance(value, list):
+            return tuple(str(item) for item in value)
+        return default
+
+    config.paths = str_tuple("paths", config.paths)
+    config.exclude = str_tuple("exclude", config.exclude)
+    config.select = str_tuple("select", config.select)
+    config.ignore = str_tuple("ignore", config.ignore)
+    config.wallclock_allowed_paths = str_tuple(
+        "wallclock-allowed-paths", config.wallclock_allowed_paths
+    )
+    config.future_required_packages = str_tuple(
+        "future-required-packages", config.future_required_packages
+    )
+    raw_ignores = table.get("per-path-ignores")
+    if isinstance(raw_ignores, dict):
+        config.per_path_ignores = {
+            str(prefix): tuple(str(code) for code in codes)
+            for prefix, codes in raw_ignores.items()
+            if isinstance(codes, list)
+        }
+    return config
+
+
+# -- TOML loading -----------------------------------------------------------
+
+
+def _parse_toml(path: Path) -> Dict[str, Any]:
+    text = path.read_text(encoding="utf-8")
+    if _toml is not None:
+        with open(path, "rb") as handle:
+            return _toml.load(handle)
+    return _parse_toml_subset(text)
+
+
+def _parse_toml_subset(text: str) -> Dict[str, Any]:
+    """Minimal TOML reader for the config shapes reprolint itself uses.
+
+    Supports ``[dotted.section]`` headers, ``key = value`` with string /
+    int / float / bool scalars, and arrays of strings that may span
+    lines. Good enough for ``[tool.reprolint]`` on Python < 3.11; any
+    richer pyproject content outside that table is skipped, not parsed.
+    """
+    root: Dict[str, Any] = {}
+    current = root
+    pending_key: Optional[str] = None
+    pending_buffer = ""
+
+    for raw_line in text.splitlines():
+        # Strip comments line-by-line: a multi-line array would otherwise
+        # lose everything after the first continuation-line comment once
+        # the lines are joined.
+        line = _strip_comment(raw_line.strip())
+        if pending_key is not None:
+            pending_buffer += " " + line
+            if _array_closed(pending_buffer):
+                current[pending_key] = _parse_scalar(pending_buffer)
+                pending_key = None
+                pending_buffer = ""
+            continue
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            section = line[1:-1].strip().strip("\"'")
+            current = root
+            for part in _split_section(section):
+                current = current.setdefault(part, {})
+            continue
+        if "=" not in line:
+            continue
+        key, _, value = line.partition("=")
+        key = key.strip().strip("\"'")
+        value = value.strip()
+        if value.startswith("[") and not _array_closed(value):
+            pending_key = key
+            pending_buffer = value
+            continue
+        current[key] = _parse_scalar(value)
+    return root
+
+
+def _split_section(section: str) -> List[str]:
+    """Split a dotted section header, honoring quoted segments."""
+    parts: List[str] = []
+    buffer = ""
+    quote = ""
+    for char in section:
+        if quote:
+            if char == quote:
+                quote = ""
+            else:
+                buffer += char
+        elif char in "\"'":
+            quote = char
+        elif char == ".":
+            parts.append(buffer.strip())
+            buffer = ""
+        else:
+            buffer += char
+    parts.append(buffer.strip())
+    return [part for part in parts if part]
+
+
+def _array_closed(fragment: str) -> bool:
+    in_string = False
+    quote = ""
+    depth = 0
+    for char in fragment:
+        if in_string:
+            if char == quote:
+                in_string = False
+        elif char in "\"'":
+            in_string = True
+            quote = char
+        elif char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+            if depth == 0:
+                return True
+    return depth <= 0 and fragment.rstrip().endswith("]")
+
+
+def _parse_scalar(value: str) -> Any:
+    value = _strip_comment(value.strip())
+    if value.startswith("["):
+        inner = value[value.index("[") + 1 : value.rindex("]")]
+        return [
+            _parse_scalar(item)
+            for item in _split_array_items(inner)
+            if item.strip()
+        ]
+    if value in ("true", "false"):
+        return value == "true"
+    if value.startswith(("'", '"')):
+        return value[1:-1]
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+def _strip_comment(value: str) -> str:
+    out = ""
+    in_string = False
+    quote = ""
+    for char in value:
+        if in_string:
+            if char == quote:
+                in_string = False
+        elif char in "\"'":
+            in_string = True
+            quote = char
+        elif char == "#":
+            break
+        out += char
+    return out.strip()
+
+
+def _split_array_items(inner: str) -> List[str]:
+    items: List[str] = []
+    buffer = ""
+    in_string = False
+    quote = ""
+    for char in inner:
+        if in_string:
+            buffer += char
+            if char == quote:
+                in_string = False
+        elif char in "\"'":
+            in_string = True
+            quote = char
+            buffer += char
+        elif char == ",":
+            items.append(buffer)
+            buffer = ""
+        else:
+            buffer += char
+    if buffer.strip():
+        items.append(buffer)
+    return items

@@ -1,0 +1,131 @@
+"""Lint driver: file discovery, parsing, rule dispatch, suppression.
+
+Three entry points, layered so tests can exercise any level:
+
+* :func:`lint_source` — lint one source string (no filesystem);
+* :func:`lint_file` — read + lint one file;
+* :func:`lint_paths` — walk directories, lint every ``.py`` file.
+
+All outputs are sorted (path, line, col, rule) — the linter holds
+itself to its own RL002 standard.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Type
+
+from tools.reprolint.config import Config
+from tools.reprolint.findings import Finding, Severity
+from tools.reprolint.rules import ALL_RULES, Rule
+from tools.reprolint.rules.base import RuleContext
+from tools.reprolint.suppressions import collect_suppressions
+
+__all__ = ["lint_source", "lint_file", "lint_paths"]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: Optional[Config] = None,
+    rules: Optional[Sequence[Type[Rule]]] = None,
+) -> List[Finding]:
+    """Lint one module's source text; returns sorted findings."""
+    config = config or Config()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+                rule="RL000",
+                message=f"file does not parse: {exc.msg}",
+                severity=Severity.ERROR,
+            )
+        ]
+    suppressions = collect_suppressions(source)
+    context = RuleContext(path=path, source=source, tree=tree, config=config)
+    findings: List[Finding] = []
+    for rule_cls in rules if rules is not None else ALL_RULES:
+        if not config.rule_enabled(rule_cls.code, path):
+            continue
+        for finding in rule_cls().check(context):
+            if suppressions.is_suppressed(finding.line, finding.rule):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def lint_file(
+    path: Path,
+    config: Optional[Config] = None,
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Type[Rule]]] = None,
+) -> List[Finding]:
+    """Lint one file; paths in findings are reported relative to root."""
+    relative = _relative_path(path, root)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Finding(
+                path=relative,
+                line=1,
+                col=1,
+                rule="RL000",
+                message=f"file is unreadable: {exc}",
+                severity=Severity.ERROR,
+            )
+        ]
+    return lint_source(source, path=relative, config=config, rules=rules)
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    config: Optional[Config] = None,
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Type[Rule]]] = None,
+) -> List[Finding]:
+    """Lint every Python file under the given files/directories."""
+    config = config or Config()
+    root = root or Path.cwd()
+    findings: List[Finding] = []
+    for file_path in _discover(paths, config, root):
+        findings.extend(
+            lint_file(file_path, config=config, root=root, rules=rules)
+        )
+    return sorted(findings)
+
+
+def _discover(
+    paths: Iterable[Path], config: Config, root: Path
+) -> List[Path]:
+    seen = set()
+    ordered: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            relative = _relative_path(candidate, root)
+            if config.is_excluded(relative):
+                continue
+            if relative not in seen:
+                seen.add(relative)
+                ordered.append(candidate)
+    return ordered
+
+
+def _relative_path(path: Path, root: Optional[Path]) -> str:
+    root = root or Path.cwd()
+    try:
+        relative = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        relative = path
+    return str(relative).replace("\\", "/")

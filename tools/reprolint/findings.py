@@ -1,0 +1,48 @@
+"""Finding and severity types shared by the engine, rules, and CLI."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class Severity(enum.Enum):
+    """How a finding is treated by the exit-code gate."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Orderable so reports are stable: path, then line, then column, then
+    rule code — never dict/set iteration order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str = field(compare=False)
+    severity: Severity = field(compare=False, default=Severity.ERROR)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (schema version 1)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "severity": str(self.severity),
+        }
+
+    def format_human(self) -> str:
+        """``path:line:col: RLxxx message`` — the classic compiler shape."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

@@ -1,0 +1,28 @@
+"""Rule registry: every rule class, in catalogue order."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from tools.reprolint.rules.base import Rule
+from tools.reprolint.rules.rl001_rng import UnseededRandomRule
+from tools.reprolint.rules.rl002_set_order import UnorderedIterationRule
+from tools.reprolint.rules.rl003_float_eq import FloatEqualityRule
+from tools.reprolint.rules.rl004_mutable_default import MutableDefaultRule
+from tools.reprolint.rules.rl005_wallclock import WallClockRule
+from tools.reprolint.rules.rl006_exceptions import SwallowedExceptionRule
+from tools.reprolint.rules.rl007_future import FutureAnnotationsRule
+
+ALL_RULES: List[Type[Rule]] = [
+    UnseededRandomRule,
+    UnorderedIterationRule,
+    FloatEqualityRule,
+    MutableDefaultRule,
+    WallClockRule,
+    SwallowedExceptionRule,
+    FutureAnnotationsRule,
+]
+
+RULES_BY_CODE: Dict[str, Type[Rule]] = {rule.code: rule for rule in ALL_RULES}
+
+__all__ = ["ALL_RULES", "RULES_BY_CODE", "Rule"]

@@ -1,0 +1,120 @@
+"""Shared rule infrastructure: context, base class, import resolution.
+
+Rules are single-file AST passes. Each receives a :class:`RuleContext`
+(parsed tree, source, repo-relative path, config) and yields
+:class:`~tools.reprolint.findings.Finding` objects. The engine owns
+suppression filtering and ordering; rules just report.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from tools.reprolint.config import Config
+from tools.reprolint.findings import Finding, Severity
+
+__all__ = ["Rule", "RuleContext", "ImportTracker", "attach_parents"]
+
+
+@dataclass
+class RuleContext:
+    """Everything a rule may inspect about one module."""
+
+    path: str  # repo-relative, forward slashes
+    source: str
+    tree: ast.Module
+    config: Config
+    imports: "ImportTracker" = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.imports = ImportTracker(self.tree)
+
+
+class Rule:
+    """Base class. Subclasses set ``code``/``name`` and implement check."""
+
+    code: str = "RL000"
+    name: str = "base"
+    severity: Severity = Severity.ERROR
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        context: RuleContext,
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        return Finding(
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.code,
+            message=message,
+            severity=severity or self.severity,
+        )
+
+
+class ImportTracker:
+    """Resolve local names back to canonical dotted module paths.
+
+    Handles the aliasing forms that matter for our rules::
+
+        import random                       random        -> random
+        import numpy as np                  np            -> numpy
+        import numpy.random as npr          npr           -> numpy.random
+        from numpy import random as nr      nr            -> numpy.random
+        from numpy.random import default_rng
+                                            default_rng   -> numpy.random.default_rng
+        from datetime import datetime       datetime      -> datetime.datetime
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else local
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports cannot be stdlib RNG/clock
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted path for a Name/Attribute chain, if importish.
+
+        ``np.random.rand`` with ``import numpy as np`` resolves to
+        ``numpy.random.rand``; a chain rooted at a non-imported name
+        resolves to ``None``.
+        """
+        parts = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        base = self.aliases.get(current.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+def attach_parents(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
+    """Build a child -> parent map (``ast`` has no parent pointers)."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents

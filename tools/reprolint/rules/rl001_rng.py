@@ -1,0 +1,101 @@
+"""RL001 — unseeded or process-global RNG use.
+
+The pipeline's claim to reproducibility dies the moment any stage draws
+from the process-global random state: two runs over the same corpus can
+then rank candidate pairs differently. Randomness must flow from an
+explicitly seeded generator object (``random.Random(seed)`` or
+``numpy.random.default_rng(seed)``) that callers inject.
+
+Flagged:
+
+* module-level ``random`` functions (``random.random()``,
+  ``random.shuffle()``, ``random.seed()``, ...), including when imported
+  directly (``from random import shuffle``);
+* ``numpy.random`` legacy module functions (``np.random.rand()``,
+  ``np.random.seed()``, ...);
+* constructing a generator with no seed: ``random.Random()``,
+  ``numpy.random.default_rng()``, ``numpy.random.PCG64()`` et al.
+
+Not flagged: ``random.Random(seed)``, ``default_rng(seed)``, and any
+call on a generator *instance* (instances are invisible to the alias
+tracker, which is exactly right — instance state is the injected,
+seeded kind).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules.base import Rule, RuleContext
+
+# Functions on the global `random` module state. `Random` / `SystemRandom`
+# are class constructors, handled separately.
+_GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "getstate", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    }
+)
+
+# Seedable generator constructors: fine with arguments, findings without.
+_SEEDABLE_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.PCG64",
+        "numpy.random.MT19937",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.RandomState",
+    }
+)
+
+
+class UnseededRandomRule(Rule):
+    code = "RL001"
+    name = "unseeded-rng"
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualname = context.imports.resolve(node.func)
+            if qualname is None:
+                continue
+            yield from self._check_call(context, node, qualname)
+
+    def _check_call(
+        self, context: RuleContext, node: ast.Call, qualname: str
+    ) -> Iterator[Finding]:
+        if qualname in _SEEDABLE_CONSTRUCTORS:
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    context,
+                    node,
+                    f"`{qualname}()` constructed without a seed; pass an "
+                    "explicit seed (or SeedSequence) so runs are repeatable",
+                )
+            return
+        module, _, func = qualname.rpartition(".")
+        if module == "random" and func in _GLOBAL_RANDOM_FUNCS:
+            yield self.finding(
+                context,
+                node,
+                f"`random.{func}()` uses the process-global RNG; draw from "
+                "an injected `random.Random(seed)` instance instead",
+            )
+        elif module == "numpy.random" and func not in {"default_rng"}:
+            # Everything else on numpy.random module scope is the legacy
+            # global RandomState (np.random.rand, np.random.seed, ...).
+            yield self.finding(
+                context,
+                node,
+                f"`numpy.random.{func}()` uses the global legacy "
+                "RandomState; thread a seeded `numpy.random.Generator` "
+                "through instead",
+            )

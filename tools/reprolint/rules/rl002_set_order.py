@@ -1,0 +1,307 @@
+"""RL002 — unordered iteration feeding ordered output.
+
+CPython randomizes string hashing per process, so the iteration order of
+a ``set`` of strings (or tuples of strings — our record pairs) differs
+between runs. Any ranked list, CSV row sequence, or report built by
+iterating a set without sorting is therefore nondeterministic — the
+exact failure mode that would invalidate every benchmark table.
+
+The rule is syntactic but flow-aware within a scope:
+
+* it infers "set-typed" expressions — literals, comprehensions,
+  ``set()``/``frozenset()`` calls, set-operator results, set-method
+  results, and local names whose every assignment is set-typed;
+* it then walks outward from each use to the nearest *order-revealing*
+  consumer: ``list()``/``tuple()``/``enumerate()``/``iter()``/
+  ``reversed()``, ``.join()``, a list/generator comprehension, or a
+  ``for`` loop whose body emits sequentially (``yield``, ``.append``,
+  ``.writerow``, ``.write``, ``print``);
+* consumers that are order-insensitive (``sorted``, ``min``, ``max``,
+  ``sum``, ``len``, ``any``, ``all``, membership tests, building another
+  set/dict) absorb the nondeterminism and end the walk quietly.
+
+``dict.values()`` / ``dict.keys()`` views are insertion-ordered, so they
+are only *weakly* unordered (the order is deterministic if insertions
+were); they are flagged only when they reach a serialization sink
+(``.join``, ``.write``/``.writerow``, ``print``) without a sort.
+
+Fix by sorting with an explicit key at the boundary::
+
+    for pair in sorted(candidate_pairs):          # not: in candidate_pairs
+        writer.writerow(pair)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules.base import Rule, RuleContext, attach_parents
+
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+_SET_OPERATORS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_SAFE_CONSUMERS = frozenset(
+    {
+        "sorted", "min", "max", "sum", "len", "any", "all", "set",
+        "frozenset", "bool", "Counter", "dict",
+    }
+)
+_ORDERED_CONSUMERS = frozenset({"list", "tuple", "enumerate", "iter", "reversed"})
+_EMITTING_METHODS = frozenset(
+    {"append", "extend", "insert", "writerow", "writerows", "write"}
+)
+_SINK_METHODS = frozenset({"writerow", "writerows", "write"})
+
+_ScopeNode = ast.AST  # Module / FunctionDef / AsyncFunctionDef / Lambda
+
+
+class UnorderedIterationRule(Rule):
+    code = "RL002"
+    name = "unordered-iteration"
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        parents = attach_parents(context.tree)
+        set_vars = _collect_set_variables(context.tree)
+        reported: Set[Tuple[int, int]] = set()
+
+        for node in ast.walk(context.tree):
+            weak = False
+            if _is_set_expr(node, set_vars, parents):
+                # Skip uses that are themselves part of a larger set
+                # expression; the outermost expression walks for both.
+                parent = parents.get(node)
+                if parent is not None and _is_set_expr(
+                    parent, set_vars, parents
+                ):
+                    continue
+            elif _is_dict_view(node):
+                weak = True
+            else:
+                continue
+            flagged = _walk_to_consumer(node, parents, weak=weak)
+            if flagged is None:
+                continue
+            key = (flagged.lineno, flagged.col_offset)
+            if key in reported:
+                continue
+            reported.add(key)
+            kind = "dict view" if weak else "set"
+            yield self.finding(
+                context,
+                flagged,
+                f"iteration order of a {kind} reaches ordered output; "
+                "wrap the iterable in `sorted(...)` with a deterministic "
+                "key before ranking/serialization",
+            )
+
+
+# -- set-typed inference -----------------------------------------------------
+
+
+def _enclosing_scope(
+    node: ast.AST, parents: Dict[ast.AST, ast.AST]
+) -> Optional[_ScopeNode]:
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(
+            current,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.Module),
+        ):
+            return current
+        current = parents.get(current)
+    return None
+
+
+def _collect_set_variables(tree: ast.Module) -> Dict[Tuple[int, str], bool]:
+    """(scope-id, name) -> True iff *every* assignment there is set-typed."""
+    verdicts: Dict[Tuple[int, str], List[bool]] = {}
+
+    def visit_scope(scope: _ScopeNode, body: List[ast.stmt]) -> None:
+        local_sets: Dict[Tuple[int, str], bool] = {}
+
+        def is_set(node: ast.AST) -> bool:
+            return _is_set_expr(node, dict(local_sets), {}, shallow=True)
+
+        for stmt in _iter_scope_statements(body):
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None:
+                continue
+            verdict = is_set(value)
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    key = (id(scope), target.id)
+                    verdicts.setdefault(key, []).append(verdict)
+                    local_sets[key] = all(verdicts[key])
+
+    # Walk all scopes: module plus every function.
+    visit_scope(tree, tree.body)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            visit_scope(node, node.body)
+
+    return {key: all(values) for key, values in verdicts.items() if values}
+
+
+def _iter_scope_statements(body: List[ast.stmt]) -> Iterator[ast.stmt]:
+    """Statements of a scope, descending into blocks but not functions."""
+    stack = list(body)
+    while stack:
+        stmt = stack.pop(0)
+        yield stmt
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+            elif isinstance(child, ast.excepthandler):
+                stack.extend(child.body)
+
+
+def _is_set_expr(
+    node: ast.AST,
+    set_vars: Dict[Tuple[int, str], bool],
+    parents: Dict[ast.AST, ast.AST],
+    shallow: bool = False,
+) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SET_METHODS
+            and _is_set_expr(func.value, set_vars, parents, shallow=shallow)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPERATORS):
+        return _is_set_expr(
+            node.left, set_vars, parents, shallow=shallow
+        ) or _is_set_expr(node.right, set_vars, parents, shallow=shallow)
+    if isinstance(node, ast.Name) and not shallow:
+        scope = _enclosing_scope(node, parents)
+        while scope is not None:
+            key = (id(scope), node.id)
+            if key in set_vars:
+                return set_vars[key]
+            scope = _enclosing_scope(scope, parents)
+        return False
+    if isinstance(node, ast.Name) and shallow:
+        return any(
+            name == node.id and verdict
+            for (_, name), verdict in set_vars.items()
+        )
+    return False
+
+
+def _is_dict_view(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in {"values", "keys"}
+        and not node.args
+        and not node.keywords
+    )
+
+
+# -- consumer walk -----------------------------------------------------------
+
+
+def _walk_to_consumer(
+    node: ast.AST, parents: Dict[ast.AST, ast.AST], weak: bool
+) -> Optional[ast.AST]:
+    """Return the node to report, or None when order never becomes visible."""
+    current: ast.AST = node
+    while True:
+        parent = parents.get(current)
+        if parent is None:
+            return None
+
+        if isinstance(parent, ast.Call):
+            if current in parent.args or any(
+                kw.value is current for kw in parent.keywords
+            ):
+                func = parent.func
+                if isinstance(func, ast.Name):
+                    if func.id in _SAFE_CONSUMERS:
+                        return None
+                    if not weak and func.id in _ORDERED_CONSUMERS:
+                        return current
+                    if func.id == "print":
+                        return current
+                    return None  # unknown callee: stay conservative
+                if isinstance(func, ast.Attribute):
+                    if func.attr == "join":
+                        return current
+                    if func.attr in _SINK_METHODS:
+                        return current
+                    return None
+                return None
+            if parent.func is current:  # x().method — not a consumption
+                return None
+            current = parent
+            continue
+
+        if isinstance(parent, ast.Starred):
+            current = parent
+            continue
+
+        if isinstance(parent, ast.Compare):
+            # `x in some_set` — membership, order-free.
+            return None
+
+        if isinstance(parent, ast.For) and parent.iter is current:
+            if weak:
+                return current if _loop_emits(parent, sinks_only=True) else None
+            return current if _loop_emits(parent, sinks_only=False) else None
+
+        if isinstance(parent, ast.comprehension) and parent.iter is current:
+            comp = parents.get(parent)
+            if isinstance(comp, (ast.SetComp, ast.DictComp)):
+                return None  # lands in another unordered container
+            if isinstance(comp, (ast.ListComp, ast.GeneratorExp)):
+                current = comp  # the comprehension inherits the hazard
+                continue
+            return None
+
+        if isinstance(parent, ast.BinOp) and isinstance(
+            parent.op, _SET_OPERATORS
+        ):
+            current = parent
+            continue
+
+        if isinstance(parent, (ast.Expr, ast.Await)):
+            current = parent
+            continue
+
+        # Assignment, return, subscript, arbitrary expression: order is
+        # not (yet) observable here. Assigned names are re-checked at
+        # their own use sites via the set-variable inference.
+        return None
+
+
+def _loop_emits(loop: ast.For, sinks_only: bool) -> bool:
+    methods = _SINK_METHODS if sinks_only else _EMITTING_METHODS
+    for stmt in loop.body:
+        for node in ast.walk(stmt):
+            if not sinks_only and isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in methods:
+                    return True
+                if isinstance(func, ast.Name) and func.id == "print":
+                    return True
+    return False

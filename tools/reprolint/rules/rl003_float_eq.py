@@ -1,0 +1,54 @@
+"""RL003 — exact equality comparison against floats.
+
+Similarity and confidence scores are sums/products of floats; two
+mathematically equal pipelines can produce values differing in the last
+ulp, so ``score == 0.5`` silently flips depending on evaluation order.
+Compare with ``math.isclose(a, b, abs_tol=...)`` and an explicit,
+justified epsilon — or, for genuine sentinel checks (exact zero guard
+on an untouched accumulator), suppress with a justification.
+
+Flagged: ``==`` / ``!=`` where either operand is a float literal or a
+division expression. Integer-valued floats in membership tests and
+``is None`` checks are untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules.base import Rule, RuleContext
+
+
+class FloatEqualityRule(Rule):
+    code = "RL003"
+    name = "float-equality"
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, right in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if any(_is_floatish(operand) for operand in operands):
+                    yield self.finding(
+                        context,
+                        node,
+                        "exact float equality; use `math.isclose(...)` "
+                        "with an explicit tolerance (or suppress with a "
+                        "justification for sentinel checks)",
+                    )
+                    break
+
+
+def _is_floatish(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return True
+    return False

@@ -1,0 +1,57 @@
+"""RL004 — mutable default argument.
+
+A ``def f(cache={})`` default is created once at function definition and
+shared by every call — state leaks across pipeline runs, which is both a
+correctness bug and a reproducibility hazard (the second run sees the
+first run's accumulations). Default to ``None`` and construct inside.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules.base import Rule, RuleContext
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"}
+)
+
+
+class MutableDefaultRule(Rule):
+    code = "RL004"
+    name = "mutable-default"
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = [
+                *node.args.defaults,
+                *[d for d in node.args.kw_defaults if d is not None],
+            ]
+            for default in defaults:
+                if _is_mutable(default):
+                    yield self.finding(
+                        context,
+                        default,
+                        f"mutable default argument in `{node.name}()`; "
+                        "default to None and build the container inside "
+                        "the function body",
+                    )
+
+
+def _is_mutable(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        return name in _MUTABLE_CONSTRUCTORS
+    return False

@@ -1,0 +1,56 @@
+"""RL005 — wall-clock access outside the benchmark tree.
+
+Library code that reads the clock (``datetime.now()``, ``time.time()``,
+``time.perf_counter()``...) produces output that varies run-over-run by
+construction. Timing belongs in ``benchmarks/`` (configurable via
+``wallclock-allowed-paths``); library code should take timestamps as
+parameters if it needs them at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules.base import Rule, RuleContext
+
+_CLOCK_CALLS = frozenset(
+    {
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+    }
+)
+
+
+class WallClockRule(Rule):
+    code = "RL005"
+    name = "wall-clock"
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        path = context.path.replace("\\", "/")
+        for allowed in context.config.wallclock_allowed_paths:
+            if path.startswith(allowed.rstrip("/")):
+                return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualname = context.imports.resolve(node.func)
+            if qualname in _CLOCK_CALLS:
+                yield self.finding(
+                    context,
+                    node,
+                    f"`{qualname}()` reads the clock outside the benchmark "
+                    "tree; pass timestamps in as parameters so library "
+                    "output stays reproducible",
+                )

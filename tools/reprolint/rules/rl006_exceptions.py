@@ -1,0 +1,70 @@
+"""RL006 — bare ``except`` and silently swallowed exceptions.
+
+A pipeline stage that catches everything and does nothing turns a
+corrupted intermediate (an unparseable record, a failed similarity
+computation) into silently wrong benchmark numbers. Catch the narrowest
+exception you can, and never with an empty body.
+
+Flagged:
+
+* ``except:`` with no exception type (also traps KeyboardInterrupt);
+* any handler whose body is only ``pass``/``...`` — the swallow — when
+  it catches ``Exception``/``BaseException`` or is bare. Narrow
+  swallows (``except KeyError: pass``) are idiomatic and allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules.base import Rule, RuleContext
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+class SwallowedExceptionRule(Rule):
+    code = "RL006"
+    name = "swallowed-exception"
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            bare = node.type is None
+            if bare:
+                yield self.finding(
+                    context,
+                    node,
+                    "bare `except:` also traps KeyboardInterrupt/SystemExit; "
+                    "name the exception types this stage can recover from",
+                )
+                continue
+            if _is_swallow(node.body) and _catches_broad(node.type):
+                yield self.finding(
+                    context,
+                    node,
+                    "broad exception silently swallowed; handle, log, or "
+                    "re-raise so pipeline corruption cannot pass unnoticed",
+                )
+
+
+def _is_swallow(body: list) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+def _catches_broad(type_node: ast.expr) -> bool:
+    if isinstance(type_node, ast.Tuple):
+        return any(_catches_broad(elt) for elt in type_node.elts)
+    if isinstance(type_node, ast.Name):
+        return type_node.id in _BROAD
+    if isinstance(type_node, ast.Attribute):
+        return type_node.attr in _BROAD
+    return False

@@ -1,0 +1,53 @@
+"""RL007 — missing ``from __future__ import annotations``.
+
+Library modules (``future-required-packages``, default ``src/repro``)
+must defer annotation evaluation: it keeps the 3.9 floor working with
+modern annotation syntax, makes annotations free at import time, and
+keeps the strict-mypy hot path annotatable without runtime cost.
+
+Modules whose only statements are a docstring are exempt; everything
+else in the configured packages — including ``__init__`` re-export
+modules — needs the import as its first code statement.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.rules.base import Rule, RuleContext
+
+
+class FutureAnnotationsRule(Rule):
+    code = "RL007"
+    name = "future-annotations"
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        path = context.path.replace("\\", "/")
+        if not any(
+            path.startswith(package.rstrip("/") + "/")
+            for package in context.config.future_required_packages
+        ):
+            return
+        statements = [
+            stmt
+            for stmt in context.tree.body
+            if not (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            )
+        ]
+        if not statements:
+            return  # docstring-only module (or empty __init__)
+        for stmt in statements:
+            if isinstance(stmt, ast.ImportFrom) and stmt.module == "__future__":
+                if any(alias.name == "annotations" for alias in stmt.names):
+                    return
+        yield self.finding(
+            context,
+            statements[0],
+            "library module lacks `from __future__ import annotations`; "
+            "add it directly below the module docstring",
+        )

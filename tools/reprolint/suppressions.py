@@ -1,0 +1,79 @@
+"""Per-line suppression comments.
+
+Syntax (mirrors pylint's, with our own tag)::
+
+    risky_call()  # reprolint: disable=RL001
+    other()       # reprolint: disable=RL001,RL003 -- exact-zero guard
+    anything()    # reprolint: disable
+
+A bare ``disable`` silences every rule on that line. Text after ``--``
+is a free-form justification; the linter does not parse it but the code
+review policy (docs/STATIC_ANALYSIS.md) requires one.
+
+Comments are found with :mod:`tokenize`, so ``#`` characters inside
+string literals never register as suppressions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet
+
+__all__ = ["Suppressions", "collect_suppressions"]
+
+_ALL = frozenset({"*"})
+_PATTERN = re.compile(
+    r"#\s*reprolint:\s*disable(?:=(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE
+)
+
+
+class Suppressions:
+    """Maps physical line numbers to the rule codes silenced there."""
+
+    def __init__(self, by_line: Dict[int, FrozenSet[str]]) -> None:
+        self._by_line = by_line
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        codes = self._by_line.get(line)
+        if not codes:
+            return False
+        return codes is _ALL or "*" in codes or code.upper() in codes
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def collect_suppressions(source: str) -> Suppressions:
+    """Scan ``source`` for suppression comments, tolerant of bad syntax."""
+    by_line: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            codes = _parse_comment(token.string)
+            if codes is not None:
+                by_line[token.start[0]] = codes
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # A file that fails to tokenize will fail to parse too; the
+        # engine reports that as its own finding.
+        pass
+    return Suppressions(by_line)
+
+
+def _parse_comment(comment: str) -> "FrozenSet[str] | None":
+    match = _PATTERN.search(comment)
+    if match is None:
+        return None
+    raw = match.group("codes")
+    if raw is None:
+        return _ALL
+    # Cut an inline justification ("... -- reason") if the codes group
+    # accidentally swallowed part of it (it cannot: the pattern stops at
+    # the first non-code character), then split on commas.
+    codes = frozenset(
+        code.strip().upper() for code in raw.split(",") if code.strip()
+    )
+    return codes or _ALL
