@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from repro.obs import RunReport, Tracer
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -12,3 +15,24 @@ def emit(name: str, text: str) -> None:
     print(f"\n{text}\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_report(
+    name: str,
+    tracer: Tracer,
+    config: Optional[Mapping[str, Any]] = None,
+    corpus: Optional[Mapping[str, Any]] = None,
+) -> RunReport:
+    """Persist a traced run as ``results/<name>.report.json``.
+
+    Benchmarks that run under a :class:`~repro.obs.Tracer` write the
+    exact report schema ``repro resolve --report`` / ``repro profile``
+    produce (see docs/OBSERVABILITY.md), so profiling numbers from the
+    benchmark tree and the CLI are directly comparable.
+    """
+    if tracer.aggregate is None:
+        raise ValueError("emit_report needs an enabled tracer")
+    report = RunReport.build(tracer.aggregate, config=config, corpus=corpus)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    report.to_json(RESULTS_DIR / f"{name}.report.json")
+    return report

@@ -16,11 +16,12 @@ from __future__ import annotations
 import time
 
 import pytest
-from bench_common import emit
+from bench_common import emit, emit_report
 
 from repro.datagen import build_corpus
 from repro.evaluation import format_series
 from repro.mining import maximal_frequent_itemsets, prune_frequent_items
+from repro.obs import Tracer
 
 MINSUPS = (5, 4, 3)
 PRUNE_FRACTION = 0.003
@@ -76,6 +77,18 @@ def test_fig12_runtime_by_minsup(corpora, benchmark):
     assert large_pruned[-1] < large_plain[-1] * 0.6
     # Shape 3: the larger corpus is slower than the smaller one.
     assert large_plain[-1] > small_plain[-1]
+
+    # Persist a traced mining pass in the CLI's run-report schema, so
+    # benchmark-tree and `repro profile` numbers are comparable.
+    tracer = Tracer()
+    maximal_frequent_itemsets(
+        list(small.item_bags.values()), MINSUPS[-1], tracer=tracer
+    )
+    emit_report(
+        "fig12_mining", tracer,
+        config={"label": f"FPMax minsup={MINSUPS[-1]}"},
+        corpus={"name": small.name, "n_records": len(small)},
+    )
 
     # Time one representative kernel for pytest-benchmark.
     benchmark(maximal_frequent_itemsets, list(small.item_bags.values()), 5)

@@ -43,9 +43,11 @@ from repro.datagen import (
     simplify_tags,
 )
 from repro.evaluation import GoldStandard, TaggedGoldStandard
+from repro.obs import NULL_TRACER, RunReport, Tracer
 from repro.submitters import SubmitterGenerator, dedupe_submitters
 from repro.graph import build_knowledge_graph, narrative_for, ranked_narratives
 from repro.records import Dataset, VictimRecord
+from repro.version import repro_version
 
 __version__ = "1.0.0"
 
@@ -79,5 +81,9 @@ __all__ = [
     "ranked_narratives",
     "Dataset",
     "VictimRecord",
+    "NULL_TRACER",
+    "RunReport",
+    "Tracer",
+    "repro_version",
     "__version__",
 ]

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.records.dataset import Dataset
 from repro.records.itembag import Item
 
@@ -120,6 +121,25 @@ class BlockingAlgorithm(abc.ABC):
     @abc.abstractmethod
     def run(self, dataset: Dataset) -> BlockingResult:
         """Block the dataset and return blocks plus scored candidate pairs."""
+
+    def run_traced(
+        self, dataset: Dataset, tracer: Optional[Tracer] = None
+    ) -> BlockingResult:
+        """Run under a span with block/pair counters.
+
+        Baseline algorithms get uniform instrumentation for free:
+        wall time under ``blocking.<name>`` plus ``blocking.blocks`` /
+        ``blocking.candidate_pairs`` counters, so Table-10 style
+        comparisons can chart cost next to quality. MFIBlocks callers
+        wanting deep (per-minsup, mining) spans should instead pass a
+        tracer to its constructor.
+        """
+        tracer = tracer if tracer is not None else NULL_TRACER
+        with tracer.span(f"blocking.{self.name}", algorithm=self.name):
+            result = self.run(dataset)
+        tracer.count("blocking.blocks", len(result.blocks))
+        tracer.count("blocking.candidate_pairs", len(result.pair_scores))
+        return result
 
     def candidate_pairs(self, dataset: Dataset) -> FrozenSet[Pair]:
         """Convenience: just the candidate pair set."""

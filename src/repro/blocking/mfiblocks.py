@@ -28,10 +28,18 @@ from repro.blocking.base import Block, BlockingAlgorithm, BlockingResult
 from repro.blocking.scoring import BlockScorer, SparseNeighborhoodFilter
 from repro.mining.fpgrowth import maximal_frequent_itemsets
 from repro.mining.pruning import prune_frequent_items
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.records.dataset import Dataset
 from repro.records.itembag import Item
 
 __all__ = ["MFIBlocksConfig", "MFIBlocks"]
+
+
+def _pair_count(
+    blocks: List[Tuple[FrozenSet[int], FrozenSet[Item], float]]
+) -> int:
+    """Candidate pairs implied by a list of (records, key, score) blocks."""
+    return sum(len(records) * (len(records) - 1) // 2 for records, _, _ in blocks)
 
 
 @dataclass
@@ -83,28 +91,43 @@ class MFIBlocks(BlockingAlgorithm):
 
     name = "MFIBlocks"
 
-    def __init__(self, config: Optional[MFIBlocksConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[MFIBlocksConfig] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.config = config or MFIBlocksConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def run(self, dataset: Dataset) -> BlockingResult:
         config = self.config
-        item_bags: Dict[int, FrozenSet[Item]] = dict(dataset.item_bags)
-        if config.prune_fraction is not None:
-            item_bags, _ = prune_frequent_items(item_bags, config.prune_fraction)
+        tracer = self.tracer
+        with tracer.span("mfiblocks.run"):
+            item_bags: Dict[int, FrozenSet[Item]] = dict(dataset.item_bags)
+            tracer.count("mfiblocks.records", len(item_bags))
+            if config.prune_fraction is not None:
+                item_bags, _ = prune_frequent_items(
+                    item_bags, config.prune_fraction, tracer=tracer
+                )
 
-        covered: Set[int] = set()
-        sn_filter = SparseNeighborhoodFilter(config.ng, mode=config.sn_mode)
-        result = BlockingResult()
+            covered: Set[int] = set()
+            sn_filter = SparseNeighborhoodFilter(config.ng, mode=config.sn_mode)
+            result = BlockingResult()
 
-        for minsup in range(config.max_minsup, 1, -1):
-            uncovered = [rid for rid in item_bags if rid not in covered]
-            if not uncovered:
-                break
-            admitted = self._one_iteration(uncovered, item_bags, minsup, sn_filter)
-            for records, key, score in admitted:
-                result.blocks.append(Block(records, key, score))
-                covered.update(records)
-                self._score_pairs(records, item_bags, result)
+            for minsup in range(config.max_minsup, 1, -1):
+                uncovered = [rid for rid in item_bags if rid not in covered]
+                if not uncovered:
+                    break
+                with tracer.span("mfiblocks.minsup", minsup=minsup):
+                    admitted = self._one_iteration(
+                        uncovered, item_bags, minsup, sn_filter
+                    )
+                    for records, key, score in admitted:
+                        result.blocks.append(Block(records, key, score))
+                        covered.update(records)
+                        self._score_pairs(records, item_bags, result)
+                tracer.count("mfiblocks.blocks_admitted", len(admitted))
+            tracer.count("mfiblocks.candidate_pairs", len(result.pair_scores))
         return result
 
     # -- internals -----------------------------------------------------------
@@ -118,25 +141,39 @@ class MFIBlocks(BlockingAlgorithm):
     ) -> List[Tuple[FrozenSet[int], FrozenSet[Item], float]]:
         """Mine, support, size-filter, score, and SN-filter one minsup level."""
         config = self.config
+        tracer = self.tracer
         transactions = [item_bags[rid] for rid in uncovered]
-        mfis = maximal_frequent_itemsets(transactions, minsup)
+        with tracer.span("mfiblocks.mine", minsup=minsup):
+            mfis = maximal_frequent_itemsets(transactions, minsup, tracer=tracer)
+        tracer.count("mfiblocks.mfis_mined", len(mfis))
         if not mfis:
             return []
 
-        index = self._index_for(uncovered, item_bags)
-        max_size = int(minsup * config.ng)
-        scored: List[Tuple[FrozenSet[int], FrozenSet[Item], float]] = []
-        seen_supports: Set[FrozenSet[int]] = set()
-        for mfi in mfis:
-            support = self._find_support(mfi.items, index)
-            if not config.min_block_size <= len(support) <= max_size:
-                continue
-            if support in seen_supports:
-                continue  # distinct MFIs can share a support set
-            seen_supports.add(support)
-            score = config.scoring.score_block(sorted(support), item_bags)
-            scored.append((support, mfi.items, score))
-        return sn_filter.filter_blocks(scored, minsup)
+        with tracer.span("mfiblocks.score", minsup=minsup):
+            index = self._index_for(uncovered, item_bags)
+            max_size = int(minsup * config.ng)
+            scored: List[Tuple[FrozenSet[int], FrozenSet[Item], float]] = []
+            seen_supports: Set[FrozenSet[int]] = set()
+            rejected_size = 0
+            for mfi in mfis:
+                support = self._find_support(mfi.items, index)
+                if not config.min_block_size <= len(support) <= max_size:
+                    rejected_size += 1
+                    continue
+                if support in seen_supports:
+                    continue  # distinct MFIs can share a support set
+                seen_supports.add(support)
+                score = config.scoring.score_block(sorted(support), item_bags)
+                scored.append((support, mfi.items, score))
+        tracer.count("mfiblocks.blocks_rejected_size", rejected_size)
+        with tracer.span("mfiblocks.sn_filter", minsup=minsup):
+            admitted = sn_filter.filter_blocks(scored, minsup)
+        tracer.count(
+            "mfiblocks.blocks_rejected_cs_sn", len(scored) - len(admitted)
+        )
+        tracer.count("mfiblocks.pairs_pre_cs_sn", _pair_count(scored))
+        tracer.count("mfiblocks.pairs_post_cs_sn", _pair_count(admitted))
+        return admitted
 
     @staticmethod
     def _index_for(

@@ -36,6 +36,7 @@ from repro.classify.adtree import (
     PredictionNode,
     SplitterNode,
 )
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.similarity.features import FeatureVector
 
 __all__ = ["ADTreeLearner"]
@@ -58,6 +59,7 @@ class ADTreeLearner:
         n_rounds: int = 10,
         max_numeric_thresholds: int = 24,
         smoothing: float = 1.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if n_rounds < 1:
             raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
@@ -68,6 +70,7 @@ class ADTreeLearner:
         self.n_rounds = n_rounds
         self.max_numeric_thresholds = max_numeric_thresholds
         self.smoothing = smoothing
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- public API ---------------------------------------------------------------
 
@@ -84,9 +87,12 @@ class ADTreeLearner:
         if not features:
             raise ValueError("cannot fit on an empty training set")
 
+        tracer = self.tracer
         n = len(features)
         y = np.where(np.asarray(labels, dtype=bool), 1.0, -1.0)
-        candidates = self._build_candidates(features)
+        with tracer.span("adtree.candidates"):
+            candidates = self._build_candidates(features)
+        tracer.count("adtree.conditions", len(candidates.conditions))
 
         # Root prediction: smoothed prior log-odds.
         weights = np.ones(n)
@@ -105,9 +111,13 @@ class ADTreeLearner:
         ]
 
         for round_index in range(1, self.n_rounds + 1):
-            placement = self._best_split(candidates, preconditions, weights, y)
+            with tracer.span("adtree.round"):
+                placement = self._best_split(
+                    candidates, preconditions, weights, y
+                )
             if placement is None:
                 break
+            tracer.count("adtree.boosting_rounds")
             pre_index, cond_index, value_yes, value_no = placement
             mask, parent = preconditions[pre_index]
             condition = candidates.conditions[cond_index]

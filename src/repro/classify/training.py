@@ -19,6 +19,7 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, 
 
 from repro.classify.adtree import ADTreeModel
 from repro.classify.boosting import ADTreeLearner
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.records.dataset import Dataset
 from repro.similarity.features import FeatureVector, extract_features
 
@@ -148,18 +149,27 @@ class PairClassifier:
         dataset: Dataset,
         learner: Optional[ADTreeLearner] = None,
         feature_names: Optional[Tuple[str, ...]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.dataset = dataset
-        self.learner = learner or ADTreeLearner()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.learner = learner if learner is not None else ADTreeLearner(
+            tracer=self.tracer
+        )
         self.feature_names = feature_names
         self.model: Optional[ADTreeModel] = None
 
     def fit(self, labeled_pairs: Mapping[Pair, bool]) -> "PairClassifier":
         """Train the ADTree from pair -> is-match labels."""
-        pairs = sorted(labeled_pairs)
-        features = pair_features(self.dataset, pairs, names=self.feature_names)
-        labels = [labeled_pairs[pair] for pair in pairs]
-        self.model = self.learner.fit(features, labels)
+        with self.tracer.span("classify.fit", n_pairs=len(labeled_pairs)):
+            pairs = sorted(labeled_pairs)
+            with self.tracer.span("classify.features"):
+                features = pair_features(
+                    self.dataset, pairs, names=self.feature_names
+                )
+            labels = [labeled_pairs[pair] for pair in pairs]
+            self.model = self.learner.fit(features, labels)
+        self.tracer.count("classify.training_pairs", len(pairs))
         return self
 
     def _require_model(self) -> ADTreeModel:
@@ -178,8 +188,10 @@ class PairClassifier:
 
     def rank(self, pairs: Iterable[Pair]) -> List[Tuple[Pair, float]]:
         """Pairs sorted by descending confidence — the ranked resolution."""
-        scored = [(pair, self.score_pair(pair)) for pair in set(pairs)]
-        scored.sort(key=lambda kv: (-kv[1], kv[0]))
+        with self.tracer.span("classify.rank"):
+            scored = [(pair, self.score_pair(pair)) for pair in set(pairs)]
+            scored.sort(key=lambda kv: (-kv[1], kv[0]))
+        self.tracer.count("classify.pairs_scored", len(scored))
         return scored
 
     def filter_matches(

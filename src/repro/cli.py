@@ -6,12 +6,17 @@ Usage (after ``pip install -e .``)::
         --out corpus.json
     python -m repro.cli analyze corpus.json
     python -m repro.cli resolve corpus.json --ng 3.5 --expert-weighting \
-        --classify --certainty 0.5 --out matches.csv
+        --classify --certainty 0.5 --out matches.csv \
+        --trace trace.jsonl --report report.json
+    python -m repro.cli profile corpus.json --ng 3.5 --expert-weighting
     python -m repro.cli narratives corpus.json --top 5
 
 The ``resolve`` command mirrors the Section 6.5 conditions: expert
 weighting, ExpertSim, SameSrc, and ADTree classification (trained on
-simulated expert tags) are all switchable flags.
+simulated expert tags) are all switchable flags. ``--trace`` streams
+schema-versioned JSONL events and ``--report`` persists the structured
+:class:`~repro.obs.report.RunReport`; ``profile`` prints the per-stage
+time/counter table (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -32,9 +37,12 @@ from repro.datagen import (
 from repro.datagen.names import COMMUNITIES
 from repro.evaluation import GoldStandard, format_table
 from repro.graph import ranked_narratives
+from repro.obs import JsonlSink, Tracer
+from repro.obs.tracer import NULL_TRACER
 from repro.records import Dataset
 from repro.records.io import read_csv, write_csv
 from repro.records.patterns import item_type_prevalence, pattern_histogram
+from repro.version import repro_version
 
 __all__ = ["main", "build_parser"]
 
@@ -44,6 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Multi-source uncertain entity resolution toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {repro_version()}",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -78,6 +90,28 @@ def build_parser() -> argparse.ArgumentParser:
     resolve.add_argument("--tag-seed", type=int, default=97)
     resolve.add_argument("--out", type=Path, default=None,
                          help="write resolved pairs as CSV")
+    resolve.add_argument("--trace", type=Path, default=None,
+                         help="stream trace events to this JSONL file")
+    resolve.add_argument("--report", type=Path, default=None,
+                         help="write the structured run report as JSON")
+
+    profile = commands.add_parser(
+        "profile",
+        help="run the pipeline under tracing and print the per-stage "
+             "time/counter table",
+    )
+    profile.add_argument("corpus", type=Path)
+    profile.add_argument("--max-minsup", type=int, default=5)
+    profile.add_argument("--ng", type=float, default=3.5)
+    profile.add_argument("--expert-weighting", action="store_true")
+    profile.add_argument("--expert-sim", action="store_true")
+    profile.add_argument("--same-src", action="store_true")
+    profile.add_argument("--classify", action="store_true")
+    profile.add_argument("--tag-seed", type=int, default=97)
+    profile.add_argument("--trace", type=Path, default=None,
+                         help="also stream trace events to this JSONL file")
+    profile.add_argument("--report", type=Path, default=None,
+                         help="also write the run report as JSON")
 
     narratives = commands.add_parser(
         "narratives", help="print ranked narratives for resolved entities"
@@ -173,10 +207,34 @@ def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
     )
 
 
+def _build_tracer(args: argparse.Namespace) -> Tracer:
+    """Tracer implied by --trace/--report (the free no-op one otherwise)."""
+    trace_path = getattr(args, "trace", None)
+    report_path = getattr(args, "report", None)
+    if trace_path is None and report_path is None:
+        return NULL_TRACER
+    sinks = [JsonlSink(trace_path)] if trace_path is not None else []
+    return Tracer(sinks=sinks)
+
+
+def _finish_tracing(
+    args: argparse.Namespace, tracer: Tracer, resolution
+) -> None:
+    """Flush sinks and persist the run report where requested."""
+    tracer.close()
+    if getattr(args, "trace", None) is not None:
+        print(f"wrote trace events to {args.trace}")
+    report_path = getattr(args, "report", None)
+    if report_path is not None and resolution.report is not None:
+        resolution.report.to_json(report_path)
+        print(f"wrote run report to {report_path}")
+
+
 def _cmd_resolve(args: argparse.Namespace) -> int:
     dataset = _load_corpus(args.corpus)
     config = _pipeline_config(args)
-    pipeline = UncertainERPipeline(config)
+    tracer = _build_tracer(args)
+    pipeline = UncertainERPipeline(config, tracer=tracer)
 
     labels = None
     if args.classify:
@@ -187,6 +245,7 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
         print(f"trained on {len(labels)} simulated expert-tagged pairs")
 
     resolution = pipeline.run(dataset, labeled_pairs=labels)
+    _finish_tracing(args, tracer, resolution)
     crisp = resolution.resolve(args.certainty)
     print(f"{len(resolution)} ranked pairs; {len(crisp)} above "
           f"certainty {args.certainty}")
@@ -212,6 +271,34 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
                     else f"{evidence.confidence:.4f}",
                 ])
         print(f"wrote {len(crisp)} pairs to {args.out}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run the pipeline under tracing and print the per-stage table.
+
+    The observability counterpart of Fig. 12: where does a resolution
+    spend its time, per stage, with the stage counters alongside.
+    """
+    dataset = _load_corpus(args.corpus)
+    config = _pipeline_config(args)
+    tracer = _build_tracer(args)
+    if not tracer.enabled:
+        tracer = Tracer()
+    pipeline = UncertainERPipeline(config, tracer=tracer)
+
+    labels = None
+    if args.classify:
+        blocking = pipeline.block(dataset)
+        tagger = ExpertTagger(dataset, seed=args.tag_seed)
+        labels = simplify_tags(
+            tagger.tag_pairs(blocking.candidate_pairs), maybe_as=None
+        )
+
+    resolution = pipeline.run(dataset, labeled_pairs=labels)
+    _finish_tracing(args, tracer, resolution)
+    assert resolution.report is not None  # tracer is always enabled here
+    print(resolution.report.format_table())
     return 0
 
 
@@ -307,6 +394,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "analyze": _cmd_analyze,
     "resolve": _cmd_resolve,
+    "profile": _cmd_profile,
     "narratives": _cmd_narratives,
     "experiment": _cmd_experiment,
     "lint": _cmd_lint,

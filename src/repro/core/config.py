@@ -8,7 +8,7 @@ one :class:`PipelineConfig` value.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.blocking.mfiblocks import MFIBlocksConfig
 from repro.blocking.scoring import (
@@ -85,6 +85,27 @@ class PipelineConfig:
     def with_ng(self, ng: float) -> "PipelineConfig":
         """Copy with a different NG (sweep helper)."""
         return replace(self, ng=ng)
+
+    def to_echo(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the configuration for run reports.
+
+        Non-serializable members (the geo lookup callable) are reduced
+        to a presence flag; everything else is echoed verbatim so a
+        report fully identifies the condition that produced it.
+        """
+        return {
+            "label": self.describe(),
+            "max_minsup": self.max_minsup,
+            "ng": self.ng,
+            "prune_fraction": self.prune_fraction,
+            "sn_mode": self.sn_mode,
+            "expert_weighting": self.expert_weighting,
+            "expert_sim": self.expert_sim,
+            "same_source_discard": self.same_source_discard,
+            "classify": self.classify,
+            "classifier_threshold": self.classifier_threshold,
+            "geo_lookup": self.geo_lookup is not None,
+        }
 
     def describe(self) -> str:
         """Short condition label in the Table 9 style."""

@@ -12,6 +12,13 @@ This is the system of Figure 9, end to end:
    and drop low scorers (the Cls condition);
 5. a :class:`~repro.core.resolution.ResolutionResult` exposing ranked,
    certainty-tunable resolution.
+
+Every stage runs under the pipeline's :class:`~repro.obs.tracer.Tracer`
+(span taxonomy in ``docs/OBSERVABILITY.md``). With the default
+:data:`~repro.obs.tracer.NULL_TRACER` instrumentation is free and the
+output is byte-identical to an uninstrumented run; with an enabled
+tracer the run additionally yields a
+:class:`~repro.obs.report.RunReport` on the result.
 """
 
 from __future__ import annotations
@@ -23,9 +30,11 @@ from repro.blocking.mfiblocks import MFIBlocks
 from repro.classify.training import PairClassifier
 from repro.core.config import PipelineConfig
 from repro.core.resolution import PairEvidence, ResolutionResult
+from repro.obs.report import RunReport
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.records.dataset import Dataset
 
-__all__ = ["UncertainERPipeline"]
+__all__ = ["UncertainERPipeline", "corpus_stats"]
 
 Pair = Tuple[int, int]
 
@@ -33,14 +42,21 @@ Pair = Tuple[int, int]
 class UncertainERPipeline:
     """Runs uncertain entity resolution over a dataset."""
 
-    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.config = config or PipelineConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- pipeline stages ---------------------------------------------------------
 
     def block(self, dataset: Dataset) -> BlockingResult:
         """Stage 2: MFIBlocks soft clustering."""
-        return MFIBlocks(self.config.blocking_config()).run(dataset)
+        return MFIBlocks(
+            self.config.blocking_config(), tracer=self.tracer
+        ).run(dataset)
 
     def same_source_filter(
         self, dataset: Dataset, pairs: Iterable[Pair]
@@ -59,7 +75,7 @@ class UncertainERPipeline:
         classifier: Optional[PairClassifier] = None,
     ) -> PairClassifier:
         """Stage 4 prerequisite: fit the ADTree on expert-labeled pairs."""
-        classifier = classifier or PairClassifier(dataset)
+        classifier = classifier or PairClassifier(dataset, tracer=self.tracer)
         return classifier.fit(labeled_pairs)
 
     # -- end-to-end ---------------------------------------------------------------
@@ -78,37 +94,96 @@ class UncertainERPipeline:
         by blocking similarity alone.
         """
         config = self.config
-        blocking = self.block(dataset)
-        pair_scores: Dict[Pair, float] = dict(blocking.pair_scores)
+        tracer = self.tracer
+        with tracer.span("pipeline.run"):
+            tracer.count("pipeline.records", len(dataset))
+            with tracer.span("pipeline.block"):
+                blocking = self.block(dataset)
+            pair_scores: Dict[Pair, float] = dict(blocking.pair_scores)
+            tracer.count("pipeline.candidate_pairs", len(pair_scores))
 
-        pairs: List[Pair] = sorted(pair_scores)
-        if config.same_source_discard:
-            pairs = self.same_source_filter(dataset, pairs)
-
-        confidences: Dict[Pair, float] = {}
-        if config.classify:
-            if classifier is None:
-                if labeled_pairs is None:
-                    raise ValueError(
-                        "classify=True needs a trained classifier or labeled_pairs"
+            pairs: List[Pair] = sorted(pair_scores)
+            # Source identity is needed twice — by the SameSrc filter and
+            # by the evidence flags — so derive it exactly once per pair.
+            with tracer.span("pipeline.same_source"):
+                same_source: Dict[Pair, bool] = {
+                    pair: (
+                        dataset[pair[0]].source.key
+                        == dataset[pair[1]].source.key
                     )
-                classifier = self.train_classifier(dataset, labeled_pairs)
-            scored = classifier.rank(pairs)
-            pairs = [
-                pair for pair, score in scored
-                if score > config.classifier_threshold
-            ]
-            confidences = dict(scored)
+                    for pair in pairs
+                }
+                if config.same_source_discard:
+                    kept = [pair for pair in pairs if not same_source[pair]]
+                    tracer.count(
+                        "pipeline.pairs_dropped_same_source",
+                        len(pairs) - len(kept),
+                    )
+                    pairs = kept
 
-        evidence = [
-            PairEvidence(
-                pair=pair,
-                similarity=pair_scores[pair],
-                confidence=confidences.get(pair),
-                same_source=(
-                    dataset[pair[0]].source.key == dataset[pair[1]].source.key
-                ),
-            )
-            for pair in pairs
-        ]
-        return ResolutionResult(evidence, n_records=len(dataset))
+            confidences: Dict[Pair, float] = {}
+            if config.classify:
+                with tracer.span("pipeline.classify"):
+                    if classifier is None:
+                        if labeled_pairs is None:
+                            raise ValueError(
+                                "classify=True needs a trained classifier "
+                                "or labeled_pairs"
+                            )
+                        classifier = self.train_classifier(
+                            dataset, labeled_pairs
+                        )
+                    scored = classifier.rank(pairs)
+                    filtered = [
+                        pair for pair, score in scored
+                        if score > config.classifier_threshold
+                    ]
+                    tracer.count(
+                        "pipeline.pairs_dropped_classifier",
+                        len(pairs) - len(filtered),
+                    )
+                    pairs = filtered
+                    confidences = dict(scored)
+
+            with tracer.span("pipeline.evidence"):
+                evidence = [
+                    PairEvidence(
+                        pair=pair,
+                        similarity=pair_scores[pair],
+                        confidence=confidences.get(pair),
+                        same_source=same_source[pair],
+                    )
+                    for pair in pairs
+                ]
+            tracer.count("pipeline.resolved_pairs", len(evidence))
+
+        return ResolutionResult(
+            evidence,
+            n_records=len(dataset),
+            report=self._build_report(dataset),
+        )
+
+    # -- observability ------------------------------------------------------------
+
+    def _build_report(self, dataset: Dataset) -> Optional[RunReport]:
+        """Snapshot the tracer's aggregate into a run report (None if off)."""
+        aggregate = self.tracer.aggregate
+        if aggregate is None:
+            return None
+        return RunReport.build(
+            aggregate,
+            config=self.config.to_echo(),
+            corpus=corpus_stats(dataset),
+        )
+
+
+def corpus_stats(dataset: Dataset) -> Dict[str, object]:
+    """Corpus summary echoed into run reports."""
+    sources = {record.source.key for record in dataset}
+    n_items = sum(len(bag) for bag in dataset.item_bags.values())
+    return {
+        "name": dataset.name,
+        "n_records": len(dataset),
+        "n_sources": len(sources),
+        "n_items": n_items,
+    }

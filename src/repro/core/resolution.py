@@ -22,6 +22,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tup
 
 from repro.evaluation.goldstandard import GoldStandard
 from repro.evaluation.metrics import PairQuality
+from repro.obs.report import RunReport
 
 __all__ = ["PairEvidence", "ResolutionResult", "connected_components"]
 
@@ -87,7 +88,10 @@ class ResolutionResult:
     """The ranked, queryable outcome of an uncertain-ER run."""
 
     def __init__(
-        self, evidence: Iterable[PairEvidence], n_records: int = 0
+        self,
+        evidence: Iterable[PairEvidence],
+        n_records: int = 0,
+        report: Optional[RunReport] = None,
     ) -> None:
         self._evidence: Dict[Pair, PairEvidence] = {}
         for entry in evidence:
@@ -96,6 +100,11 @@ class ResolutionResult:
                 raise ValueError(f"pair not canonicalized: {entry.pair}")
             self._evidence[entry.pair] = entry
         self.n_records = n_records
+        #: The instrumentation account of the run that produced this
+        #: resolution (None with the default no-op tracer). Deliberately
+        #: not serialized by :meth:`to_json` — resolution artifacts stay
+        #: byte-identical with tracing on or off.
+        self.report = report
 
     # -- container ---------------------------------------------------------------
 

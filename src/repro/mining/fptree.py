@@ -61,6 +61,21 @@ class FPTree:
     def is_empty(self) -> bool:
         return not self.root.children
 
+    def node_count(self) -> int:
+        """Number of item nodes (root excluded) — the obs tree-size gauge.
+
+        FP-tree size is the memory/time driver of Fig. 12; observability
+        reads it once per built tree rather than instrumenting every
+        ``insert`` on the hot path.
+        """
+        total = 0
+        stack = list(self.root.children.values())
+        while stack:
+            node = stack.pop()
+            total += 1
+            stack.extend(node.children.values())
+        return total
+
     def items(self) -> List[int]:
         """Items present in the tree."""
         return list(self.header)

@@ -9,7 +9,9 @@ blocking keys.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, List, Set, Tuple, TypeVar
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple, TypeVar
+
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["prune_frequent_items", "DEFAULT_PRUNE_FRACTION"]
 
@@ -22,6 +24,7 @@ DEFAULT_PRUNE_FRACTION = 0.0003
 def prune_frequent_items(
     item_bags: Dict[int, FrozenSet[T]],
     fraction: float = DEFAULT_PRUNE_FRACTION,
+    tracer: Optional[Tracer] = None,
 ) -> Tuple[Dict[int, FrozenSet[T]], Set[T]]:
     """Remove the ``fraction`` most frequent items from every bag.
 
@@ -32,22 +35,26 @@ def prune_frequent_items(
     """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    tracer = tracer if tracer is not None else NULL_TRACER
     if fraction <= 0.0 or not item_bags:
         return dict(item_bags), set()
 
-    support: Dict[T, int] = {}
-    for items in item_bags.values():
-        for item in items:
-            support[item] = support.get(item, 0) + 1
+    with tracer.span("mining.prune", fraction=fraction):
+        support: Dict[T, int] = {}
+        for items in item_bags.values():
+            for item in items:
+                support[item] = support.get(item, 0) + 1
 
-    ranked: List[Tuple[T, int]] = sorted(
-        support.items(), key=lambda pair: (-pair[1], repr(pair[0]))
-    )
-    n_pruned = max(1, int(len(ranked) * fraction))
-    pruned = {item for item, _ in ranked[:n_pruned]}
+        ranked: List[Tuple[T, int]] = sorted(
+            support.items(), key=lambda pair: (-pair[1], repr(pair[0]))
+        )
+        n_pruned = max(1, int(len(ranked) * fraction))
+        pruned = {item for item, _ in ranked[:n_pruned]}
 
-    result = {
-        rid: frozenset(item for item in items if item not in pruned)
-        for rid, items in item_bags.items()
-    }
+        result = {
+            rid: frozenset(item for item in items if item not in pruned)
+            for rid, items in item_bags.items()
+        }
+    tracer.gauge("mining.vocabulary", len(ranked))
+    tracer.count("mining.items_pruned", len(pruned))
     return result, pruned

@@ -1,0 +1,74 @@
+"""Pluggable clocks for the tracer.
+
+This is the **only** module in ``src/`` permitted to read the wall
+clock, and it carries the repository's justified RL005 exemption
+(``[tool.reprolint] wallclock-allowed-paths`` in ``pyproject.toml``).
+
+Rationale: reprolint's RL005 bans clock reads in library code because
+timestamps make output vary run-over-run by construction. Observability
+is the one subsystem whose *job* is to measure wall time — but the
+non-determinism must stay quarantined. Concentrating every clock read
+behind the :class:`Clock` interface here keeps the contract auditable:
+
+* instrumented pipeline code never touches the clock — it asks the
+  tracer, which asks its injected clock;
+* timing values flow only into fields declared in
+  :data:`repro.obs.events.TIMESTAMP_FIELDS`, never into resolution
+  output (the determinism tests pin this byte-for-byte);
+* tests swap in :class:`ManualClock` and get fully deterministic
+  traces, durations included.
+
+:class:`MonotonicClock` uses ``time.perf_counter`` — monotonic and the
+highest-resolution timer available — so spans are immune to system
+clock adjustments; span times are durations, not datetimes.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "MonotonicClock", "ManualClock"]
+
+
+class Clock:
+    """Interface: a monotonically non-decreasing seconds counter.
+
+    The zero point is arbitrary; only differences are meaningful.
+    """
+
+    def now(self) -> float:
+        """Current reading in (fractional) seconds."""
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The real clock: ``time.perf_counter`` (monotonic, high-resolution)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock(Clock):
+    """A deterministic clock for tests: advances only when told to.
+
+    ``tick`` optionally auto-advances the clock by a fixed amount on
+    every read, so each span acquires a distinct, reproducible duration
+    without explicit :meth:`advance` calls.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        if tick < 0:
+            raise ValueError(f"tick must be non-negative, got {tick}")
+        self._now = start
+        self.tick = tick
+
+    def now(self) -> float:
+        value = self._now
+        self._now += self.tick
+        return value
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds}; time is monotonic")
+        self._now += seconds

@@ -1,0 +1,262 @@
+"""Per-stage aggregation and the structured :class:`RunReport`.
+
+The :class:`Aggregator` is the in-memory sink behind every enabled
+tracer: it folds the event stream into per-span-path wall-time totals,
+summed counters, and last-value gauges. :class:`RunReport` is the
+serializable snapshot of that state plus provenance — build version,
+schema version, pipeline-config echo, corpus stats — attached to
+:class:`~repro.core.resolution.ResolutionResult` and written by
+``repro resolve --report`` / ``repro profile`` / the benchmark harness.
+
+Report JSON schema (version :data:`~repro.obs.events.SCHEMA_VERSION`)::
+
+    {
+      "schema": 1,
+      "version": "1.0.0",            # build that produced the report
+      "total_seconds": 1.23,         # sum of top-level span times
+      "stages": [                    # first-start order (tree order)
+        {"path": "pipeline.run", "name": "pipeline.run",
+         "depth": 1, "calls": 1, "total_seconds": 1.23},
+        ...
+      ],
+      "counters": {"pipeline.records": 180, ...},   # sorted keys
+      "gauges": {"fpgrowth.tree_nodes": 412.0, ...},
+      "config": {...},               # PipelineConfig echo (or {})
+      "corpus": {...}                # corpus stats (or {})
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.obs.events import COUNTER, GAUGE, SCHEMA_VERSION, SPAN_END, SPAN_START
+from repro.obs.sinks import Sink
+from repro.version import repro_version
+
+__all__ = ["StageStats", "Aggregator", "RunReport"]
+
+
+@dataclass
+class StageStats:
+    """Accumulated wall time of one span path (one pipeline stage)."""
+
+    name: str
+    path: str
+    depth: int
+    calls: int = 0
+    total_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "depth": self.depth,
+            "calls": self.calls,
+            "total_seconds": self.total_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "StageStats":
+        return cls(
+            name=str(payload["name"]),
+            path=str(payload["path"]),
+            depth=int(payload["depth"]),
+            calls=int(payload["calls"]),
+            total_seconds=float(payload["total_seconds"]),
+        )
+
+
+class Aggregator(Sink):
+    """Folds the event stream into stage/counter/gauge aggregates.
+
+    Stages are keyed by full span *path* so the same span name nested
+    under different parents aggregates separately, and are kept in
+    first-start order — parents before children, siblings in execution
+    order — which is exactly tree order for rendering.
+    """
+
+    def __init__(self) -> None:
+        self.stages: Dict[str, StageStats] = {}
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        kind = event.get("event")
+        if kind == SPAN_START:
+            path = event["path"]
+            if path not in self.stages:
+                self.stages[path] = StageStats(
+                    name=event["name"], path=path, depth=event["depth"]
+                )
+        elif kind == SPAN_END:
+            path = event["path"]
+            stats = self.stages.get(path)
+            if stats is None:  # defensive: end without start
+                stats = StageStats(
+                    name=event["name"], path=path, depth=event["depth"]
+                )
+                self.stages[path] = stats
+            stats.calls += 1
+            stats.total_seconds += event["duration"]
+        elif kind == COUNTER:
+            name = event["name"]
+            self.counters[name] = self.counters.get(name, 0) + event["value"]
+        elif kind == GAUGE:
+            self.gauges[event["name"]] = event["value"]
+
+    def total_seconds(self) -> float:
+        """Wall time covered: the sum of top-level (depth-1) spans."""
+        return sum(
+            stats.total_seconds
+            for stats in self.stages.values()
+            if stats.depth == 1
+        )
+
+
+@dataclass
+class RunReport:
+    """A structured, serializable account of one instrumented run."""
+
+    version: str
+    schema_version: int
+    total_seconds: float
+    stages: List[StageStats] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    config: Dict[str, Any] = field(default_factory=dict)
+    corpus: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        aggregate: Aggregator,
+        config: Optional[Mapping[str, Any]] = None,
+        corpus: Optional[Mapping[str, Any]] = None,
+    ) -> "RunReport":
+        """Snapshot an aggregator into a report (stages are copied)."""
+        return cls(
+            version=repro_version(),
+            schema_version=SCHEMA_VERSION,
+            total_seconds=aggregate.total_seconds(),
+            stages=[
+                StageStats(**stats.to_dict())
+                for stats in aggregate.stages.values()
+            ],
+            counters=dict(aggregate.counters),
+            gauges=dict(aggregate.gauges),
+            config=dict(config or {}),
+            corpus=dict(corpus or {}),
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema_version,
+            "version": self.version,
+            "total_seconds": self.total_seconds,
+            "stages": [stats.to_dict() for stats in self.stages],
+            "counters": {
+                name: self.counters[name] for name in sorted(self.counters)
+            },
+            "gauges": {name: self.gauges[name] for name in sorted(self.gauges)},
+            "config": self.config,
+            "corpus": self.corpus,
+        }
+
+    def to_json(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=1, sort_keys=False) + "\n"
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunReport":
+        return cls(
+            version=str(payload["version"]),
+            schema_version=int(payload["schema"]),
+            total_seconds=float(payload["total_seconds"]),
+            stages=[
+                StageStats.from_dict(entry) for entry in payload["stages"]
+            ],
+            counters={
+                str(k): int(v) for k, v in payload.get("counters", {}).items()
+            },
+            gauges={
+                str(k): float(v) for k, v in payload.get("gauges", {}).items()
+            },
+            config=dict(payload.get("config", {})),
+            corpus=dict(payload.get("corpus", {})),
+        )
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "RunReport":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # -- rendering -----------------------------------------------------------
+
+    def format_table(self) -> str:
+        """Per-stage time/counter table (the ``repro profile`` output).
+
+        Stages print in tree order, indented by nesting depth, with each
+        stage's share of the total; counters and gauges follow. The
+        top-level stage times sum to ``total_seconds`` by construction,
+        and nested rows sum to (almost all of) their parent because the
+        instrumentation covers the hot path end to end.
+        """
+        total = self.total_seconds
+        lines: List[str] = [
+            f"run report (schema v{self.schema_version}, "
+            f"repro {self.version})"
+        ]
+        label = self.config.get("label")
+        if label:
+            lines.append(f"config: {label}")
+        if self.corpus:
+            corpus_bits = ", ".join(
+                f"{key}={self.corpus[key]}" for key in sorted(self.corpus)
+            )
+            lines.append(f"corpus: {corpus_bits}")
+        lines.append("")
+
+        rows: List[List[str]] = [
+            [
+                "  " * (stats.depth - 1) + stats.name,
+                str(stats.calls),
+                f"{stats.total_seconds:.4f}",
+                f"{(stats.total_seconds / total * 100):5.1f}%" if total > 0 else "",
+            ]
+            for stats in self.stages
+        ]
+        rows.append(["total", "", f"{total:.4f}", "100.0%" if total > 0 else ""])
+        headers = ["stage", "calls", "seconds", "share"]
+        widths = [
+            max(len(headers[col]), *(len(row[col]) for row in rows))
+            for col in range(4)
+        ]
+
+        def render(cells: List[str]) -> str:
+            return "  ".join(
+                cell.ljust(width) for cell, width in zip(cells, widths)
+            ).rstrip()
+
+        lines.append(render(headers))
+        lines.append(render(["-" * width for width in widths]))
+        lines.extend(render(row) for row in rows)
+
+        if self.counters:
+            lines.append("")
+            lines.append("counters:")
+            width = max(len(name) for name in self.counters)
+            for name in sorted(self.counters):
+                lines.append(f"  {name.ljust(width)}  {self.counters[name]}")
+        if self.gauges:
+            lines.append("")
+            lines.append("gauges:")
+            width = max(len(name) for name in self.gauges)
+            for name in sorted(self.gauges):
+                lines.append(f"  {name.ljust(width)}  {self.gauges[name]:g}")
+        return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Event sinks: where trace events go.
+
+A :class:`Sink` receives every event a tracer emits, in order. Three
+implementations cover the design space:
+
+* :class:`NullSink` — discards everything (the disabled-tracer analog;
+  a tracer with no sinks short-circuits even earlier);
+* :class:`JsonlSink` — streams events as JSON Lines for offline
+  analysis (``repro resolve --trace trace.jsonl``);
+* :class:`InMemorySink` — buffers raw events for tests and ad-hoc
+  inspection.
+
+The in-memory *aggregator* (per-stage totals feeding
+:class:`~repro.obs.report.RunReport`) is also a sink; it lives in
+:mod:`repro.obs.report` next to the report it produces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Union
+
+__all__ = ["Sink", "NullSink", "JsonlSink", "InMemorySink"]
+
+
+class Sink:
+    """Interface: consumes trace events (plain dicts), in emit order."""
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources; further emits are undefined."""
+
+
+class NullSink(Sink):
+    """Discards every event."""
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        return None
+
+
+class InMemorySink(Sink):
+    """Buffers events in order; ``events`` is the raw list."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+
+class JsonlSink(Sink):
+    """Writes one JSON object per line to a file or open text handle.
+
+    Keys are serialized sorted so identical runs produce byte-identical
+    lines modulo the timestamp fields. When constructed from a path the
+    sink owns (and closes) the handle; a caller-supplied handle is left
+    open on :meth:`close`.
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+        self._owns_handle = isinstance(target, (str, Path))
+        if isinstance(target, (str, Path)):
+            self._handle: Optional[IO[str]] = open(target, "w", encoding="utf-8")
+        else:
+            self._handle = target
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if self._handle is None:
+            raise ValueError("sink is closed")
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if self._handle is not None and self._owns_handle:
+            self._handle.close()
+        self._handle = None

@@ -1,0 +1,206 @@
+"""The tracer: nested spans, counters, gauges, sink fan-out.
+
+Usage inside instrumented code::
+
+    with tracer.span("mfiblocks.minsup", minsup=k):
+        ...
+        tracer.count("mfiblocks.mfis_mined", len(mfis))
+
+Design constraints (see ``docs/OBSERVABILITY.md``):
+
+* **near-zero cost when disabled** — the module-level :data:`NULL_TRACER`
+  answers every ``span()`` with one shared no-op context manager and
+  returns immediately from ``count``/``gauge``; instrumented hot loops
+  pay a single attribute check;
+* **deterministic when enabled** — event content and ordering derive
+  only from the workload; wall time enters exclusively through the
+  injected :class:`~repro.obs.clock.Clock` and lands only in the
+  declared timestamp fields;
+* **single-threaded by design**, like the pipeline it instruments: the
+  span stack is plain state, not thread-local.
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+from typing import Any, Dict, List, Optional, Sequence, Type
+
+from repro.obs.clock import Clock, MonotonicClock
+from repro.obs.events import (
+    COUNTER,
+    GAUGE,
+    SCHEMA_VERSION,
+    SPAN_END,
+    SPAN_START,
+    TRACE_START,
+)
+from repro.obs.report import Aggregator
+from repro.obs.sinks import Sink
+from repro.version import repro_version
+
+__all__ = ["Tracer", "Span", "NULL_TRACER"]
+
+
+class _NoopSpan:
+    """Shared, reentrant do-nothing context manager for disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One active span; created by :meth:`Tracer.span`, used as a CM."""
+
+    __slots__ = ("_tracer", "name", "attrs", "path", "depth", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.path = ""
+        self.depth = 0
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        tracer._stack.append(self.name)
+        self.path = "/".join(tracer._stack)
+        self.depth = len(tracer._stack)
+        event: Dict[str, Any] = {
+            "event": SPAN_START,
+            "name": self.name,
+            "path": self.path,
+            "depth": self.depth,
+        }
+        if self.attrs:
+            event["attrs"] = self.attrs
+        self._start = tracer.clock.now()
+        event["t"] = self._start
+        tracer._emit(event)
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
+        tracer = self._tracer
+        end = tracer.clock.now()
+        event: Dict[str, Any] = {
+            "event": SPAN_END,
+            "name": self.name,
+            "path": self.path,
+            "depth": self.depth,
+        }
+        if self.attrs:
+            event["attrs"] = self.attrs
+        event["t"] = end
+        event["duration"] = end - self._start
+        tracer._emit(event)
+        tracer._stack.pop()
+        return False
+
+
+class Tracer:
+    """Emits spans/counters/gauges to an aggregator plus optional sinks.
+
+    An enabled tracer always owns an :class:`Aggregator` (the substrate
+    of :class:`~repro.obs.report.RunReport`); additional sinks — e.g. a
+    :class:`~repro.obs.sinks.JsonlSink` — receive the same events.
+    Construct with ``enabled=False`` (or use :data:`NULL_TRACER`) for
+    the free-of-charge default.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        sinks: Sequence[Sink] = (),
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.clock: Clock = clock if clock is not None else MonotonicClock()
+        self.sinks: List[Sink] = list(sinks)
+        self.aggregate: Optional[Aggregator] = Aggregator() if enabled else None
+        self._stack: List[str] = []
+        self._seq = 0
+        if enabled:
+            self._emit(
+                {
+                    "event": TRACE_START,
+                    "schema": SCHEMA_VERSION,
+                    "version": repro_version(),
+                }
+            )
+
+    # -- emission ------------------------------------------------------------
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        event["seq"] = self._seq
+        self._seq += 1
+        if self.aggregate is not None:
+            self.aggregate.emit(event)
+        for sink in self.sinks:
+            sink.emit(event)
+
+    # -- instrumentation API -------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Any:
+        """Context manager timing a named, nested stage.
+
+        ``attrs`` label the span (e.g. ``minsup=4``); they become part
+        of the emitted events but not of the aggregation key, so one
+        logical stage executed with varying parameters aggregates into
+        a single row with ``calls`` > 1.
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        return Span(self, name, attrs)
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Accumulate ``value`` onto the named counter."""
+        if not self.enabled:
+            return
+        self._emit(
+            {
+                "event": COUNTER,
+                "name": name,
+                "path": "/".join(self._stack),
+                "value": value,
+            }
+        )
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time measurement (last value wins)."""
+        if not self.enabled:
+            return
+        self._emit(
+            {
+                "event": GAUGE,
+                "name": name,
+                "path": "/".join(self._stack),
+                "value": value,
+            }
+        )
+
+    def close(self) -> None:
+        """Close all attached sinks (flushes the JSONL stream)."""
+        for sink in self.sinks:
+            sink.close()
+
+
+#: The default tracer: permanently disabled, shared, stateless.
+NULL_TRACER = Tracer(enabled=False)

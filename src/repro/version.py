@@ -1,0 +1,26 @@
+"""Build-version discovery (``repro --version``, RunReport attribution).
+
+The installed distribution's metadata is authoritative — an editable
+install of a newer checkout reports that checkout's version, which is
+what makes traces attributable to a build. When the package is not
+installed (e.g. running from a source tree via ``PYTHONPATH=src``) we
+fall back to the hardcoded release version.
+"""
+
+from __future__ import annotations
+
+__all__ = ["repro_version", "FALLBACK_VERSION"]
+
+#: Mirrors ``[project] version`` in pyproject.toml; used only when the
+#: distribution metadata is unavailable.
+FALLBACK_VERSION = "1.0.0"
+
+
+def repro_version() -> str:
+    """The version string stamped into reports, traces, and ``--version``."""
+    from importlib.metadata import PackageNotFoundError, version
+
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return FALLBACK_VERSION

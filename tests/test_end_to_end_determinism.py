@@ -130,6 +130,96 @@ class TestByteIdenticalSerialization:
         assert outputs[0]  # the ranked list is non-empty
 
 
+class TestDeterminismUnderInstrumentation:
+    """Observability must be a read-only observer of the pipeline.
+
+    Two claims, both part of the obs acceptance contract
+    (docs/OBSERVABILITY.md): (1) attaching a tracer does not perturb
+    the resolution — ranked artifacts are byte-identical with tracing
+    on or off; (2) the trace itself is deterministic — two identical
+    runs emit identical event streams once the declared timestamp
+    fields are stripped.
+    """
+
+    @pytest.fixture()
+    def corpus_path(self, tmp_path):
+        path = tmp_path / "corpus.json"
+        assert cli_main([
+            "generate", "--persons", "60", "--communities", "italy",
+            "--seed", "23", "--out", str(path),
+        ]) == 0
+        return path
+
+    def test_csv_byte_identical_with_tracing_on_vs_off(
+        self, corpus_path, tmp_path, capsys
+    ):
+        outputs = {}
+        for tag, extra in (
+            ("off", []),
+            ("on", ["--trace", str(tmp_path / "trace.jsonl"),
+                    "--report", str(tmp_path / "report.json")]),
+        ):
+            out = tmp_path / f"matches_{tag}.csv"
+            assert cli_main([
+                "resolve", str(corpus_path), "--ng", "3.0",
+                "--max-minsup", "4", "--expert-weighting",
+                "--out", str(out), *extra,
+            ]) == 0
+            outputs[tag] = out.read_bytes()
+        assert outputs["off"] == outputs["on"]
+        assert outputs["off"]
+        assert (tmp_path / "trace.jsonl").is_file()
+        assert (tmp_path / "report.json").is_file()
+
+    def test_resolution_json_byte_identical_traced_vs_untraced(
+        self, twin_corpora, tmp_path
+    ):
+        from repro.obs import Tracer
+
+        (dataset, _), _ = twin_corpora
+        config = PipelineConfig(max_minsup=4, ng=3.0, expert_weighting=True)
+        payloads = []
+        for tag, tracer in (("off", None), ("on", Tracer())):
+            resolution = UncertainERPipeline(config, tracer=tracer).run(
+                dataset
+            )
+            out = tmp_path / f"resolution_{tag}.json"
+            resolution.to_json(out)
+            payloads.append(out.read_bytes())
+        assert payloads[0] == payloads[1]
+
+    def test_trace_events_identical_across_runs_modulo_timestamps(
+        self, corpus_path, tmp_path, capsys
+    ):
+        import json
+
+        from repro.obs import TIMESTAMP_FIELDS, strip_timestamps
+
+        traces = []
+        for tag in ("first", "second"):
+            trace = tmp_path / f"trace_{tag}.jsonl"
+            assert cli_main([
+                "resolve", str(corpus_path), "--ng", "3.0",
+                "--max-minsup", "4", "--expert-weighting",
+                "--trace", str(trace),
+            ]) == 0
+            traces.append([
+                json.loads(line)
+                for line in trace.read_text().splitlines()
+            ])
+        first, second = traces
+        assert len(first) == len(second)
+        assert first != second  # wall-clock readings differ...
+        stripped_first = [strip_timestamps(e) for e in first]
+        stripped_second = [strip_timestamps(e) for e in second]
+        assert stripped_first == stripped_second  # ...and nothing else
+        # The declared timestamp fields really are the only divergence.
+        for a, b in zip(first, second):
+            for key in a:
+                if key not in TIMESTAMP_FIELDS:
+                    assert a[key] == b[key]
+
+
 class TestCrossStageConsistency:
     def test_pairs_reference_real_records(self, twin_corpora):
         (dataset, _), _ = twin_corpora
