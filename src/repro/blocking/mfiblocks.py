@@ -26,6 +26,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.blocking.base import Block, BlockingAlgorithm, BlockingResult
 from repro.blocking.scoring import BlockScorer, SparseNeighborhoodFilter
+from repro.contracts import ordered_output, pure
 from repro.mining.fpgrowth import maximal_frequent_itemsets
 from repro.mining.pruning import prune_frequent_items
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -99,6 +100,7 @@ class MFIBlocks(BlockingAlgorithm):
         self.config = config or MFIBlocksConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
 
+    @ordered_output
     def run(self, dataset: Dataset) -> BlockingResult:
         config = self.config
         tracer = self.tracer
@@ -132,6 +134,7 @@ class MFIBlocks(BlockingAlgorithm):
 
     # -- internals -----------------------------------------------------------
 
+    @ordered_output
     def _one_iteration(
         self,
         uncovered: List[int],
@@ -187,6 +190,7 @@ class MFIBlocks(BlockingAlgorithm):
         return index
 
     @staticmethod
+    @pure
     def _find_support(
         items: FrozenSet[Item], index: Dict[Item, Set[int]]
     ) -> FrozenSet[int]:

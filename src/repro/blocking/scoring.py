@@ -28,6 +28,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.contracts import deterministic, pure
 from repro.records.itembag import Item, ItemType
 from repro.similarity.items import (
     GeoLookup,
@@ -104,6 +105,7 @@ class BlockScorer:
     weights: Optional[Mapping[ItemType, float]] = None
     geo_lookup: Optional[GeoLookup] = None
 
+    @pure
     def pair_similarity(self, a: FrozenSet[Item], b: FrozenSet[Item]) -> float:
         """Similarity between two records' item bags under the method."""
         if self.method is ScoringMethod.UNIFORM:
@@ -113,6 +115,7 @@ class BlockScorer:
             return weighted_jaccard_items(a, b, weights)
         return soft_jaccard_items(a, b, self.geo_lookup, self.weights)
 
+    @pure
     def score_block(
         self,
         records: Sequence[int],
@@ -137,6 +140,7 @@ class BlockScorer:
         return total / n_pairs
 
 
+@pure
 def neighborhood_cap(ng: float, minsup: int) -> int:
     """Maximum distinct neighbors a record may accumulate (SN bound).
 
@@ -201,6 +205,7 @@ class SparseNeighborhoodFilter:
             bucket = self.neighbors.setdefault(rid, set())
             bucket.update(records - {rid})
 
+    @deterministic
     def filter_blocks(
         self,
         scored_blocks: List[Tuple[FrozenSet[int], FrozenSet[Item], float]],

@@ -20,8 +20,9 @@ import abc
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
+from repro.contracts import pure
 from repro.similarity.features import FeatureVector
 
 __all__ = [
@@ -52,11 +53,11 @@ class Condition(abc.ABC):
         """Human-readable form of the yes (True) / no (False) branch."""
 
     @abc.abstractmethod
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable representation."""
 
     @staticmethod
-    def from_dict(payload: dict) -> "Condition":
+    def from_dict(payload: Dict[str, Any]) -> "Condition":
         kind = payload["kind"]
         if kind == "numeric":
             return NumericCondition(payload["feature"], payload["threshold"])
@@ -82,7 +83,7 @@ class NumericCondition(Condition):
         op = "<" if branch else ">="
         return f"{self.feature} {op} {self.threshold:.3f}"
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {"kind": "numeric", "feature": self.feature,
                 "threshold": self.threshold}
 
@@ -104,7 +105,7 @@ class CategoricalCondition(Condition):
         op = "=" if branch else "!="
         return f"{self.feature} {op} {self.value}"
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {"kind": "categorical", "feature": self.feature,
                 "value": self.value}
 
@@ -136,6 +137,7 @@ class ADTreeModel:
 
     # -- scoring ----------------------------------------------------------------
 
+    @pure
     def score(self, features: FeatureVector) -> float:
         """Sum of prediction values along all reachable paths.
 
@@ -193,8 +195,8 @@ class ADTreeModel:
 
     # -- serialization ---------------------------------------------------------------
 
-    def to_dict(self) -> dict:
-        def node_dict(node: PredictionNode) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
+        def node_dict(node: PredictionNode) -> Dict[str, Any]:
             return {
                 "value": node.value,
                 "splitters": [
@@ -211,8 +213,8 @@ class ADTreeModel:
         return {"root": node_dict(self.root)}
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "ADTreeModel":
-        def build(entry: dict) -> PredictionNode:
+    def from_dict(cls, payload: Dict[str, Any]) -> "ADTreeModel":
+        def build(entry: Dict[str, Any]) -> PredictionNode:
             node = PredictionNode(entry["value"])
             for raw in entry.get("splitters", ()):
                 node.splitters.append(

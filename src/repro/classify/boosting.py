@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.classify.adtree import (
     ADTreeModel,
@@ -36,6 +37,7 @@ from repro.classify.adtree import (
     PredictionNode,
     SplitterNode,
 )
+from repro.contracts import deterministic
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.similarity.features import FeatureVector
 
@@ -47,8 +49,8 @@ class _CandidateSet:
     """Precomputed base conditions with their evaluation matrices."""
 
     conditions: List[Condition]
-    satisfied: np.ndarray  # (n_cond, n) float32: test passes
-    present: np.ndarray  # (n_cond, n) float32: feature present
+    satisfied: NDArray[np.float64]  # (n_cond, n): test passes
+    present: NDArray[np.float64]  # (n_cond, n): feature present
 
 
 class ADTreeLearner:
@@ -74,6 +76,7 @@ class ADTreeLearner:
 
     # -- public API ---------------------------------------------------------------
 
+    @deterministic
     def fit(
         self,
         features: Sequence[FeatureVector],
@@ -106,7 +109,7 @@ class ADTreeLearner:
             return ADTreeModel(root)
 
         # Preconditions: (reachability mask, prediction node to attach to).
-        preconditions: List[Tuple[np.ndarray, PredictionNode]] = [
+        preconditions: List[Tuple[NDArray[np.float64], PredictionNode]] = [
             (np.ones(n), root)
         ]
 
@@ -150,9 +153,9 @@ class ADTreeLearner:
     def _best_split(
         self,
         candidates: _CandidateSet,
-        preconditions: List[Tuple[np.ndarray, PredictionNode]],
-        weights: np.ndarray,
-        y: np.ndarray,
+        preconditions: List[Tuple[NDArray[np.float64], PredictionNode]],
+        weights: NDArray[np.float64],
+        y: NDArray[np.float64],
     ) -> Optional[Tuple[int, int, float, float]]:
         """Z-minimizing (precondition, condition) with its branch values."""
         w_pos = weights * (y > 0)
@@ -198,8 +201,8 @@ class ADTreeLearner:
         names = self._feature_names(features)
         n = len(features)
         conditions: List[Condition] = []
-        satisfied_rows: List[np.ndarray] = []
-        present_rows: List[np.ndarray] = []
+        satisfied_rows: List[NDArray[np.float64]] = []
+        present_rows: List[NDArray[np.float64]] = []
 
         for name in names:
             raw = [vector.get(name) for vector in features]
@@ -235,7 +238,7 @@ class ADTreeLearner:
         present = np.array(present_rows, dtype=np.float64)
         return _CandidateSet(conditions, satisfied, present)
 
-    def _thresholds(self, present_values: np.ndarray) -> List[float]:
+    def _thresholds(self, present_values: NDArray[np.float64]) -> List[float]:
         """Candidate thresholds: midpoints of unique values, quantile-capped."""
         unique = np.unique(present_values)
         if unique.size < 2:

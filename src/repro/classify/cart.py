@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.contracts import deterministic
 from repro.similarity.features import FeatureVector
 
 __all__ = ["CartLearner", "CartModel"]
@@ -73,7 +74,7 @@ class CartModel:
         return self.score(features) > threshold
 
     def depth(self) -> int:
-        def walk(node) -> int:
+        def walk(node: Union[_Split, _Leaf]) -> int:
             if isinstance(node, _Leaf):
                 return 0
             return 1 + max(walk(node.yes), walk(node.no))
@@ -81,7 +82,7 @@ class CartModel:
         return walk(self.root)
 
     def n_leaves(self) -> int:
-        def walk(node) -> int:
+        def walk(node: Union[_Split, _Leaf]) -> int:
             if isinstance(node, _Leaf):
                 return 1
             return walk(node.yes) + walk(node.no)
@@ -116,6 +117,7 @@ class CartLearner:
         self.min_samples_leaf = min_samples_leaf
         self.max_numeric_thresholds = max_numeric_thresholds
 
+    @deterministic
     def fit(
         self,
         features: Sequence[FeatureVector],
@@ -132,11 +134,18 @@ class CartLearner:
 
     # -- internals -----------------------------------------------------------
 
-    def _leaf(self, labels, indices) -> _Leaf:
+    def _leaf(self, labels: Sequence[bool], indices: List[int]) -> _Leaf:
         n_pos = sum(1 for i in indices if labels[i])
         return _Leaf(n_pos / len(indices) if indices else 0.5)
 
-    def _build(self, features, labels, indices, names, depth):
+    def _build(
+        self,
+        features: Sequence[FeatureVector],
+        labels: Sequence[bool],
+        indices: List[int],
+        names: List[str],
+        depth: int,
+    ) -> Union[_Split, _Leaf]:
         n_pos = sum(1 for i in indices if labels[i])
         n_neg = len(indices) - n_pos
         if (
@@ -160,7 +169,12 @@ class CartLearner:
             no=self._build(features, labels, no_idx, names, depth + 1),
         )
 
-    def _candidate_tests(self, features, indices, name):
+    def _candidate_tests(
+        self,
+        features: Sequence[FeatureVector],
+        indices: List[int],
+        name: str,
+    ) -> List[Tuple[Optional[float], Optional[str]]]:
         values = [features[i].get(name) for i in indices]
         present = [v for v in values if v is not None]
         if not present:
@@ -186,18 +200,30 @@ class CartLearner:
                 tests.append((None, category))
         return tests
 
-    def _best_split(self, features, labels, indices, names):
+    def _best_split(
+        self,
+        features: Sequence[FeatureVector],
+        labels: Sequence[bool],
+        indices: List[int],
+        names: List[str],
+    ) -> Optional[
+        Tuple[str, Optional[float], Optional[str], List[int], List[int], bool]
+    ]:
         parent_gini = _gini(
             sum(1 for i in indices if labels[i]),
             sum(1 for i in indices if not labels[i]),
         )
         best_gain = 1e-9
-        best = None
+        best: Optional[
+            Tuple[str, Optional[float], Optional[str], List[int], List[int], bool]
+        ] = None
         for name in names:
             for threshold, category in self._candidate_tests(
                 features, indices, name
             ):
-                yes_idx, no_idx, missing_idx = [], [], []
+                yes_idx: List[int] = []
+                no_idx: List[int] = []
+                missing_idx: List[int] = []
                 for i in indices:
                     value = features[i].get(name)
                     if value is None:

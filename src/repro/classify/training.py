@@ -15,10 +15,21 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.classify.adtree import ADTreeModel
 from repro.classify.boosting import ADTreeLearner
+from repro.contracts import deterministic, ordered_output, seeded
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.records.dataset import Dataset
 from repro.similarity.features import FeatureVector, extract_features
@@ -34,6 +45,8 @@ __all__ = [
 ]
 
 Pair = Tuple[int, int]
+
+T = TypeVar("T")
 
 
 @dataclass(frozen=True)
@@ -77,9 +90,10 @@ def pair_features(
     ]
 
 
+@seeded(param="seed")
 def train_test_split(
-    items: Sequence, test_fraction: float = 0.3, seed: int = 11
-) -> Tuple[List, List]:
+    items: Sequence[T], test_fraction: float = 0.3, seed: int = 11
+) -> Tuple[List[T], List[T]]:
     """Deterministic shuffle split; returns (train, test)."""
     if not 0.0 < test_fraction < 1.0:
         raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
@@ -113,6 +127,7 @@ def evaluate_model(
     return EvaluationResult(len(features), tp, fp, tn, fn)
 
 
+@seeded(param="seed")
 def cross_validate(
     features: Sequence[FeatureVector],
     labels: Sequence[bool],
@@ -159,6 +174,7 @@ class PairClassifier:
         self.feature_names = feature_names
         self.model: Optional[ADTreeModel] = None
 
+    @deterministic
     def fit(self, labeled_pairs: Mapping[Pair, bool]) -> "PairClassifier":
         """Train the ADTree from pair -> is-match labels."""
         with self.tracer.span("classify.fit", n_pairs=len(labeled_pairs)):
@@ -186,6 +202,7 @@ class PairClassifier:
         )
         return model.score(vector)
 
+    @ordered_output
     def rank(self, pairs: Iterable[Pair]) -> List[Tuple[Pair, float]]:
         """Pairs sorted by descending confidence — the ranked resolution."""
         with self.tracer.span("classify.rank"):

@@ -144,6 +144,27 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated rule codes to run exclusively")
     lint.add_argument("--statistics", action="store_true",
                       help="append per-rule counts")
+    lint.add_argument("--contracts", action="store_true",
+                      help="also run the inter-procedural RL100-RL103 "
+                           "contract checks")
+
+    sanitize = commands.add_parser(
+        "sanitize",
+        help="re-run a small seeded resolution under permuted "
+             "PYTHONHASHSEED values and require byte-identical output",
+    )
+    sanitize.add_argument("--seeds", type=int, default=3,
+                          help="number of non-baseline hash seeds "
+                               "(default: 3)")
+    sanitize.add_argument("--persons", type=int, default=40)
+    sanitize.add_argument("--corpus-seed", type=int, default=17)
+    sanitize.add_argument("--ng", type=float, default=3.5)
+    sanitize.add_argument("--communities", nargs="+", default=["italy"],
+                          choices=list(COMMUNITIES))
+    sanitize.add_argument("--no-expert-weighting", action="store_true")
+    sanitize.add_argument("--diff-out", type=Path, default=None,
+                          help="write the first divergence as a unified "
+                               "diff to this file")
 
     return parser
 
@@ -367,6 +388,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         lint_argv += ["--select", args.select]
     if args.statistics:
         lint_argv.append("--statistics")
+    if args.contracts:
+        lint_argv.append("--contracts")
 
     try:
         from tools.reprolint.cli import main as reprolint_main
@@ -390,6 +413,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return reprolint_main(lint_argv)
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    """Delegate to :mod:`repro.sanitize` (hash-order determinism check)."""
+    from repro.sanitize import main as sanitize_main
+
+    sanitize_argv: List[str] = [
+        "--seeds", str(args.seeds),
+        "--persons", str(args.persons),
+        "--corpus-seed", str(args.corpus_seed),
+        "--ng", str(args.ng),
+        "--communities", *args.communities,
+    ]
+    if args.no_expert_weighting:
+        sanitize_argv.append("--no-expert-weighting")
+    if args.diff_out is not None:
+        sanitize_argv += ["--diff-out", str(args.diff_out)]
+    return sanitize_main(sanitize_argv)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "analyze": _cmd_analyze,
@@ -398,6 +439,7 @@ _COMMANDS = {
     "narratives": _cmd_narratives,
     "experiment": _cmd_experiment,
     "lint": _cmd_lint,
+    "sanitize": _cmd_sanitize,
 }
 
 

@@ -1,0 +1,104 @@
+"""Determinism contracts: declarative markers checked by reprolint.
+
+The paper's evaluation rests on ranked pair lists being byte-identical
+run over run; PR 1's reprolint enforces that *within* a line, and the
+inter-procedural pass (``repro lint --contracts``, rules RL100-RL103 in
+``tools/reprolint/contracts.py``) enforces it across function
+boundaries. These decorators are the vocabulary of that pass:
+
+``@pure``
+    No observable effects and output depends only on the arguments.
+    The item-similarity functions of Eq. 1 are the canonical example.
+``@deterministic``
+    Output depends only on the arguments (effects such as tracing are
+    allowed) — same inputs, same outputs, every run, every
+    ``PYTHONHASHSEED``.
+``@ordered_output``
+    ``@deterministic`` whose returned collection order is part of the
+    contract: ranked pair lists, mined itemset lists, CSV row streams.
+``@seeded(param="rng")``
+    Deterministic *given* the named seed/RNG parameter: all randomness
+    flows from it, and calls into other ``@seeded`` functions must
+    thread it (rule RL102).
+``@impure(reason)``
+    Declared, reviewed nondeterminism — the contract-layer counterpart
+    of an RL005 path exemption. ``repro.obs.clock`` is the sole
+    wall-clock holder of this marker in ``src/``; a contracted function
+    that reaches a declared-impure one is an RL100 violation.
+
+At runtime the decorators only attach ``__repro_contracts__`` metadata
+(queryable via :func:`contracts_of`) and return the function unchanged:
+zero overhead, no wrapping, signatures and identities preserved. All
+enforcement is static — the linter recognizes the decorator syntax —
+plus dynamic spot-checks by the ``repro sanitize`` hash-order harness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple, TypeVar
+
+__all__ = [
+    "pure",
+    "deterministic",
+    "ordered_output",
+    "seeded",
+    "impure",
+    "contracts_of",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Attribute attached to decorated callables: a tuple of marker strings
+#: such as ``("pure",)`` or ``("seeded:rng",)``.
+CONTRACT_ATTR = "__repro_contracts__"
+
+
+def _attach(func: F, marker: str) -> F:
+    existing: Tuple[str, ...] = getattr(func, CONTRACT_ATTR, ())
+    setattr(func, CONTRACT_ATTR, existing + (marker,))
+    return func
+
+
+def pure(func: F) -> F:
+    """Mark ``func`` as pure: argument-determined output, no effects."""
+    return _attach(func, "pure")
+
+
+def deterministic(func: F) -> F:
+    """Mark ``func`` as deterministic: argument-determined output."""
+    return _attach(func, "deterministic")
+
+
+def ordered_output(func: F) -> F:
+    """Mark ``func`` deterministic including its output *ordering*."""
+    return _attach(func, "ordered_output")
+
+
+def seeded(param: str = "rng") -> Callable[[F], F]:
+    """Mark a function deterministic given the seed parameter ``param``."""
+
+    def decorate(func: F) -> F:
+        return _attach(func, f"seeded:{param}")
+
+    return decorate
+
+
+def impure(reason: str) -> Callable[[F], F]:
+    """Declare reviewed nondeterminism (wall clock, entropy, I/O order).
+
+    ``reason`` is mandatory: an undocumented impurity declaration is as
+    suspect as an unjustified lint suppression.
+    """
+    if not reason or not reason.strip():
+        raise ValueError("impure() requires a non-empty reason")
+
+    def decorate(func: F) -> F:
+        return _attach(func, "impure")
+
+    return decorate
+
+
+def contracts_of(func: Callable[..., Any]) -> Tuple[str, ...]:
+    """The contract markers attached to ``func`` (empty if none)."""
+    markers: Tuple[str, ...] = getattr(func, CONTRACT_ATTR, ())
+    return markers

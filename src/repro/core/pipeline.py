@@ -28,6 +28,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 from repro.blocking.base import BlockingResult
 from repro.blocking.mfiblocks import MFIBlocks
 from repro.classify.training import PairClassifier
+from repro.contracts import deterministic, ordered_output
 from repro.core.config import PipelineConfig
 from repro.core.resolution import PairEvidence, ResolutionResult
 from repro.obs.report import RunReport
@@ -52,6 +53,7 @@ class UncertainERPipeline:
 
     # -- pipeline stages ---------------------------------------------------------
 
+    @deterministic
     def block(self, dataset: Dataset) -> BlockingResult:
         """Stage 2: MFIBlocks soft clustering."""
         return MFIBlocks(
@@ -80,6 +82,7 @@ class UncertainERPipeline:
 
     # -- end-to-end ---------------------------------------------------------------
 
+    @ordered_output
     def run(
         self,
         dataset: Dataset,
@@ -177,6 +180,7 @@ class UncertainERPipeline:
         )
 
 
+@deterministic
 def corpus_stats(dataset: Dataset) -> Dict[str, object]:
     """Corpus summary echoed into run reports."""
     sources = {record.source.key for record in dataset}

@@ -33,6 +33,7 @@ from typing import (
     TypeVar,
 )
 
+from repro.contracts import ordered_output, pure
 from repro.mining.fptree import FPTree
 from repro.obs.tracer import NULL_TRACER, Tracer
 
@@ -81,9 +82,11 @@ class _Vocabulary(Generic[T]):
         self.order: Dict[int, int] = {index: index for index in range(len(frequent))}
 
     def encode(self, transaction: Collection[T]) -> List[int]:
-        ids = [self.id_of[value] for value in set(transaction) if value in self.id_of]
-        ids.sort()
-        return ids
+        return sorted(
+            self.id_of[value]
+            for value in set(transaction)
+            if value in self.id_of
+        )
 
     def decode(self, ids: Iterable[int]) -> FrozenSet[T]:
         return frozenset(self.value_of[item_id] for item_id in ids)
@@ -111,6 +114,7 @@ def _validate(transactions: List[List[T]], minsup: int) -> None:
 # ---------------------------------------------------------------------------
 
 
+@ordered_output
 def frequent_itemsets(
     transactions: Iterable[Collection[T]], minsup: int
 ) -> List[Itemset[T]]:
@@ -161,19 +165,21 @@ class _MFIStore:
         self.itemsets: List[Tuple[FrozenSet[int], int]] = []
         self._by_item: Dict[int, Set[int]] = {}
 
+    @pure
     def is_subsumed(self, candidate: FrozenSet[int]) -> bool:
-        if not candidate:
-            return bool(self.itemsets)
-        iterator = iter(candidate)
-        first = next(iterator)
-        hits = self._by_item.get(first)
-        if not hits:
-            return False
-        hits = set(hits)
-        for item in iterator:
-            hits &= self._by_item.get(item, set())
+        # The surviving-ids set is a pure intersection over the candidate's
+        # posting lists, so the (hash-seed-dependent) visit order of
+        # ``candidate`` cannot change the outcome.
+        hits: Optional[Set[int]] = None
+        for item in candidate:
+            postings = self._by_item.get(item)
+            if not postings:
+                return False
+            hits = set(postings) if hits is None else hits & postings
             if not hits:
                 return False
+        if hits is None:  # empty candidate: any stored MFI subsumes it
+            return bool(self.itemsets)
         return True
 
     def add(self, candidate: FrozenSet[int], support: int) -> None:
@@ -183,6 +189,7 @@ class _MFIStore:
             self._by_item.setdefault(item, set()).add(index)
 
 
+@ordered_output
 def maximal_frequent_itemsets(
     transactions: Iterable[Collection[T]],
     minsup: int,
@@ -249,6 +256,7 @@ def _fpmax(
         _fpmax(conditional, new_suffix, minsup, order, store)
 
 
+@ordered_output
 def maximal_via_filter(
     transactions: Iterable[Collection[T]], minsup: int
 ) -> List[Itemset[T]]:

@@ -1,8 +1,10 @@
 """Pluggable clocks for the tracer.
 
 This is the **only** module in ``src/`` permitted to read the wall
-clock, and it carries the repository's justified RL005 exemption
-(``[tool.reprolint] wallclock-allowed-paths`` in ``pyproject.toml``).
+clock. The exemption is carried by the ``@impure`` contract on
+:meth:`MonotonicClock.now` — an explicit, per-function declaration that
+reprolint's RL005 honors directly, instead of a path-based waiver in
+``pyproject.toml``.
 
 Rationale: reprolint's RL005 bans clock reads in library code because
 timestamps make output vary run-over-run by construction. Observability
@@ -27,6 +29,8 @@ from __future__ import annotations
 
 import time
 
+from repro.contracts import impure
+
 __all__ = ["Clock", "MonotonicClock", "ManualClock"]
 
 
@@ -44,6 +48,7 @@ class Clock:
 class MonotonicClock(Clock):
     """The real clock: ``time.perf_counter`` (monotonic, high-resolution)."""
 
+    @impure("wall-clock read — the tracer's quarantined timing source")
     def now(self) -> float:
         return time.perf_counter()
 

@@ -1,0 +1,298 @@
+"""Hash-order sanitizer: prove resolution output ignores PYTHONHASHSEED.
+
+Python randomizes ``str``/``bytes`` hashing per process unless
+``PYTHONHASHSEED`` pins it, so any code path that lets ``set``/``dict``
+iteration order reach output produces *different bytes on different
+runs*. reprolint's RL002 and the RL100-RL103 contract pass catch such
+paths statically; this module is the dynamic counterpart — an
+end-to-end experiment:
+
+1. run a small, fully seeded corpus-generation + resolution in a child
+   process with a **baseline** ``PYTHONHASHSEED``;
+2. repeat under ``n`` further hash seeds, permuting every hash-dependent
+   iteration order in the interpreter;
+3. assert the ranked resolution output is **byte-identical** across all
+   runs, and render a unified diff of the first divergence otherwise.
+
+The child entry point is ``python -m repro.sanitize --emit`` (it prints
+the ranked-pairs CSV to stdout); :func:`run_sanitize` drives it through
+a pluggable *runner* so tests can exercise the comparison logic without
+spawning processes. Exit codes mirror reprolint: 0 identical, 1
+divergence, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SanitizeConfig",
+    "SeedRun",
+    "SanitizeResult",
+    "emit_resolution",
+    "subprocess_runner",
+    "run_sanitize",
+    "main",
+]
+
+#: Maps a PYTHONHASHSEED value to the emitted resolution text.
+Runner = Callable[[int], str]
+
+
+@dataclass(frozen=True)
+class SanitizeConfig:
+    """What to resolve and under which hash seeds to re-run it."""
+
+    persons: int = 40
+    communities: Tuple[str, ...] = ("italy",)
+    corpus_seed: int = 17
+    ng: float = 3.5
+    expert_weighting: bool = True
+    baseline_hash_seed: int = 0
+    hash_seeds: Tuple[int, ...] = (1, 2, 3)
+    timeout: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.persons < 2:
+            raise ValueError(f"persons must be >= 2, got {self.persons}")
+        if not self.hash_seeds:
+            raise ValueError("need at least one non-baseline hash seed")
+        if self.baseline_hash_seed in self.hash_seeds:
+            raise ValueError(
+                f"baseline hash seed {self.baseline_hash_seed} must not "
+                "recur in hash_seeds"
+            )
+
+
+@dataclass(frozen=True)
+class SeedRun:
+    """Outcome of one hash-seed run, compared against the baseline."""
+
+    hash_seed: int
+    matches_baseline: bool
+    n_lines: int
+
+
+@dataclass
+class SanitizeResult:
+    """Baseline plus per-seed comparisons and the first divergence diff."""
+
+    baseline_hash_seed: int
+    baseline_output: str
+    runs: List[SeedRun] = field(default_factory=list)
+    diff: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(run.matches_baseline for run in self.runs)
+
+    @property
+    def divergent_seeds(self) -> List[int]:
+        return [r.hash_seed for r in self.runs if not r.matches_baseline]
+
+    def write_diff(self, path: Path) -> None:
+        """Persist the divergence diff (empty file when clean) for CI."""
+        path.write_text(self.diff or "", encoding="utf-8")
+
+
+def emit_resolution(config: SanitizeConfig) -> str:
+    """Generate the sanitizer corpus, resolve it, render the ranked CSV.
+
+    Everything downstream of the interpreter's hash seed is exercised:
+    item-bag construction, MFI mining, blocking, scoring, and ranking.
+    All explicit RNG is seeded from ``config``, so the *only* free
+    variable across child processes is PYTHONHASHSEED.
+    """
+    # Imported here so the child process pays for the pipeline only in
+    # --emit mode and the module stays importable for config/diff logic
+    # even in stripped-down environments.
+    from repro.core import PipelineConfig, UncertainERPipeline
+    from repro.datagen import build_corpus
+
+    dataset, _persons = build_corpus(
+        n_persons=config.persons,
+        communities=config.communities,
+        seed=config.corpus_seed,
+        name="sanitize",
+    )
+    pipeline = UncertainERPipeline(
+        PipelineConfig(ng=config.ng, expert_weighting=config.expert_weighting)
+    )
+    resolution = pipeline.run(dataset)
+    lines = ["book_id_a,book_id_b,similarity"]
+    for evidence in resolution.ranked():
+        a, b = evidence.pair
+        lines.append(f"{a},{b},{evidence.similarity:.6f}")
+    return "\n".join(lines) + "\n"
+
+
+def subprocess_runner(config: SanitizeConfig) -> Runner:
+    """Real runner: one ``python -m repro.sanitize --emit`` per hash seed."""
+
+    def run(hash_seed: int) -> str:
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = str(hash_seed)
+        # The child must resolve `repro` to the same tree as this process.
+        package_root = str(Path(__file__).resolve().parents[1])
+        previous = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not previous
+            else package_root + os.pathsep + previous
+        )
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.sanitize",
+            "--emit",
+            "--persons", str(config.persons),
+            "--corpus-seed", str(config.corpus_seed),
+            "--ng", str(config.ng),
+            "--communities", *config.communities,
+        ]
+        if not config.expert_weighting:
+            argv.append("--no-expert-weighting")
+        completed = subprocess.run(
+            argv,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=config.timeout,
+        )
+        if completed.returncode != 0:
+            raise RuntimeError(
+                f"sanitizer child (PYTHONHASHSEED={hash_seed}) failed with "
+                f"exit code {completed.returncode}:\n{completed.stderr}"
+            )
+        return completed.stdout
+
+    return run
+
+
+def run_sanitize(
+    config: SanitizeConfig, runner: Optional[Runner] = None
+) -> SanitizeResult:
+    """Run the baseline plus every configured hash seed and compare."""
+    runner = runner if runner is not None else subprocess_runner(config)
+    baseline = runner(config.baseline_hash_seed)
+    result = SanitizeResult(
+        baseline_hash_seed=config.baseline_hash_seed,
+        baseline_output=baseline,
+    )
+    for hash_seed in config.hash_seeds:
+        output = runner(hash_seed)
+        matches = output == baseline
+        result.runs.append(
+            SeedRun(
+                hash_seed=hash_seed,
+                matches_baseline=matches,
+                n_lines=output.count("\n"),
+            )
+        )
+        if not matches and result.diff is None:
+            result.diff = "".join(
+                difflib.unified_diff(
+                    baseline.splitlines(keepends=True),
+                    output.splitlines(keepends=True),
+                    fromfile=f"PYTHONHASHSEED={config.baseline_hash_seed}",
+                    tofile=f"PYTHONHASHSEED={hash_seed}",
+                )
+            )
+    return result
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sanitize",
+        description=(
+            "re-run a small seeded resolution under permuted "
+            "PYTHONHASHSEED values and require byte-identical output"
+        ),
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=3,
+        help="number of non-baseline hash seeds to try (default: 3)",
+    )
+    parser.add_argument("--persons", type=int, default=40)
+    parser.add_argument("--corpus-seed", type=int, default=17)
+    parser.add_argument("--ng", type=float, default=3.5)
+    parser.add_argument(
+        "--communities", nargs="+", default=["italy"],
+        help="synthetic-corpus communities (default: italy)",
+    )
+    parser.add_argument(
+        "--no-expert-weighting", action="store_true",
+        help="score blocks with uniform Jaccard instead",
+    )
+    parser.add_argument(
+        "--diff-out", type=Path, default=None,
+        help="write the first divergence as a unified diff to this file",
+    )
+    parser.add_argument(
+        "--emit", action="store_true",
+        help=argparse.SUPPRESS,  # internal: child mode, print CSV and exit
+    )
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> SanitizeConfig:
+    return SanitizeConfig(
+        persons=args.persons,
+        communities=tuple(args.communities),
+        corpus_seed=args.corpus_seed,
+        ng=args.ng,
+        expert_weighting=not args.no_expert_weighting,
+        hash_seeds=tuple(range(1, args.seeds + 1)),
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.sanitize`` and ``repro sanitize``."""
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    if args.seeds < 1:
+        print("repro-sanitize: --seeds must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        config = _config_from_args(args)
+    except ValueError as exc:
+        print(f"repro-sanitize: {exc}", file=sys.stderr)
+        return 2
+
+    if args.emit:
+        sys.stdout.write(emit_resolution(config))
+        return 0
+
+    result = run_sanitize(config)
+    n_pairs = result.baseline_output.count("\n") - 1
+    print(
+        f"baseline PYTHONHASHSEED={result.baseline_hash_seed}: "
+        f"{n_pairs} ranked pairs"
+    )
+    for run in result.runs:
+        status = "identical" if run.matches_baseline else "DIVERGED"
+        print(f"PYTHONHASHSEED={run.hash_seed}: {status}")
+    if args.diff_out is not None:
+        result.write_diff(args.diff_out)
+        if result.diff:
+            print(f"wrote divergence diff to {args.diff_out}")
+    if result.ok:
+        print(f"hash-order sanitizer: {len(result.runs)} seeds byte-identical")
+        return 0
+    print(
+        "hash-order sanitizer: output depends on PYTHONHASHSEED "
+        f"(diverging seeds: {result.divergent_seeds})",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.contracts import pure
+
 __all__ = [
     "day_distance",
     "month_distance",
@@ -37,6 +39,7 @@ YEAR_NORMALIZER = 100
 YEAR_NORMALIZER_EQ1 = 50
 
 
+@pure
 def day_distance(a: int, b: int) -> int:
     """Cyclic distance between two days-of-month (1..31)."""
     _check_range(a, 1, 31, "day")
@@ -45,6 +48,7 @@ def day_distance(a: int, b: int) -> int:
     return min(diff, 31 - diff)
 
 
+@pure
 def month_distance(a: int, b: int) -> int:
     """Cyclic distance between two months (1..12)."""
     _check_range(a, 1, 12, "month")
@@ -53,26 +57,31 @@ def month_distance(a: int, b: int) -> int:
     return min(diff, 12 - diff)
 
 
+@pure
 def year_distance(a: int, b: int) -> int:
     """Absolute distance between two years."""
     return abs(a - b)
 
 
+@pure
 def day_similarity(a: int, b: int) -> float:
     """``1 - dayDiff/31`` — the Day branch of Eq. 1."""
     return 1.0 - day_distance(a, b) / DAY_NORMALIZER
 
 
+@pure
 def month_similarity(a: int, b: int) -> float:
     """``1 - monthDiff/12`` — the Month branch of Eq. 1."""
     return 1.0 - month_distance(a, b) / MONTH_NORMALIZER
 
 
+@pure
 def year_similarity(a: int, b: int, normalizer: int = YEAR_NORMALIZER_EQ1) -> float:
     """``1 - |y1 - y2| / normalizer`` clamped at 0 — the Year branch of Eq. 1."""
     return max(0.0, 1.0 - year_distance(a, b) / normalizer)
 
 
+@pure
 def normalized_component_distance(
     a: Optional[int], b: Optional[int], component: str
 ) -> Optional[float]:

@@ -27,8 +27,10 @@ set-monotonicity the MFIBlocks score relies on — we reproduce it anyway.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, FrozenSet, Mapping, Optional
 
+from repro.contracts import pure
 from repro.records.itembag import Item, ItemKind, ItemType
 from repro.similarity import dates
 from repro.geo import GeoPoint, geo_similarity
@@ -45,6 +47,7 @@ __all__ = [
 GeoLookup = Callable[[str], Optional[GeoPoint]]
 
 
+@pure
 def expert_item_similarity(
     a: Item, b: Item, geo_lookup: Optional[GeoLookup] = None
 ) -> float:
@@ -83,6 +86,7 @@ def expert_item_similarity(
     return 1.0 if a.value == b.value else 0.0
 
 
+@pure
 def jaccard_items(a: FrozenSet[Item], b: FrozenSet[Item]) -> float:
     """Plain Jaccard coefficient between two item sets."""
     if not a and not b:
@@ -93,6 +97,7 @@ def jaccard_items(a: FrozenSet[Item], b: FrozenSet[Item]) -> float:
     return len(a & b) / len(union)
 
 
+@pure
 def weighted_jaccard_items(
     a: FrozenSet[Item],
     b: FrozenSet[Item],
@@ -110,13 +115,18 @@ def weighted_jaccard_items(
     def weight(item: Item) -> float:
         return weights.get(item.type, default_weight)
 
-    union_mass = sum(weight(item) for item in a | b)
+    # fsum, not sum: these iterate frozensets in hash order, and naive
+    # float accumulation is order-sensitive in the low bits — enough to
+    # flip ranking ties across PYTHONHASHSEED values. fsum is exactly
+    # rounded, so iteration order cannot reach the result.
+    union_mass = math.fsum(weight(item) for item in a | b)
     if union_mass == 0:
         return 1.0
-    inter_mass = sum(weight(item) for item in a & b)
+    inter_mass = math.fsum(weight(item) for item in a & b)
     return inter_mass / union_mass
 
 
+@pure
 def soft_jaccard_items(
     a: FrozenSet[Item],
     b: FrozenSet[Item],
@@ -140,8 +150,15 @@ def soft_jaccard_items(
     small, large = (a, b) if len(a) <= len(b) else (b, a)
     shared = small & large
     inter_mass = float(len(shared))
-    remaining_small = [item for item in small if item not in shared]
-    remaining_large = [item for item in large if item not in shared]
+    # The greedy claim loop below is order-sensitive (ties go to the
+    # first candidate seen), so the leftovers must leave set iteration
+    # order behind: sort both lists into a canonical order.
+    remaining_small = sorted(
+        (item for item in small if item not in shared), key=repr
+    )
+    remaining_large = sorted(
+        (item for item in large if item not in shared), key=repr
+    )
 
     def item_weight(item: Item) -> float:
         if weights is None:
@@ -149,8 +166,10 @@ def soft_jaccard_items(
         return weights.get(item.type, 1.0)
 
     if weights is not None:
-        inter_mass = sum(item_weight(item) for item in shared)
-        union_size = sum(item_weight(item) for item in a | b)
+        # fsum for the same reason as weighted_jaccard_items: set
+        # iteration order must not reach the float result.
+        inter_mass = math.fsum(item_weight(item) for item in shared)
+        union_size = math.fsum(item_weight(item) for item in a | b)
         if union_size == 0:
             return 1.0
 

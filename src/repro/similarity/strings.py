@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Sequence, Set
 
+from repro.contracts import pure
+
 __all__ = [
     "jaccard",
     "jaccard_qgrams",
@@ -31,6 +33,7 @@ __all__ = [
 ]
 
 
+@pure
 def qgrams(text: str, q: int = 2, pad: bool = True) -> FrozenSet[str]:
     """Return the set of ``q``-grams of ``text``.
 
@@ -50,6 +53,7 @@ def qgrams(text: str, q: int = 2, pad: bool = True) -> FrozenSet[str]:
     return frozenset(text[i:i + q] for i in range(len(text) - q + 1))
 
 
+@pure
 def jaccard(a: Iterable[str], b: Iterable[str]) -> float:
     """Jaccard coefficient ``|A ∩ B| / |A ∪ B|`` between two collections.
 
@@ -66,11 +70,13 @@ def jaccard(a: Iterable[str], b: Iterable[str]) -> float:
     return len(set_a & set_b) / len(union)
 
 
+@pure
 def jaccard_qgrams(a: str, b: str, q: int = 2) -> float:
     """Jaccard coefficient between the q-gram sets of two strings."""
     return jaccard(qgrams(a, q), qgrams(b, q))
 
 
+@pure
 def dice_qgrams(a: str, b: str, q: int = 2) -> float:
     """Sorensen-Dice coefficient between q-gram sets (used by ACl)."""
     grams_a = qgrams(a, q)
@@ -83,6 +89,7 @@ def dice_qgrams(a: str, b: str, q: int = 2) -> float:
     return 2.0 * len(grams_a & grams_b) / total
 
 
+@pure
 def jaro(a: str, b: str) -> float:
     """Jaro similarity between two strings.
 
@@ -132,6 +139,7 @@ def jaro(a: str, b: str) -> float:
     ) / 3.0
 
 
+@pure
 def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1, max_prefix: int = 4) -> float:
     """Jaro-Winkler similarity: Jaro boosted by a shared-prefix bonus.
 
@@ -150,6 +158,7 @@ def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1, max_prefix: int = 4)
     return base + prefix * prefix_scale * (1.0 - base)
 
 
+@pure
 def levenshtein(a: str, b: str) -> int:
     """Classic edit distance (insert / delete / substitute, unit costs)."""
     if a == b:
@@ -173,6 +182,7 @@ def levenshtein(a: str, b: str) -> int:
     return previous[-1]
 
 
+@pure
 def levenshtein_similarity(a: str, b: str) -> float:
     """Edit distance normalized to a ``[0, 1]`` similarity."""
     if not a and not b:
@@ -181,6 +191,7 @@ def levenshtein_similarity(a: str, b: str) -> float:
     return 1.0 - levenshtein(a, b) / longest
 
 
+@pure
 def monge_elkan(tokens_a: Sequence[str], tokens_b: Sequence[str]) -> float:
     """Monge-Elkan: average best Jaro-Winkler match of each token in ``a``.
 

@@ -1,0 +1,290 @@
+"""Tests for the reprolint module-level call graph (tools/reprolint/callgraph).
+
+The graph is the substrate of the RL100-RL103 contract pass; these
+tests pin its resolution behavior directly: plain calls, method calls
+through locally constructed instances, ``functools.partial`` targets,
+names re-exported through intermediate modules, and cycles (which the
+taint traversal must survive). Resolution is deliberately an
+under-approximation — the negative tests pin what must stay
+*unresolved* just as firmly as the positives pin the edges.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from tools.reprolint.callgraph import (
+    build_call_graph,
+    dotted_name,
+    module_name_for_path,
+)
+
+
+def graph_for(**modules):
+    """Build a call graph from {relative_path_with__for_slash: source}."""
+    sources = [
+        (path.replace("__", "/") + ".py", textwrap.dedent(source))
+        for path, source in modules.items()
+    ]
+    return build_call_graph(sources)
+
+
+def callee_names(graph, qualname):
+    return sorted(callee for callee, _site in graph.callees(qualname))
+
+
+class TestModuleNaming:
+    def test_src_prefix_stripped(self):
+        assert module_name_for_path("src/repro/core/pipeline.py") == (
+            "repro.core.pipeline",
+            False,
+        )
+
+    def test_package_init(self):
+        assert module_name_for_path("src/repro/core/__init__.py") == (
+            "repro.core",
+            True,
+        )
+
+    def test_tools_tree_keeps_prefix(self):
+        name, is_package = module_name_for_path("tools/reprolint/engine.py")
+        assert name == "tools.reprolint.engine"
+        assert not is_package
+
+
+class TestDirectCalls:
+    def test_same_module_function_call(self):
+        graph = graph_for(
+            pkg__mod="""
+                def helper():
+                    return 1
+
+                def caller():
+                    return helper()
+            """,
+        )
+        assert callee_names(graph, "pkg.mod:caller") == ["pkg.mod:helper"]
+
+    def test_cross_module_import_call(self):
+        graph = graph_for(
+            pkg__util="""
+                def work():
+                    return 1
+            """,
+            pkg__mod="""
+                from pkg import util
+
+                def caller():
+                    return util.work()
+            """,
+        )
+        assert callee_names(graph, "pkg.mod:caller") == ["pkg.util:work"]
+
+    def test_from_import_function(self):
+        graph = graph_for(
+            pkg__util="""
+                def work():
+                    return 1
+            """,
+            pkg__mod="""
+                from pkg.util import work
+
+                def caller():
+                    return work()
+            """,
+        )
+        assert callee_names(graph, "pkg.mod:caller") == ["pkg.util:work"]
+
+    def test_unknown_names_contribute_no_edges(self):
+        graph = graph_for(
+            pkg__mod="""
+                def caller(callback):
+                    return callback() + unknown_global()
+            """,
+        )
+        assert callee_names(graph, "pkg.mod:caller") == []
+
+
+class TestCycles:
+    def test_mutual_recursion_edges(self):
+        graph = graph_for(
+            pkg__mod="""
+                def even(n):
+                    return n == 0 or odd(n - 1)
+
+                def odd(n):
+                    return n != 0 and even(n - 1)
+            """,
+        )
+        assert callee_names(graph, "pkg.mod:even") == ["pkg.mod:odd"]
+        assert callee_names(graph, "pkg.mod:odd") == ["pkg.mod:even"]
+
+    def test_self_recursion(self):
+        graph = graph_for(
+            pkg__mod="""
+                def loop(n):
+                    return loop(n - 1) if n else 0
+            """,
+        )
+        assert callee_names(graph, "pkg.mod:loop") == ["pkg.mod:loop"]
+
+    def test_cross_module_cycle(self):
+        graph = graph_for(
+            pkg__a="""
+                from pkg import b
+
+                def ping(n):
+                    return b.pong(n - 1)
+            """,
+            pkg__b="""
+                from pkg import a
+
+                def pong(n):
+                    return a.ping(n - 1)
+            """,
+        )
+        assert callee_names(graph, "pkg.a:ping") == ["pkg.b:pong"]
+        assert callee_names(graph, "pkg.b:pong") == ["pkg.a:ping"]
+
+
+class TestMethods:
+    def test_method_registered_with_class_qualname(self):
+        graph = graph_for(
+            pkg__mod="""
+                class Store:
+                    def add(self, item):
+                        return self._insert(item)
+
+                    def _insert(self, item):
+                        return item
+            """,
+        )
+        assert "pkg.mod:Store.add" in graph.functions
+        info = graph.functions["pkg.mod:Store.add"]
+        assert info.class_name == "pkg.mod:Store"
+        assert "pkg.mod:Store" in graph.classes
+
+    def test_self_method_call_resolved(self):
+        graph = graph_for(
+            pkg__mod="""
+                class Store:
+                    def add(self, item):
+                        return self._insert(item)
+
+                    def _insert(self, item):
+                        return item
+            """,
+        )
+        assert callee_names(graph, "pkg.mod:Store.add") == [
+            "pkg.mod:Store._insert"
+        ]
+
+    def test_local_instance_method_call(self):
+        graph = graph_for(
+            pkg__mod="""
+                class Store:
+                    def add(self, item):
+                        return item
+
+                def use():
+                    store = Store()
+                    return store.add(1)
+            """,
+        )
+        callees = callee_names(graph, "pkg.mod:use")
+        assert "pkg.mod:Store.add" in callees
+
+    def test_constructor_edge(self):
+        graph = graph_for(
+            pkg__mod="""
+                class Store:
+                    def __init__(self):
+                        self.items = []
+
+                def use():
+                    return Store()
+            """,
+        )
+        assert "pkg.mod:Store.__init__" in callee_names(graph, "pkg.mod:use")
+
+    def test_attribute_call_on_parameter_unresolved(self):
+        # Injected dependencies (self.tracer, rng params) must stay
+        # unresolved: resolving them by name alone would import taint
+        # from unrelated classes that happen to share a method name.
+        graph = graph_for(
+            pkg__mod="""
+                class Store:
+                    def add(self, item):
+                        return item
+
+                def use(store):
+                    return store.add(1)
+            """,
+        )
+        assert callee_names(graph, "pkg.mod:use") == []
+
+
+class TestFunctoolsPartial:
+    def test_partial_target_becomes_edge(self):
+        graph = graph_for(
+            pkg__mod="""
+                import functools
+
+                def work(a, b):
+                    return a + b
+
+                def caller():
+                    bound = functools.partial(work, 1)
+                    return bound(2)
+            """,
+        )
+        assert "pkg.mod:work" in callee_names(graph, "pkg.mod:caller")
+
+    def test_from_import_partial(self):
+        graph = graph_for(
+            pkg__mod="""
+                from functools import partial
+
+                def work(a):
+                    return a
+
+                def caller():
+                    return partial(work)()
+            """,
+        )
+        assert "pkg.mod:work" in callee_names(graph, "pkg.mod:caller")
+
+
+class TestReExports:
+    def test_name_reexported_through_package_init(self):
+        graph = build_call_graph([
+            ("pkg/impl.py", "def work():\n    return 1\n"),
+            ("pkg/__init__.py", "from pkg.impl import work\n"),
+            ("app.py", "from pkg import work\n\ndef caller():\n"
+                       "    return work()\n"),
+        ])
+        assert callee_names(graph, "app:caller") == ["pkg.impl:work"]
+
+    def test_aliased_reexport(self):
+        graph = build_call_graph([
+            ("pkg/impl.py", "def work():\n    return 1\n"),
+            ("pkg/__init__.py", "from pkg.impl import work as run\n"),
+            ("app.py", "from pkg import run\n\ndef caller():\n"
+                       "    return run()\n"),
+        ])
+        assert callee_names(graph, "app:caller") == ["pkg.impl:work"]
+
+
+class TestDottedNameHelper:
+    def test_resolves_attribute_chain(self):
+        import ast
+
+        expr = ast.parse("np.random.seed").body[0].value
+        aliases = {"np": "numpy"}
+        assert dotted_name(aliases, expr) == "numpy.random.seed"
+
+    def test_unknown_base_is_none(self):
+        import ast
+
+        expr = ast.parse("mystery.call").body[0].value
+        assert dotted_name({}, expr) is None

@@ -1,0 +1,178 @@
+"""Tests for the hash-order sanitizer (repro.sanitize).
+
+The comparison/diff logic is unit-tested through the injectable runner;
+one end-to-end test actually spawns ``python -m repro.sanitize --emit``
+children under permuted PYTHONHASHSEED values and asserts the ranked
+resolution output is byte-identical — the dynamic complement of
+reprolint's static RL002/RL10x checks.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.sanitize import (
+    SanitizeConfig,
+    emit_resolution,
+    main as sanitize_main,
+    run_sanitize,
+    subprocess_runner,
+)
+
+
+def small_config(**overrides) -> SanitizeConfig:
+    defaults = dict(persons=24, hash_seeds=(1, 2), corpus_seed=17)
+    defaults.update(overrides)
+    return SanitizeConfig(**defaults)
+
+
+class TestSanitizeConfig:
+    def test_defaults_are_valid(self):
+        config = SanitizeConfig()
+        assert config.baseline_hash_seed not in config.hash_seeds
+
+    def test_rejects_tiny_corpus(self):
+        with pytest.raises(ValueError, match="persons"):
+            SanitizeConfig(persons=1)
+
+    def test_rejects_empty_seed_list(self):
+        with pytest.raises(ValueError, match="seed"):
+            SanitizeConfig(hash_seeds=())
+
+    def test_rejects_baseline_among_seeds(self):
+        with pytest.raises(ValueError, match="baseline"):
+            SanitizeConfig(baseline_hash_seed=1, hash_seeds=(1, 2))
+
+
+class TestRunSanitizeWithFakeRunner:
+    def test_identical_outputs_pass(self):
+        result = run_sanitize(small_config(), runner=lambda seed: "a,b\n1,2\n")
+        assert result.ok
+        assert result.divergent_seeds == []
+        assert result.diff is None
+        assert [r.matches_baseline for r in result.runs] == [True, True]
+
+    def test_divergent_seed_detected_with_diff(self):
+        def runner(seed: int) -> str:
+            return "header\nrow-1\n" if seed != 2 else "header\nrow-2\n"
+
+        result = run_sanitize(small_config(), runner=runner)
+        assert not result.ok
+        assert result.divergent_seeds == [2]
+        assert result.diff is not None
+        assert "PYTHONHASHSEED=0" in result.diff
+        assert "PYTHONHASHSEED=2" in result.diff
+        assert "-row-1" in result.diff and "+row-2" in result.diff
+
+    def test_diff_keeps_first_divergence(self):
+        outputs = {0: "base\n", 1: "one\n", 2: "two\n"}
+        result = run_sanitize(
+            small_config(), runner=lambda seed: outputs[seed]
+        )
+        assert result.divergent_seeds == [1, 2]
+        assert "+one" in result.diff  # first diverging seed wins
+
+    def test_runner_called_once_per_seed(self):
+        calls = []
+
+        def runner(seed: int) -> str:
+            calls.append(seed)
+            return "same\n"
+
+        run_sanitize(small_config(hash_seeds=(3, 5, 9)), runner=runner)
+        assert calls == [0, 3, 5, 9]
+
+    def test_write_diff(self, tmp_path: Path):
+        result = run_sanitize(
+            small_config(hash_seeds=(1,)),
+            runner=lambda seed: f"row-{seed}\n",
+        )
+        target = tmp_path / "sanitize.diff"
+        result.write_diff(target)
+        assert "+row-1" in target.read_text()
+
+    def test_write_diff_empty_when_clean(self, tmp_path: Path):
+        result = run_sanitize(small_config(), runner=lambda seed: "ok\n")
+        target = tmp_path / "sanitize.diff"
+        result.write_diff(target)
+        assert target.read_text() == ""
+
+
+class TestEmitResolution:
+    def test_emits_ranked_csv(self):
+        output = emit_resolution(small_config())
+        lines = output.splitlines()
+        assert lines[0] == "book_id_a,book_id_b,similarity"
+        assert len(lines) > 1
+        first = lines[1].split(",")
+        assert len(first) == 3
+        float(first[2])  # similarity parses
+
+    def test_emit_is_stable_in_process(self):
+        config = small_config()
+        assert emit_resolution(config) == emit_resolution(config)
+
+
+class TestEndToEnd:
+    def test_subprocess_runs_are_byte_identical(self):
+        """The real thing: two children under different hash seeds."""
+        config = small_config(hash_seeds=(1,), persons=20)
+        result = run_sanitize(config, runner=subprocess_runner(config))
+        assert result.ok, f"hash-order divergence:\n{result.diff}"
+        assert result.runs[0].n_lines > 1
+
+    def test_child_failure_raises_with_stderr(self):
+        config = small_config(persons=20)
+        runner = subprocess_runner(config)
+        bad = SanitizeConfig(persons=2, communities=("no-such-community",))
+        with pytest.raises(RuntimeError, match="PYTHONHASHSEED=0"):
+            subprocess_runner(bad)(0)
+        del runner
+
+
+class TestCommandLine:
+    def test_bad_seeds_exit_2(self, capsys):
+        assert sanitize_main(["--seeds", "0"]) == 2
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_emit_mode_prints_csv(self, capsys):
+        code = sanitize_main(["--emit", "--persons", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("book_id_a,book_id_b,similarity\n")
+
+    def test_repro_cli_wires_sanitize(self, capsys, monkeypatch, tmp_path):
+        """`repro sanitize` reaches repro.sanitize.main with its options."""
+        captured = {}
+
+        def fake_main(argv):
+            captured["argv"] = list(argv)
+            return 0
+
+        monkeypatch.setattr("repro.sanitize.main", fake_main)
+        code = cli_main([
+            "sanitize", "--seeds", "2", "--persons", "20",
+            "--no-expert-weighting",
+            "--diff-out", str(tmp_path / "d.diff"),
+        ])
+        assert code == 0
+        argv = captured["argv"]
+        assert argv[:2] == ["--seeds", "2"]
+        assert "--no-expert-weighting" in argv
+        assert "--diff-out" in argv
+
+    def test_module_entrypoint_exit_codes(self):
+        """python -m repro.sanitize returns 2 on bad usage."""
+        import subprocess
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.sanitize", "--seeds", "-1"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(Path(__file__).resolve().parents[1] / "src")},
+        )
+        assert completed.returncode == 2

@@ -14,14 +14,33 @@ import textwrap
 import pytest
 
 from tools.reprolint.cli import main as reprolint_main
-from tools.reprolint.config import Config, _parse_toml_subset, load_config
-from tools.reprolint.engine import lint_paths, lint_source
+from tools.reprolint.config import (
+    Config,
+    ConfigError,
+    _parse_toml_subset,
+    load_config,
+)
+from tools.reprolint.engine import (
+    analyze_contract_sources,
+    lint_paths,
+    lint_source,
+)
 from tools.reprolint.rules import ALL_RULES, RULES_BY_CODE
 
 
 def findings_for(source, rule=None, path="src/module.py", config=None):
     source = textwrap.dedent(source)
     found = lint_source(source, path=path, config=config)
+    if rule is not None:
+        found = [finding for finding in found if finding.rule == rule]
+    return found
+
+
+def contract_findings(source, rule=None, path="src/module.py", config=None):
+    """Run the inter-procedural RL100-RL103 pass over one fixture module."""
+    found = analyze_contract_sources(
+        [(path, textwrap.dedent(source))], config=config
+    )
     if rule is not None:
         found = [finding for finding in found if finding.rule == rule]
     return found
@@ -494,6 +513,436 @@ class TestCLI:
         assert payload["counts"] == {"RL003": 1}
 
 
+class TestRL100ContractViolation:
+    def test_pure_body_with_global_rng_flagged(self):
+        source = """
+            import random
+            from contracts import pure
+
+            @pure
+            def draw(n: int) -> float:
+                return random.random() * n
+        """
+        found = contract_findings(source, "RL100")
+        assert len(found) == 1
+        assert "random.random" in found[0].message
+
+    def test_clean_pure_function_ok(self):
+        source = """
+            from contracts import pure
+
+            @pure
+            def double(n: int) -> int:
+                return 2 * n
+        """
+        assert contract_findings(source, "RL100") == []
+
+    def test_transitive_call_to_declared_impure_flagged(self):
+        source = """
+            import time
+            from contracts import impure, pure
+
+            @impure("wall-clock")
+            def now() -> float:
+                return time.time()
+
+            @pure
+            def stamp(n: int) -> float:
+                return now() + n
+        """
+        found = contract_findings(source, "RL100")
+        assert len(found) == 1
+        assert "declared-impure" in found[0].message
+        assert "stamp" in found[0].message
+
+    def test_traversal_stops_at_contract_boundary(self):
+        # The callee's violation is reported once, at the callee — the
+        # caller trusts its contract rather than re-deriving the taint.
+        source = """
+            import random
+            from contracts import pure
+
+            @pure
+            def dirty(n: int) -> float:
+                return random.random() * n
+
+            @pure
+            def caller(n: int) -> float:
+                return dirty(n) + 1.0
+        """
+        found = contract_findings(source, "RL100")
+        assert len(found) == 1
+        assert "dirty" in found[0].message
+
+    def test_strict_unordered_set_param_flagged(self):
+        source = """
+            from typing import List, Set
+            from contracts import ordered_output
+
+            @ordered_output
+            def collect(values: Set[int]) -> List[int]:
+                return [v for v in values]
+        """
+        found = contract_findings(source, "RL100")
+        assert len(found) == 1
+        assert "unordered" in found[0].message
+
+    def test_sorted_set_param_ok(self):
+        source = """
+            from typing import List, Set
+            from contracts import ordered_output
+
+            @ordered_output
+            def collect(values: Set[int]) -> List[int]:
+                return sorted(values)
+        """
+        assert contract_findings(source, "RL100") == []
+
+    def test_suppression_comment_honored(self):
+        source = """
+            import random
+            from contracts import pure
+
+            @pure
+            def draw(n: int) -> float:
+                return random.random() * n  # reprolint: disable=RL100 - fixture
+        """
+        assert contract_findings(source, "RL100") == []
+
+
+class TestRL101UndeclaredImpurityReachable:
+    def test_uncontracted_callee_with_rng_flagged_at_root(self):
+        source = """
+            import random
+            from contracts import pure
+
+            def helper(n: int) -> float:
+                return random.random() * n
+
+            @pure
+            def caller(n: int) -> float:
+                return helper(n)
+        """
+        found = contract_findings(source, "RL101")
+        assert len(found) == 1
+        assert "caller" in found[0].message
+        assert "helper" in found[0].message
+        assert "@impure" in found[0].message
+
+    def test_two_hops_deep(self):
+        source = """
+            import time
+            from contracts import deterministic
+
+            def leaf() -> float:
+                return time.time()
+
+            def middle() -> float:
+                return leaf()
+
+            @deterministic
+            def root() -> float:
+                return middle()
+        """
+        found = contract_findings(source, "RL101")
+        assert len(found) == 1
+        assert "leaf" in found[0].message
+
+    def test_declaring_callee_impure_turns_rl101_into_rl100(self):
+        source = """
+            import random
+            from contracts import impure, pure
+
+            @impure("simulation noise")
+            def helper(n: int) -> float:
+                return random.random() * n
+
+            @pure
+            def caller(n: int) -> float:
+                return helper(n)
+        """
+        assert contract_findings(source, "RL101") == []
+        assert len(contract_findings(source, "RL100")) == 1
+
+    def test_clean_transitive_chain_ok(self):
+        source = """
+            from contracts import pure
+
+            def helper(n: int) -> int:
+                return n + 1
+
+            @pure
+            def caller(n: int) -> int:
+                return helper(n)
+        """
+        assert contract_findings(source, "RL101") == []
+
+
+class TestRL102SeedThreading:
+    def test_param_missing_from_signature(self):
+        source = """
+            from typing import List
+            from contracts import seeded
+
+            @seeded(param="rng")
+            def shuffle(items: List[int]) -> List[int]:
+                return items
+        """
+        found = contract_findings(source, "RL102")
+        assert len(found) == 1
+        assert '"rng"' in found[0].message
+
+    def test_seed_threaded_through_ok(self):
+        source = """
+            import random
+            from typing import List
+            from contracts import seeded
+
+            @seeded(param="rng")
+            def inner(items: List[int], rng: random.Random) -> List[int]:
+                return items
+
+            @seeded(param="rng")
+            def outer(items: List[int], rng: random.Random) -> List[int]:
+                return inner(items, rng=rng)
+        """
+        assert contract_findings(source, "RL102") == []
+
+    def test_seed_not_passed_to_seeded_callee(self):
+        source = """
+            import random
+            from typing import List
+            from contracts import seeded
+
+            @seeded(param="rng")
+            def inner(items: List[int], rng: random.Random) -> List[int]:
+                return items
+
+            @seeded(param="rng")
+            def outer(items: List[int], rng: random.Random) -> List[int]:
+                return inner(items)
+        """
+        found = contract_findings(source, "RL102")
+        assert len(found) == 1
+        assert "without threading" in found[0].message
+
+    def test_positional_threading_ok(self):
+        source = """
+            import random
+            from typing import List
+            from contracts import seeded
+
+            @seeded(param="rng")
+            def inner(items: List[int], rng: random.Random) -> List[int]:
+                return items
+
+            @seeded(param="seed")
+            def outer(items: List[int], seed: random.Random) -> List[int]:
+                return inner(items, seed)
+        """
+        assert contract_findings(source, "RL102") == []
+
+
+class TestRL103UntypedBoundary:
+    def test_unannotated_params_flagged(self):
+        source = """
+            from contracts import pure
+
+            @pure
+            def mix(a, b) -> int:
+                return a + b
+        """
+        found = contract_findings(source, "RL103")
+        assert len(found) == 1
+        assert "a, b" in found[0].message
+
+    def test_missing_return_annotation_flagged(self):
+        source = """
+            from contracts import pure
+
+            @pure
+            def mix(a: int, b: int):
+                return a + b
+        """
+        found = contract_findings(source, "RL103")
+        assert len(found) == 1
+        assert "return" in found[0].message
+
+    def test_self_is_exempt(self):
+        source = """
+            from contracts import pure
+
+            class Calc:
+                @pure
+                def mix(self, a: int) -> int:
+                    return a
+        """
+        assert contract_findings(source, "RL103") == []
+
+    def test_impure_alone_needs_no_annotations(self):
+        # @impure is a disclosure, not a determinism promise: it does
+        # not require the typed boundary the checker leans on.
+        source = """
+            import time
+            from contracts import impure
+
+            @impure("wall-clock")
+            def now():
+                return time.time()
+        """
+        assert contract_findings(source) == []
+
+
+class TestRL005ImpureExemption:
+    def test_impure_decorated_clock_read_ok_in_src(self):
+        source = """
+            import time
+            from repro.contracts import impure
+
+            @impure("quarantined timing source")
+            def now() -> float:
+                return time.perf_counter()
+        """
+        assert findings_for(source, "RL005") == []
+
+    def test_undecorated_clock_read_still_flagged(self):
+        source = """
+            import time
+
+            def now() -> float:
+                return time.perf_counter()
+        """
+        assert len(findings_for(source, "RL005")) == 1
+
+    def test_exemption_is_per_function(self):
+        source = """
+            import time
+            from repro.contracts import impure
+
+            @impure("quarantined")
+            def now() -> float:
+                return time.perf_counter()
+
+            def leak() -> float:
+                return time.monotonic()
+        """
+        found = findings_for(source, "RL005")
+        assert len(found) == 1
+        assert found[0].line == 10
+
+
+class TestConfigErrors:
+    def test_scalar_paths_raises(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text('[tool.reprolint]\npaths = "src"\n')
+        with pytest.raises(ConfigError, match="array of strings"):
+            load_config(pyproject)
+
+    def test_non_string_array_item_raises(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.reprolint]\npaths = [1, 2]\n")
+        with pytest.raises(ConfigError, match="paths"):
+            load_config(pyproject)
+
+    def test_bad_per_path_ignores_value_raises(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(textwrap.dedent("""
+            [tool.reprolint.per-path-ignores]
+            "tests/" = "RL003"
+        """))
+        with pytest.raises(ConfigError, match="per-path-ignores"):
+            load_config(pyproject)
+
+    def test_unparseable_toml_raises_config_error(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text('[tool.reprolint]\npaths = ["src"\n')
+        with pytest.raises(ConfigError):
+            load_config(pyproject)
+
+    def test_subset_parser_unclosed_array_raises(self):
+        with pytest.raises(ConfigError, match="unclosed array"):
+            _parse_toml_subset('[tool.reprolint]\npaths = ["src"\n')
+
+    def test_cli_exits_2_with_message_not_traceback(self, tmp_path, capsys):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text('[tool.reprolint]\npaths = "src"\n')
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        code = reprolint_main(["--config", str(pyproject), str(target)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "reprolint: bad configuration:" in err
+        assert "Traceback" not in err
+
+
+class TestContractsCLI:
+    def _write_package(self, tmp_path, body):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(textwrap.dedent("""
+            [tool.reprolint]
+            paths = ["src"]
+            contract-packages = ["src"]
+            future-required-packages = []
+        """))
+        package = tmp_path / "src"
+        package.mkdir()
+        (package / "module.py").write_text(textwrap.dedent(body))
+        return pyproject
+
+    def test_contract_violation_only_under_flag(self, tmp_path, capsys):
+        pyproject = self._write_package(tmp_path, """
+            import random
+            from contracts import pure
+
+            @pure
+            def draw(n: int) -> float:
+                return random.random() * n
+        """)
+        assert reprolint_main(["--config", str(pyproject)]) == 1
+        first = capsys.readouterr().out
+        assert "RL001" in first and "RL100" not in first
+        assert (
+            reprolint_main(["--config", str(pyproject), "--contracts"]) == 1
+        )
+        second = capsys.readouterr().out
+        assert "RL100" in second
+
+    def test_clean_contracts_exit_zero(self, tmp_path, capsys):
+        pyproject = self._write_package(tmp_path, """
+            from contracts import pure
+
+            @pure
+            def double(n: int) -> int:
+                return 2 * n
+        """)
+        assert (
+            reprolint_main(["--config", str(pyproject), "--contracts"]) == 0
+        )
+
+    def test_rl10x_selectable(self, tmp_path, capsys):
+        pyproject = self._write_package(tmp_path, """
+            import random
+            from contracts import pure
+
+            @pure
+            def draw(n: int) -> float:
+                return random.random() * n
+        """)
+        code = reprolint_main([
+            "--config", str(pyproject), "--contracts",
+            "--select", "RL100", "--format", "json",
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["counts"]) == {"RL100"}
+
+    def test_list_rules_includes_contract_catalogue(self, capsys):
+        assert reprolint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RL100", "RL101", "RL102", "RL103"):
+            assert code in out
+
+
 class TestSelfHosting:
     def test_rule_codes_unique_and_sequential(self):
         codes = [rule_cls.code for rule_cls in ALL_RULES]
@@ -510,3 +959,30 @@ class TestSelfHosting:
             pytest.skip("repository checkout required")
         found = lint_paths([tools_dir], config=load_config(), root=root)
         assert found == []
+
+    def test_contract_pass_clean_on_repo(self):
+        # The acceptance gate: zero RL10x over the configured contract
+        # packages (src/repro and tools/reprolint — the linter analyzes
+        # itself), with every exemption an explicit @impure annotation.
+        from pathlib import Path
+
+        from tools.reprolint.engine import analyze_contract_paths
+
+        root = Path(__file__).resolve().parents[1]
+        config = load_config()
+        roots = [
+            root / prefix
+            for prefix in config.contract_packages
+            if (root / prefix).is_dir()
+        ]
+        if not roots:
+            pytest.skip("repository checkout required")
+        assert analyze_contract_paths(roots, config=config, root=root) == []
+
+    def test_repo_has_no_blanket_src_contract_ignores(self):
+        # Exemptions must be per-function @impure declarations, never a
+        # path-level ignore of the contract rules for src/.
+        config = load_config()
+        for prefix, codes in config.per_path_ignores.items():
+            if prefix.startswith("src"):
+                assert not any(code.startswith("RL10") for code in codes)

@@ -14,8 +14,14 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from tools.reprolint.config import Config, find_pyproject, load_config
-from tools.reprolint.engine import lint_paths
+from tools.reprolint.config import (
+    Config,
+    ConfigError,
+    find_pyproject,
+    load_config,
+)
+from tools.reprolint.contracts import CONTRACT_RULES
+from tools.reprolint.engine import analyze_contract_paths, lint_paths
 from tools.reprolint.findings import Finding
 from tools.reprolint.rules import ALL_RULES
 
@@ -62,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: discovered upward from cwd)",
     )
     parser.add_argument(
+        "--contracts",
+        action="store_true",
+        help="additionally run the inter-procedural contract pass "
+        "(RL100-RL103) over [tool.reprolint] contract-packages",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -80,6 +92,11 @@ def _list_rules() -> str:
         doc = (rule_cls.__module__ and sys.modules[rule_cls.__module__].__doc__) or ""
         headline = doc.strip().splitlines()[0] if doc.strip() else rule_cls.name
         lines.append(f"{rule_cls.code}  {rule_cls.name:<22} {headline}")
+    for code in sorted(CONTRACT_RULES):
+        lines.append(
+            f"{code}  {CONTRACT_RULES[code]:<22} inter-procedural contract "
+            "pass (--contracts)"
+        )
     return "\n".join(lines)
 
 
@@ -122,9 +139,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.config is not None and not args.config.is_file():
         print(f"reprolint: config not found: {args.config}", file=sys.stderr)
         return 2
-    config: Config = load_config(pyproject)
+    try:
+        config: Config = load_config(pyproject)
+    except ConfigError as exc:
+        print(f"reprolint: bad configuration: {exc}", file=sys.stderr)
+        return 2
 
-    known_codes = {rule_cls.code for rule_cls in ALL_RULES} | {"RL000"}
+    known_codes = (
+        {rule_cls.code for rule_cls in ALL_RULES}
+        | set(CONTRACT_RULES)
+        | {"RL000"}
+    )
     if args.select:
         config.select = tuple(
             code.strip().upper() for code in args.select.split(",") if code.strip()
@@ -156,6 +181,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     findings = lint_paths(paths, config=config, root=root)
+
+    if args.contracts:
+        contract_roots = [
+            root / prefix
+            for prefix in config.contract_packages
+            if (root / prefix).exists()
+        ]
+        findings = sorted(
+            findings
+            + analyze_contract_paths(contract_roots, config=config, root=root)
+        )
 
     if args.format == "json":
         print(_render_json(findings))

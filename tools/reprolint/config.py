@@ -18,7 +18,17 @@ try:  # Python >= 3.11
 except ImportError:  # pragma: no cover - exercised only on 3.9/3.10
     _toml = None  # type: ignore[assignment]
 
-__all__ = ["Config", "load_config", "find_pyproject"]
+__all__ = ["Config", "ConfigError", "load_config", "find_pyproject"]
+
+
+class ConfigError(Exception):
+    """Malformed ``[tool.reprolint]`` configuration.
+
+    Raised instead of letting a TypeError/AttributeError traceback
+    escape: the CLI catches this and exits 2 with the message, so a
+    typo'd pyproject fails the build with a diagnosis, not a stack
+    trace — and never silently lints with default settings.
+    """
 
 DEFAULT_PATHS: Tuple[str, ...] = ("src", "tests", "benchmarks")
 DEFAULT_EXCLUDE: Tuple[str, ...] = (
@@ -44,6 +54,9 @@ class Config:
     future_required_packages: Tuple[str, ...] = ("src/repro",)
     # Like ruff's per-file-ignores: path prefix -> rule codes ignored there.
     per_path_ignores: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    # RL100-RL103: package roots the inter-procedural contract pass
+    # (``--contracts``) builds its call graph over.
+    contract_packages: Tuple[str, ...] = ("src/repro", "tools/reprolint")
 
     def rule_enabled(self, code: str, path: str) -> bool:
         """Is ``code`` active for a file at repo-relative ``path``?"""
@@ -79,10 +92,22 @@ def load_config(pyproject: Optional[Path] = None) -> Config:
         pyproject = find_pyproject()
     if pyproject is None or not pyproject.is_file():
         return Config()
-    data = _parse_toml(pyproject)
-    table = data.get("tool", {}).get("reprolint", {})
+    try:
+        data = _parse_toml(pyproject)
+    except ConfigError:
+        raise
+    except (OSError, UnicodeDecodeError, ValueError) as exc:
+        # tomllib raises TOMLDecodeError (a ValueError subclass).
+        raise ConfigError(f"cannot parse {pyproject}: {exc}") from exc
+    tool = data.get("tool", {})
+    if not isinstance(tool, dict):
+        raise ConfigError(f"[tool] in {pyproject} is not a table")
+    table = tool.get("reprolint", {})
     if not isinstance(table, dict):
-        return Config()
+        raise ConfigError(
+            f"[tool.reprolint] in {pyproject} must be a table, "
+            f"got {type(table).__name__}"
+        )
     return _config_from_table(table)
 
 
@@ -91,9 +116,16 @@ def _config_from_table(table: Mapping[str, Any]) -> Config:
 
     def str_tuple(key: str, default: Tuple[str, ...]) -> Tuple[str, ...]:
         value = table.get(key)
-        if isinstance(value, list):
-            return tuple(str(item) for item in value)
-        return default
+        if value is None:
+            return default
+        if not isinstance(value, list) or not all(
+            isinstance(item, str) for item in value
+        ):
+            raise ConfigError(
+                f"[tool.reprolint] `{key}` must be an array of strings, "
+                f"got {value!r}"
+            )
+        return tuple(value)
 
     config.paths = str_tuple("paths", config.paths)
     config.exclude = str_tuple("exclude", config.exclude)
@@ -105,13 +137,27 @@ def _config_from_table(table: Mapping[str, Any]) -> Config:
     config.future_required_packages = str_tuple(
         "future-required-packages", config.future_required_packages
     )
+    config.contract_packages = str_tuple(
+        "contract-packages", config.contract_packages
+    )
     raw_ignores = table.get("per-path-ignores")
-    if isinstance(raw_ignores, dict):
-        config.per_path_ignores = {
-            str(prefix): tuple(str(code) for code in codes)
-            for prefix, codes in raw_ignores.items()
-            if isinstance(codes, list)
-        }
+    if raw_ignores is not None:
+        if not isinstance(raw_ignores, dict):
+            raise ConfigError(
+                "[tool.reprolint] `per-path-ignores` must be a table of "
+                f"path prefix -> rule-code arrays, got {raw_ignores!r}"
+            )
+        per_path: Dict[str, Tuple[str, ...]] = {}
+        for prefix, codes in raw_ignores.items():
+            if not isinstance(codes, list) or not all(
+                isinstance(code, str) for code in codes
+            ):
+                raise ConfigError(
+                    f"[tool.reprolint.per-path-ignores] `{prefix}` must "
+                    f"map to an array of rule codes, got {codes!r}"
+                )
+            per_path[str(prefix)] = tuple(codes)
+        config.per_path_ignores = per_path
     return config
 
 
@@ -169,6 +215,10 @@ def _parse_toml_subset(text: str) -> Dict[str, Any]:
             pending_buffer = value
             continue
         current[key] = _parse_scalar(value)
+    if pending_key is not None:
+        raise ConfigError(
+            f"unclosed array for key `{pending_key}` at end of file"
+        )
     return root
 
 

@@ -1,0 +1,695 @@
+"""Inter-procedural contract checking: rules RL100-RL103.
+
+Where RL001-RL007 look at one module at a time, this pass walks the
+call graph (:mod:`tools.reprolint.callgraph`) from every function that
+carries a determinism contract (``@pure``, ``@deterministic``,
+``@ordered_output``, ``@seeded`` — see ``src/repro/contracts.py``) and
+propagates *taint*: unseeded RNG use, wall-clock reads, and unordered
+set/dict-view iteration reaching ordered output.
+
+| Code  | Name                          | Fires when |
+|-------|-------------------------------|------------|
+| RL100 | contract-violation            | a contracted function's own body is impure, or it transitively calls a function declared ``@impure`` |
+| RL101 | undeclared-impurity-reachable | a contracted function transitively reaches raw impurity in an *un*-declared callee — fix the callee or declare it ``@impure`` |
+| RL102 | seed-parameter-not-threaded   | ``@seeded(param=p)`` names a parameter absent from the signature, or a seeded function calls another seeded function without passing its seed through |
+| RL103 | contract-on-untyped-boundary  | a contract decorator sits on a function with unannotated parameters or return type |
+
+Traversal is *compositional*: it stops at callees that carry their own
+determinism contract (each is verified as its own root) and at declared
+``@impure`` callees (reaching one is an RL100 on the root). Calls the
+graph cannot resolve — notably attribute calls on injected instances
+such as ``self.tracer`` or a ``rng`` parameter — contribute no taint;
+that under-approximation is deliberate (see the callgraph module
+docstring).
+
+The in-body impurity scan reuses the RL001/RL005 call tables and the
+RL002 consumer walk, with the set-typed inference *extended* for
+contract mode: parameters annotated ``Set``/``FrozenSet`` are
+set-typed, tuple unpacking propagates elementwise, and a list built by
+comprehension over a set inherits the set's (hash-randomized) order.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from tools.reprolint.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    ModuleInfo,
+    _own_calls,
+    dotted_name,
+)
+from tools.reprolint.findings import Finding, Severity
+from tools.reprolint.rules.rl001_rng import (
+    _GLOBAL_RANDOM_FUNCS,
+    _SEEDABLE_CONSTRUCTORS,
+)
+from tools.reprolint.rules.rl002_set_order import (
+    _is_dict_view,
+    _is_set_expr,
+    _iter_scope_statements,
+    _walk_to_consumer,
+)
+from tools.reprolint.rules.base import attach_parents
+from tools.reprolint.rules.rl005_wallclock import _CLOCK_CALLS
+
+__all__ = ["CONTRACT_RULES", "Contract", "check_contracts", "contracts_for"]
+
+#: Rule catalogue entries for the inter-procedural pass (code -> name).
+CONTRACT_RULES: Dict[str, str] = {
+    "RL100": "contract-violation",
+    "RL101": "undeclared-impurity-reachable",
+    "RL102": "seed-parameter-not-threaded",
+    "RL103": "contract-on-untyped-boundary",
+}
+
+_DETERMINISM_KINDS = ("pure", "deterministic", "ordered_output", "seeded")
+
+_HazardFn = Callable[[ast.AST], bool]
+
+
+@dataclass
+class Contract:
+    """One recognized contract decorator on a function."""
+
+    kind: str  # pure | deterministic | ordered_output | seeded | impure
+    param: Optional[str]  # seed parameter name, for @seeded
+    node: ast.expr  # the decorator expression
+
+
+@dataclass
+class _Impurity:
+    """A raw impurity site inside one function body."""
+
+    kind: str  # rng | clock | unordered
+    node: ast.AST
+    description: str
+
+
+def contracts_for(
+    module: ModuleInfo, func_node: ast.AST
+) -> List[Contract]:
+    """Contracts declared on ``func_node``, resolved via module imports.
+
+    A decorator counts when its dotted origin lives in a module whose
+    last component is ``contracts`` — ``repro.contracts.pure`` in real
+    code, plain ``contracts.pure`` in fixtures.
+    """
+    out: List[Contract] = []
+    for dec in getattr(func_node, "decorator_list", []):
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        dotted = dotted_name(module.aliases, target)
+        if dotted is None:
+            continue
+        origin, _, name = dotted.rpartition(".")
+        if not (origin == "contracts" or origin.endswith(".contracts")):
+            continue
+        if name in ("pure", "deterministic", "ordered_output"):
+            out.append(Contract(name, None, dec))
+        elif name == "seeded":
+            param = "rng"
+            if isinstance(dec, ast.Call):
+                if dec.args and isinstance(dec.args[0], ast.Constant):
+                    if isinstance(dec.args[0].value, str):
+                        param = dec.args[0].value
+                for keyword in dec.keywords:
+                    if keyword.arg == "param" and isinstance(
+                        keyword.value, ast.Constant
+                    ):
+                        if isinstance(keyword.value.value, str):
+                            param = keyword.value.value
+            out.append(Contract("seeded", param, dec))
+        elif name == "impure":
+            out.append(Contract("impure", None, dec))
+    return out
+
+
+def check_contracts(graph: CallGraph) -> List[Finding]:
+    """Verify every contracted function in the graph; sorted findings."""
+    checker = _Checker(graph)
+    return checker.run()
+
+
+class _Checker:
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.contracts: Dict[str, List[Contract]] = {}
+        for qualname in sorted(graph.functions):
+            info = graph.functions[qualname]
+            module = graph.modules[info.module]
+            declared = contracts_for(module, info.node)
+            if declared:
+                self.contracts[qualname] = declared
+        # module name -> function qualname -> unordered-iteration sites
+        self._unordered: Dict[str, Dict[str, List[ast.AST]]] = {}
+        self._impurities: Dict[str, List[_Impurity]] = {}
+
+    def run(self) -> List[Finding]:
+        findings: List[Finding] = []
+        for qualname in sorted(self.contracts):
+            declared = self.contracts[qualname]
+            determinism = [
+                c for c in declared if c.kind in _DETERMINISM_KINDS
+            ]
+            if not determinism:
+                continue
+            info = self.graph.functions[qualname]
+            label = determinism[0].kind
+            findings.extend(self._check_boundary(info, label, determinism))
+            findings.extend(self._check_seed_signature(info, determinism))
+            findings.extend(self._check_taint(info, label))
+            findings.extend(self._check_seed_threading(info, determinism))
+        return sorted(findings)
+
+    # -- RL103 --------------------------------------------------------------
+
+    def _check_boundary(
+        self, info: FunctionInfo, label: str, determinism: List[Contract]
+    ) -> List[Finding]:
+        node = info.node
+        args = node.args  # type: ignore[attr-defined]
+        ordered_args = [*args.posonlyargs, *args.args]
+        missing: List[str] = []
+        for index, arg in enumerate(ordered_args):
+            if index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for arg in args.kwonlyargs:
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for vararg in (args.vararg, args.kwarg):
+            if vararg is not None and vararg.annotation is None:
+                missing.append(vararg.arg)
+        if node.returns is None:  # type: ignore[attr-defined]
+            missing.append("return")
+        if not missing:
+            return []
+        return [
+            _finding(
+                info,
+                info.node,
+                "RL103",
+                f"@{label} on `{info.name}` sits on an untyped boundary; "
+                f"missing annotation(s): {', '.join(missing)} — contracts "
+                "lean on the type system at unresolved call sites, so the "
+                "boundary must be fully typed",
+            )
+        ]
+
+    # -- RL102 --------------------------------------------------------------
+
+    def _check_seed_signature(
+        self, info: FunctionInfo, determinism: List[Contract]
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        arg_names = _argument_names(info.node)
+        for contract in determinism:
+            if contract.kind != "seeded" or contract.param is None:
+                continue
+            if contract.param not in arg_names:
+                findings.append(
+                    _finding(
+                        info,
+                        info.node,
+                        "RL102",
+                        f'@seeded(param="{contract.param}") on `{info.name}` '
+                        "names a parameter that is not in its signature",
+                    )
+                )
+        return findings
+
+    def _check_seed_threading(
+        self, info: FunctionInfo, determinism: List[Contract]
+    ) -> List[Finding]:
+        seeds = [c for c in determinism if c.kind == "seeded" and c.param]
+        if not seeds:
+            return []
+        caller_param = seeds[0].param or "rng"
+        if caller_param not in _argument_names(info.node):
+            return []  # already an RL102 from the signature check
+        findings: List[Finding] = []
+        for callee, site in self.graph.callees(info.qualname):
+            if not isinstance(site, ast.Call):
+                continue  # nested-def edges have no call arguments
+            callee_seeds = [
+                c
+                for c in self.contracts.get(callee, [])
+                if c.kind == "seeded" and c.param
+            ]
+            if not callee_seeds:
+                continue
+            callee_param = callee_seeds[0].param or "rng"
+            if _threads_seed(site, caller_param, callee_param):
+                continue
+            callee_info = self.graph.functions[callee]
+            findings.append(
+                _finding(
+                    info,
+                    site,
+                    "RL102",
+                    f"`{info.name}` (@seeded \"{caller_param}\") calls "
+                    f"@seeded `{callee_info.name}` without threading a "
+                    f"seed — pass it through, e.g. "
+                    f"`{callee_param}={caller_param}`",
+                )
+            )
+        return findings
+
+    # -- RL100 / RL101 taint ------------------------------------------------
+
+    def _check_taint(self, info: FunctionInfo, label: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for impurity in self._impurities_of(info.qualname):
+            findings.append(
+                _finding(
+                    info,
+                    impurity.node,
+                    "RL100",
+                    f"`{info.name}` declares @{label} but its body "
+                    f"{impurity.description}",
+                )
+            )
+        reported: Set[Tuple[str, ...]] = set()
+        visited: Set[str] = {info.qualname}
+        queue: List[str] = [info.qualname]
+        while queue:
+            current = queue.pop(0)
+            for callee, _site in self.graph.callees(current):
+                callee_contracts = self.contracts.get(callee, [])
+                if any(c.kind == "impure" for c in callee_contracts):
+                    key = ("impure", callee)
+                    if key not in reported:
+                        reported.add(key)
+                        findings.append(
+                            _finding(
+                                info,
+                                info.node,
+                                "RL100",
+                                f"`{info.name}` declares @{label} but "
+                                f"transitively calls declared-impure "
+                                f"`{callee}`",
+                            )
+                        )
+                    continue
+                if any(
+                    c.kind in _DETERMINISM_KINDS for c in callee_contracts
+                ):
+                    continue  # a contract boundary, verified as its own root
+                if callee in visited:
+                    continue
+                visited.add(callee)
+                callee_info = self.graph.functions.get(callee)
+                if callee_info is None:
+                    continue
+                for impurity in self._impurities_of(callee):
+                    key = (
+                        "raw",
+                        callee,
+                        str(getattr(impurity.node, "lineno", 0)),
+                        impurity.kind,
+                    )
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    findings.append(
+                        _finding(
+                            info,
+                            info.node,
+                            "RL101",
+                            f"`{info.name}` declares @{label} but "
+                            f"transitively reaches undeclared impurity: "
+                            f"`{callee}` ({callee_info.path}:"
+                            f"{getattr(impurity.node, 'lineno', '?')}) "
+                            f"{impurity.description} — fix the callee or "
+                            "annotate it with @impure",
+                        )
+                    )
+                queue.append(callee)
+        return findings
+
+    # -- impurity scanning --------------------------------------------------
+
+    def _impurities_of(self, qualname: str) -> List[_Impurity]:
+        cached = self._impurities.get(qualname)
+        if cached is not None:
+            return cached
+        info = self.graph.functions[qualname]
+        module = self.graph.modules[info.module]
+        impurities = _rng_clock_impurities(info, module)
+        for site in self._unordered_sites(module).get(qualname, []):
+            impurities.append(
+                _Impurity(
+                    "unordered",
+                    site,
+                    "lets unordered set/dict-view iteration reach ordered "
+                    f"output (line {getattr(site, 'lineno', '?')})",
+                )
+            )
+        impurities.sort(key=lambda imp: getattr(imp.node, "lineno", 0))
+        self._impurities[qualname] = impurities
+        return impurities
+
+    def _unordered_sites(
+        self, module: ModuleInfo
+    ) -> Dict[str, List[ast.AST]]:
+        cached = self._unordered.get(module.name)
+        if cached is not None:
+            return cached
+        by_function: Dict[str, List[ast.AST]] = {}
+        parents = attach_parents(module.tree)
+        node_to_qual = {
+            self.graph.functions[q].node: q
+            for q in self.graph.functions
+            if self.graph.functions[q].module == module.name
+        }
+        for site in _strict_unordered_sites(module.tree, parents):
+            owner: Optional[ast.AST] = parents.get(site)
+            while owner is not None and owner not in node_to_qual:
+                owner = parents.get(owner)
+            if owner is None:
+                continue  # module-level code cannot carry a contract
+            by_function.setdefault(node_to_qual[owner], []).append(site)
+        self._unordered[module.name] = by_function
+        return by_function
+
+
+def _finding(
+    info: FunctionInfo, node: ast.AST, rule: str, message: str
+) -> Finding:
+    return Finding(
+        path=info.path,
+        line=getattr(node, "lineno", info.line),
+        col=getattr(node, "col_offset", 0) + 1,
+        rule=rule,
+        message=message,
+        severity=Severity.ERROR,
+    )
+
+
+def _argument_names(func_node: ast.AST) -> List[str]:
+    args = func_node.args  # type: ignore[attr-defined]
+    names = [
+        a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    ]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def _threads_seed(
+    call: ast.Call, caller_param: str, callee_param: str
+) -> bool:
+    """Does the call pass the caller's seed on (or target the callee's)?"""
+    values: List[ast.expr] = list(call.args)
+    for keyword in call.keywords:
+        if keyword.arg == callee_param:
+            return True
+        if keyword.arg is None:
+            return True  # **kwargs forwarding — give it the benefit
+        values.append(keyword.value)
+    for value in values:
+        for node in ast.walk(value):
+            if isinstance(node, ast.Name) and node.id == caller_param:
+                return True
+    return False
+
+
+def _rng_clock_impurities(
+    info: FunctionInfo, module: ModuleInfo
+) -> List[_Impurity]:
+    """RNG / wall-clock sites in one function body (nested defs excluded).
+
+    Reuses the RL001/RL005 call tables but ignores RL005's
+    ``wallclock-allowed-paths``: at the contract layer the only clock
+    exemption is an explicit ``@impure`` declaration.
+    """
+    out: List[_Impurity] = []
+    for call in _own_calls(info.node):
+        dotted = dotted_name(module.aliases, call.func)
+        if dotted is None:
+            continue
+        if dotted in _SEEDABLE_CONSTRUCTORS:
+            if not call.args and not call.keywords:
+                out.append(
+                    _Impurity(
+                        "rng", call, f"constructs `{dotted}()` without a seed"
+                    )
+                )
+            continue
+        origin, _, name = dotted.rpartition(".")
+        if origin == "random" and name in _GLOBAL_RANDOM_FUNCS:
+            out.append(
+                _Impurity(
+                    "rng",
+                    call,
+                    f"calls `random.{name}()` on the process-global RNG",
+                )
+            )
+        elif origin == "numpy.random" and name != "default_rng":
+            out.append(
+                _Impurity(
+                    "rng",
+                    call,
+                    f"calls `numpy.random.{name}()` on the legacy global "
+                    "RandomState",
+                )
+            )
+        elif dotted in _CLOCK_CALLS:
+            out.append(
+                _Impurity("clock", call, f"reads the clock via `{dotted}()`")
+            )
+    return out
+
+
+# -- strict unordered-iteration inference -------------------------------------
+
+_SET_ANNOTATION_NAMES = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+)
+
+
+def _is_set_annotation(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in _SET_ANNOTATION_NAMES
+    if isinstance(node, ast.Attribute):  # typing.Set, typing.FrozenSet
+        return node.attr in _SET_ANNOTATION_NAMES
+    if isinstance(node, ast.Subscript):  # Set[str], FrozenSet[Tuple[...]]
+        return _is_set_annotation(node.value)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return _is_set_annotation(ast.parse(node.value, mode="eval").body)
+        except SyntaxError:
+            return False
+    return False
+
+
+def _strict_unordered_sites(
+    tree: ast.Module, parents: Dict[ast.AST, ast.AST]
+) -> List[ast.AST]:
+    """RL002-style unordered sites under contract-mode inference."""
+    hazard_vars, laundered = _collect_hazard_variables(tree, parents)
+    reported: Set[Tuple[int, int]] = set()
+    sites: List[ast.AST] = []
+
+    def report(flagged: ast.AST) -> None:
+        key = (flagged.lineno, flagged.col_offset)
+        if key not in reported:
+            reported.add(key)
+            sites.append(flagged)
+
+    for node in ast.walk(tree):
+        weak = False
+        if _is_set_expr(node, hazard_vars, parents):
+            parent = parents.get(node)
+            if parent is not None and _is_set_expr(
+                parent, hazard_vars, parents
+            ):
+                continue
+        elif _is_dict_view(node):
+            weak = True
+        else:
+            continue
+        flagged = _walk_to_consumer(node, parents, weak=weak)
+        if flagged is not None:
+            report(flagged)
+
+    # In contract mode a `return` *is* ordered output. Returning a set is
+    # fine (the consumer still sees an unordered type and is checked at
+    # its own iteration sites); returning a list whose order was
+    # *laundered* from a set — built by comprehension over one — is not.
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        value = node.value
+        if isinstance(value, ast.Name):
+            scope = _strict_scope_of(value, parents)
+            while scope is not None:
+                if (id(scope), value.id) in laundered:
+                    report(value)
+                    break
+                scope = _strict_scope_of(scope, parents)
+        elif isinstance(value, ast.ListComp) and value.generators:
+            if _is_set_expr(value.generators[0].iter, hazard_vars, parents):
+                report(value)
+    return sorted(sites, key=lambda n: (n.lineno, n.col_offset))
+
+
+def _strict_scope_of(
+    node: ast.AST, parents: Dict[ast.AST, ast.AST]
+) -> Optional[ast.AST]:
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(
+            current,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.Module),
+        ):
+            return current
+        current = parents.get(current)
+    return None
+
+
+def _collect_hazard_variables(
+    tree: ast.Module, parents: Dict[ast.AST, ast.AST]
+) -> Tuple[Dict[Tuple[int, str], bool], Set[Tuple[int, str]]]:
+    """Extended set-typed inference for contract mode.
+
+    Returns ``(hazard_vars, laundered)``: ``hazard_vars`` is the RL002
+    ``(scope-id, name) -> bool`` map extended three ways —
+    ``Set``/``FrozenSet``-annotated parameters are set-typed, tuple
+    unpacking propagates elementwise (through either branch of a
+    conditional expression), and a name assigned a list comprehension
+    over a set-typed iterable inherits the hazard (the list's *order*
+    is still the set's). ``laundered`` is the subset whose value is such
+    an order-laundered *list* rather than an actual set — the kind that
+    must not escape through ``return``.
+
+    A name is hazardous only if *every* assignment to it is; in-place
+    ``name.sort()`` counts as a clearing assignment, so both
+    ``items = sorted(items)`` and ``items.sort()`` remove the taint.
+    """
+    scopes: List[Tuple[ast.AST, List[ast.stmt]]] = [(tree, tree.body)]
+    param_seeds: List[Tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes.append((node, node.body))
+            args = node.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                if _is_set_annotation(arg.annotation):
+                    param_seeds.append((id(node), arg.arg))
+
+    current: Dict[Tuple[int, str], bool] = {}
+    laundered: Set[Tuple[int, str]] = set()
+    # Hazard of a value can depend on other variables' verdicts; a few
+    # rounds reach a fixpoint for any realistic chain length.
+    for _round in range(3):
+        # verdict lists: (hazard, laundered-into-ordered-list) per write
+        verdicts: Dict[Tuple[int, str], List[Tuple[bool, bool]]] = {}
+
+        def value_verdict(value: ast.AST) -> Tuple[bool, bool]:
+            if _is_set_expr(value, current, parents):
+                return (True, False)
+            if isinstance(value, ast.ListComp) and value.generators:
+                hazard = _is_set_expr(
+                    value.generators[0].iter, current, parents
+                )
+                return (hazard, hazard)
+            return (False, False)
+
+        for scope, body in scopes:
+            for stmt in _iter_scope_statements(body):
+                if _is_inplace_sort(stmt):
+                    call = stmt.value  # type: ignore[attr-defined]
+                    name = call.func.value.id
+                    verdicts.setdefault((id(scope), name), []).append(
+                        (False, False)
+                    )
+                    continue
+                targets: List[ast.expr] = []
+                value: Optional[ast.expr] = None
+                if isinstance(stmt, ast.Assign):
+                    targets, value = stmt.targets, stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    targets, value = [stmt.target], stmt.value
+                if value is None:
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        key = (id(scope), target.id)
+                        verdicts.setdefault(key, []).append(
+                            value_verdict(value)
+                        )
+                    elif isinstance(target, ast.Tuple):
+                        for name, element_hazard in _unpacked_elements(
+                            target, value, lambda v: value_verdict(v)[0]
+                        ):
+                            key = (id(scope), name)
+                            verdicts.setdefault(key, []).append(
+                                (element_hazard, False)
+                            )
+        for key in param_seeds:
+            # The parameter arrives set-typed; reassignments may clear it.
+            verdicts.setdefault(key, []).insert(0, (True, False))
+        current = {
+            key: all(hazard for hazard, _ in values)
+            for key, values in verdicts.items()
+            if values
+        }
+        laundered = {
+            key
+            for key, values in verdicts.items()
+            if values
+            and all(hazard for hazard, _ in values)
+            and any(is_laundered for _, is_laundered in values)
+        }
+    return current, laundered
+
+
+def _is_inplace_sort(stmt: ast.stmt) -> bool:
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Call)
+        and isinstance(stmt.value.func, ast.Attribute)
+        and stmt.value.func.attr == "sort"
+        and isinstance(stmt.value.func.value, ast.Name)
+    )
+
+
+def _unpacked_elements(
+    target: ast.Tuple,
+    value: ast.expr,
+    value_hazard: "_HazardFn",
+) -> List[Tuple[str, bool]]:
+    """(name, hazard) pairs for ``a, b = <tuple-or-conditional-tuple>``."""
+    branches: List[ast.expr] = []
+    if isinstance(value, ast.Tuple):
+        branches = [value]
+    elif isinstance(value, ast.IfExp):
+        branches = [value.body, value.orelse]
+    tuple_branches = [
+        branch
+        for branch in branches
+        if isinstance(branch, ast.Tuple)
+        and len(branch.elts) == len(target.elts)
+    ]
+    out: List[Tuple[str, bool]] = []
+    for index, element in enumerate(target.elts):
+        if not isinstance(element, ast.Name):
+            continue
+        if tuple_branches:
+            hazard = any(
+                value_hazard(branch.elts[index]) for branch in tuple_branches
+            )
+        else:
+            hazard = False  # unknown unpack source: stay conservative
+        out.append((element.id, hazard))
+    return out
+
+

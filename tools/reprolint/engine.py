@@ -16,13 +16,21 @@ import ast
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Type
 
+from tools.reprolint.callgraph import build_call_graph
 from tools.reprolint.config import Config
+from tools.reprolint.contracts import check_contracts
 from tools.reprolint.findings import Finding, Severity
 from tools.reprolint.rules import ALL_RULES, Rule
 from tools.reprolint.rules.base import RuleContext
 from tools.reprolint.suppressions import collect_suppressions
 
-__all__ = ["lint_source", "lint_file", "lint_paths"]
+__all__ = [
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "analyze_contract_sources",
+    "analyze_contract_paths",
+]
 
 
 def lint_source(
@@ -98,6 +106,53 @@ def lint_paths(
             lint_file(file_path, config=config, root=root, rules=rules)
         )
     return sorted(findings)
+
+
+def analyze_contract_sources(
+    sources: Sequence[tuple],
+    config: Optional[Config] = None,
+) -> List[Finding]:
+    """Run the inter-procedural contract pass over (path, source) pairs.
+
+    Unlike :func:`lint_source`, this needs *all* modules at once: taint
+    flows through the call graph, so the unit of analysis is the whole
+    file set, not one file. Per-line ``# reprolint: disable=RL10x``
+    suppressions and config select/ignore/per-path-ignores still apply.
+    """
+    config = config or Config()
+    graph = build_call_graph(list(sources))
+    suppressions = {
+        path: collect_suppressions(text) for path, text in sources
+    }
+    findings: List[Finding] = []
+    for finding in check_contracts(graph):
+        if not config.rule_enabled(finding.rule, finding.path):
+            continue
+        suppressed = suppressions.get(finding.path)
+        if suppressed is not None and suppressed.is_suppressed(
+            finding.line, finding.rule
+        ):
+            continue
+        findings.append(finding)
+    return sorted(findings)
+
+
+def analyze_contract_paths(
+    paths: Iterable[Path],
+    config: Optional[Config] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Contract pass over every Python file under files/directories."""
+    config = config or Config()
+    root = root or Path.cwd()
+    sources = []
+    for file_path in _discover(paths, config, root):
+        try:
+            text = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue  # lint_paths already reports unreadable files (RL000)
+        sources.append((_relative_path(file_path, root), text))
+    return analyze_contract_sources(sources, config=config)
 
 
 def _discover(

@@ -5,12 +5,20 @@ Library code that reads the clock (``datetime.now()``, ``time.time()``,
 construction. Timing belongs in ``benchmarks/`` (configurable via
 ``wallclock-allowed-paths``); library code should take timestamps as
 parameters if it needs them at all.
+
+Two exemption mechanisms, in order of preference:
+
+* a ``@repro.contracts.impure("...")`` decorator on the enclosing
+  function — the declaration travels with the code, is visible at the
+  call site, and feeds the inter-procedural contract pass (RL100-RL103);
+* a ``wallclock-allowed-paths`` prefix in ``[tool.reprolint]`` — a
+  blanket waiver for whole trees (the benchmark tree).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, Set
 
 from tools.reprolint.findings import Finding
 from tools.reprolint.rules.base import Rule, RuleContext
@@ -42,8 +50,11 @@ class WallClockRule(Rule):
         for allowed in context.config.wallclock_allowed_paths:
             if path.startswith(allowed.rstrip("/")):
                 return
+        declared_impure = _impure_call_ids(context)
         for node in ast.walk(context.tree):
             if not isinstance(node, ast.Call):
+                continue
+            if id(node) in declared_impure:
                 continue
             qualname = context.imports.resolve(node.func)
             if qualname in _CLOCK_CALLS:
@@ -52,5 +63,37 @@ class WallClockRule(Rule):
                     node,
                     f"`{qualname}()` reads the clock outside the benchmark "
                     "tree; pass timestamps in as parameters so library "
-                    "output stays reproducible",
+                    "output stays reproducible, or declare the function "
+                    "`@impure` (repro.contracts) with a justification",
                 )
+
+
+def _impure_call_ids(context: RuleContext) -> Set[int]:
+    """ids of Call nodes inside ``@impure``-decorated functions.
+
+    An ``@impure`` declaration is the contract system's explicit,
+    per-function wall-clock waiver (the ``repro.obs.clock`` case):
+    the impurity is documented where it lives and the RL100-RL103
+    contract pass keeps callers honest about reaching it.
+    """
+    exempt: Set[int] = set()
+    for node in ast.walk(context.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not any(
+            _is_impure_decorator(context, decorator)
+            for decorator in node.decorator_list
+        ):
+            continue
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                exempt.add(id(child))
+    return exempt
+
+
+def _is_impure_decorator(context: RuleContext, decorator: ast.AST) -> bool:
+    target = decorator.func if isinstance(decorator, ast.Call) else decorator
+    resolved = context.imports.resolve(target)
+    return resolved is not None and (
+        resolved == "contracts.impure" or resolved.endswith(".contracts.impure")
+    )
