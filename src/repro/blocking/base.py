@@ -79,10 +79,17 @@ class BlockingResult:
     ``pair_scores`` maps each candidate pair to the best (highest) score
     among the blocks that produced it — the ranked-resolution signal the
     uncertain-ER model keeps instead of a crisp match decision.
+
+    ``degraded`` marks a blocking cut short by an exhausted
+    :class:`~repro.resilience.budgets.StageBudget`: the blocks present
+    are valid, but coverage is best-so-far rather than complete
+    (progressive/anytime semantics). Downstream consumers must
+    propagate the flag, never drop it.
     """
 
     blocks: List[Block] = field(default_factory=list)
     pair_scores: Dict[Pair, float] = field(default_factory=dict)
+    degraded: bool = False
 
     @property
     def candidate_pairs(self) -> FrozenSet[Pair]:

@@ -32,6 +32,7 @@ from repro.mining.pruning import prune_frequent_items
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.records.dataset import Dataset
 from repro.records.itembag import Item
+from repro.resilience.budgets import BudgetMeter, StageBudget
 
 __all__ = ["MFIBlocksConfig", "MFIBlocks"]
 
@@ -67,6 +68,12 @@ class MFIBlocksConfig:
         to the paper's published quality) or ``"threshold"`` (the literal
         Algorithm 1 minTh semantics; see
         :class:`~repro.blocking.scoring.SparseNeighborhoodFilter`).
+    ``budget``
+        Optional :class:`~repro.resilience.budgets.StageBudget` bounding
+        the work: each ``minsup`` level charges one unit, and the FPMax
+        recursion charges per node expansion against the same meter. An
+        exhausted budget stops the descent and returns the best-so-far
+        blocking with ``degraded=True`` (anytime semantics).
     """
 
     max_minsup: int = 5
@@ -75,6 +82,7 @@ class MFIBlocksConfig:
     prune_fraction: Optional[float] = None
     min_block_size: int = 2
     sn_mode: str = "skip"
+    budget: Optional[StageBudget] = None
 
     def __post_init__(self) -> None:
         if self.max_minsup < 2:
@@ -115,20 +123,31 @@ class MFIBlocks(BlockingAlgorithm):
             covered: Set[int] = set()
             sn_filter = SparseNeighborhoodFilter(config.ng, mode=config.sn_mode)
             result = BlockingResult()
+            meter = BudgetMeter(config.budget)
 
             for minsup in range(config.max_minsup, 1, -1):
                 uncovered = [rid for rid in item_bags if rid not in covered]
                 if not uncovered:
                     break
+                if meter.exhausted():
+                    break
+                meter.charge()
                 with tracer.span("mfiblocks.minsup", minsup=minsup):
                     admitted = self._one_iteration(
-                        uncovered, item_bags, minsup, sn_filter
+                        uncovered, item_bags, minsup, sn_filter, meter
                     )
                     for records, key, score in admitted:
                         result.blocks.append(Block(records, key, score))
                         covered.update(records)
                         self._score_pairs(records, item_bags, result)
                 tracer.count("mfiblocks.blocks_admitted", len(admitted))
+                if meter.degraded:
+                    # Mining was cut short: the admitted blocks are
+                    # valid but coverage stops here.
+                    break
+            if meter.degraded:
+                result.degraded = True
+                tracer.count("mfiblocks.budget_exhausted", 1)
             tracer.count("mfiblocks.candidate_pairs", len(result.pair_scores))
         return result
 
@@ -141,13 +160,16 @@ class MFIBlocks(BlockingAlgorithm):
         item_bags: Dict[int, FrozenSet[Item]],
         minsup: int,
         sn_filter: SparseNeighborhoodFilter,
+        meter: Optional[BudgetMeter] = None,
     ) -> List[Tuple[FrozenSet[int], FrozenSet[Item], float]]:
         """Mine, support, size-filter, score, and SN-filter one minsup level."""
         config = self.config
         tracer = self.tracer
         transactions = [item_bags[rid] for rid in uncovered]
         with tracer.span("mfiblocks.mine", minsup=minsup):
-            mfis = maximal_frequent_itemsets(transactions, minsup, tracer=tracer)
+            mfis = maximal_frequent_itemsets(
+                transactions, minsup, tracer=tracer, budget=meter
+            )
         tracer.count("mfiblocks.mfis_mined", len(mfis))
         if not mfis:
             return []

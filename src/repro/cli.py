@@ -17,12 +17,18 @@ simulated expert tags) are all switchable flags. ``--trace`` streams
 schema-versioned JSONL events and ``--report`` persists the structured
 :class:`~repro.obs.report.RunReport`; ``profile`` prints the per-stage
 time/counter table (see ``docs/OBSERVABILITY.md``).
+
+``resolve`` and ``profile`` also expose the resilience layer
+(``docs/RESILIENCE.md``): ``--checkpoint-dir``/``--resume`` for
+stage-level checkpoint/resume, ``--on-bad-row``/``--quarantine-out``
+for malformed-row quarantine, and ``--budget-iterations`` /
+``--budget-seconds`` for graceful degradation under stage budgets.
+``chaos`` runs the seeded fault-injection scenarios end to end.
 """
 
 from __future__ import annotations
 
 import argparse
-import csv
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -42,6 +48,12 @@ from repro.obs.tracer import NULL_TRACER
 from repro.records import Dataset
 from repro.records.io import read_csv, write_csv
 from repro.records.patterns import item_type_prevalence, pattern_histogram
+from repro.resilience import (
+    CheckpointStore,
+    Quarantine,
+    QuarantinePolicy,
+    StageBudget,
+)
 from repro.version import repro_version
 
 __all__ = ["main", "build_parser"]
@@ -94,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="stream trace events to this JSONL file")
     resolve.add_argument("--report", type=Path, default=None,
                          help="write the structured run report as JSON")
+    _add_resilience_arguments(resolve)
 
     profile = commands.add_parser(
         "profile",
@@ -112,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also stream trace events to this JSONL file")
     profile.add_argument("--report", type=Path, default=None,
                          help="also write the run report as JSON")
+    _add_resilience_arguments(profile)
 
     narratives = commands.add_parser(
         "narratives", help="print ranked narratives for resolved entities"
@@ -166,14 +180,108 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the first divergence as a unified "
                                "diff to this file")
 
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the seeded fault-injection scenarios (corrupt rows, "
+             "truncated checkpoints, mid-stage crashes, exhausted "
+             "budgets) and verify resilience invariants",
+    )
+    chaos.add_argument("--seed", type=_seed_list, default=[0],
+                       help="comma-separated fault seeds (default: 0)")
+    chaos.add_argument("--scenario", default="all",
+                       choices=("all", "corrupt-rows", "truncated-checkpoint",
+                                "crash-resume", "budget"),
+                       help="which fault family to inject (default: all)")
+    chaos.add_argument("--persons", type=int, default=40)
+    chaos.add_argument("--corpus-seed", type=int, default=17)
+    chaos.add_argument("--ng", type=float, default=3.5)
+    chaos.add_argument("--corrupt-fraction", type=float, default=0.05)
+    chaos.add_argument("--artifacts-dir", type=Path, default=None,
+                       help="keep quarantine/diff artifacts here "
+                            "(default: temporary, removed on success)")
+
     return parser
 
 
-def _load_corpus(path: Path) -> Dataset:
+def _seed_list(text: str) -> List[int]:
+    """Parse ``--seed 0,1,2`` into a list of ints."""
+    try:
+        return [int(part) for part in text.split(",") if part.strip() != ""]
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from error
+
+
+def _add_resilience_arguments(command: argparse.ArgumentParser) -> None:
+    """The resilience knobs shared by ``resolve`` and ``profile``."""
+    command.add_argument(
+        "--checkpoint-dir", type=Path, default=None,
+        help="persist a checkpoint after every pipeline stage here")
+    command.add_argument(
+        "--resume", action="store_true",
+        help="resume from the deepest valid checkpoint in "
+             "--checkpoint-dir (output stays byte-identical to a "
+             "fresh run)")
+    command.add_argument(
+        "--on-bad-row", default="fail",
+        choices=("fail", "quarantine", "repair"),
+        help="malformed ingest rows: fail fast (default), quarantine, "
+             "or repair-then-quarantine")
+    command.add_argument(
+        "--quarantine-out", type=Path, default=None,
+        help="write quarantined rows as JSONL here")
+    command.add_argument(
+        "--budget-iterations", type=int, default=None,
+        help="cap blocking/mining iterations; exhaustion degrades "
+             "gracefully to best-so-far")
+    command.add_argument(
+        "--budget-seconds", type=float, default=None,
+        help="blocking stage deadline in seconds (wall clock; makes the "
+             "run timing-dependent)")
+
+
+def _load_corpus(
+    path: Path,
+    policy: QuarantinePolicy = QuarantinePolicy.FAIL_FAST,
+    quarantine: Optional[Quarantine] = None,
+) -> Dataset:
     """Load a corpus, dispatching on the file suffix (.json or .csv)."""
     if path.suffix.lower() == ".csv":
-        return read_csv(path)
-    return Dataset.from_json(path)
+        return read_csv(path, policy=policy, quarantine=quarantine)
+    return Dataset.from_json(path, policy=policy, quarantine=quarantine)
+
+
+_POLICY_BY_FLAG = {
+    "fail": QuarantinePolicy.FAIL_FAST,
+    "quarantine": QuarantinePolicy.QUARANTINE,
+    "repair": QuarantinePolicy.REPAIR,
+}
+
+
+def _load_corpus_resilient(
+    args: argparse.Namespace, tracer: Tracer
+) -> Dataset:
+    """Load under --on-bad-row, surfacing quarantine counters and JSONL."""
+    policy = _POLICY_BY_FLAG[getattr(args, "on_bad_row", "fail")]
+    quarantine = Quarantine()
+    dataset = _load_corpus(args.corpus, policy=policy, quarantine=quarantine)
+    if quarantine.n_quarantined:
+        tracer.count("ingest.rows_quarantined", quarantine.n_quarantined)
+        lines = ", ".join(
+            str(line)
+            for line in quarantine.line_numbers(include_repaired=False)
+        )
+        print(f"quarantined {quarantine.n_quarantined} malformed rows "
+              f"(lines {lines})")
+    if quarantine.n_repaired:
+        tracer.count("ingest.rows_repaired", quarantine.n_repaired)
+        print(f"repaired {quarantine.n_repaired} rows")
+    quarantine_out = getattr(args, "quarantine_out", None)
+    if quarantine_out is not None:
+        quarantine.to_jsonl(quarantine_out)
+        print(f"wrote quarantine log to {quarantine_out}")
+    return dataset
 
 
 def _save_corpus(dataset: Dataset, path: Path) -> None:
@@ -217,6 +325,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
     geo_lookup = build_gazetteer().lookup if args.expert_sim else None
+    budget = None
+    iterations = getattr(args, "budget_iterations", None)
+    seconds = getattr(args, "budget_seconds", None)
+    if iterations is not None or seconds is not None:
+        budget = StageBudget(max_iterations=iterations,
+                             deadline_seconds=seconds)
     return PipelineConfig(
         max_minsup=args.max_minsup,
         ng=args.ng,
@@ -225,6 +339,7 @@ def _pipeline_config(args: argparse.Namespace) -> PipelineConfig:
         same_source_discard=args.same_src,
         classify=args.classify,
         geo_lookup=geo_lookup,
+        blocking_budget=budget,
     )
 
 
@@ -251,10 +366,15 @@ def _finish_tracing(
         print(f"wrote run report to {report_path}")
 
 
+def _checkpoint_store(args: argparse.Namespace) -> Optional[CheckpointStore]:
+    directory = getattr(args, "checkpoint_dir", None)
+    return None if directory is None else CheckpointStore(directory)
+
+
 def _cmd_resolve(args: argparse.Namespace) -> int:
-    dataset = _load_corpus(args.corpus)
     config = _pipeline_config(args)
     tracer = _build_tracer(args)
+    dataset = _load_corpus_resilient(args, tracer)
     pipeline = UncertainERPipeline(config, tracer=tracer)
 
     labels = None
@@ -265,11 +385,17 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
         labels = simplify_tags(tagged, maybe_as=None)
         print(f"trained on {len(labels)} simulated expert-tagged pairs")
 
-    resolution = pipeline.run(dataset, labeled_pairs=labels)
+    resolution = pipeline.run(
+        dataset, labeled_pairs=labels,
+        checkpoints=_checkpoint_store(args), resume=args.resume,
+    )
     _finish_tracing(args, tracer, resolution)
     crisp = resolution.resolve(args.certainty)
     print(f"{len(resolution)} ranked pairs; {len(crisp)} above "
           f"certainty {args.certainty}")
+    if resolution.degraded:
+        print("WARNING: stage budget exhausted; results are best-so-far "
+              "(degraded)")
 
     gold = GoldStandard.from_dataset(dataset)
     if gold.matches:
@@ -278,19 +404,7 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
               f"recall={quality.recall:.3f} F-1={quality.f1:.3f}")
 
     if args.out is not None:
-        with open(args.out, "w", newline="") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(["book_id_a", "book_id_b", "similarity",
-                             "confidence"])
-            for evidence in resolution.ranked():
-                if evidence.ranking_key <= args.certainty:
-                    continue
-                writer.writerow([
-                    evidence.pair[0], evidence.pair[1],
-                    f"{evidence.similarity:.4f}",
-                    "" if evidence.confidence is None
-                    else f"{evidence.confidence:.4f}",
-                ])
+        resolution.to_csv(args.out, certainty=args.certainty)
         print(f"wrote {len(crisp)} pairs to {args.out}")
     return 0
 
@@ -301,11 +415,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     The observability counterpart of Fig. 12: where does a resolution
     spend its time, per stage, with the stage counters alongside.
     """
-    dataset = _load_corpus(args.corpus)
     config = _pipeline_config(args)
     tracer = _build_tracer(args)
     if not tracer.enabled:
         tracer = Tracer()
+    dataset = _load_corpus_resilient(args, tracer)
     pipeline = UncertainERPipeline(config, tracer=tracer)
 
     labels = None
@@ -316,7 +430,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             tagger.tag_pairs(blocking.candidate_pairs), maybe_as=None
         )
 
-    resolution = pipeline.run(dataset, labeled_pairs=labels)
+    resolution = pipeline.run(
+        dataset, labeled_pairs=labels,
+        checkpoints=_checkpoint_store(args), resume=args.resume,
+    )
     _finish_tracing(args, tracer, resolution)
     assert resolution.report is not None  # tracer is always enabled here
     print(resolution.report.format_table())
@@ -431,6 +548,22 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return sanitize_main(sanitize_argv)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Delegate to :mod:`repro.resilience.chaos` (fault-injection harness)."""
+    from repro.resilience.chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        seeds=tuple(args.seed),
+        scenario=args.scenario,
+        persons=args.persons,
+        corpus_seed=args.corpus_seed,
+        ng=args.ng,
+        corrupt_fraction=args.corrupt_fraction,
+        artifacts_dir=args.artifacts_dir,
+    )
+    return run_chaos(config)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "analyze": _cmd_analyze,
@@ -440,6 +573,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "lint": _cmd_lint,
     "sanitize": _cmd_sanitize,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -16,6 +16,7 @@ from repro.blocking.scoring import (
     BlockScorer,
     ScoringMethod,
 )
+from repro.resilience.budgets import StageBudget
 from repro.similarity.items import GeoLookup
 
 __all__ = ["PipelineConfig"]
@@ -47,6 +48,14 @@ class PipelineConfig:
     ``classify``
         Filter and re-rank pairs with a trained ADTree (Cls); pairs with
         confidence <= ``classifier_threshold`` are discarded.
+
+    Resilience:
+
+    ``blocking_budget``
+        Optional :class:`~repro.resilience.budgets.StageBudget` bounding
+        the MFIBlocks descent and its FPMax mining. Exhaustion yields a
+        best-so-far blocking and a ``degraded=True`` resolution instead
+        of an unbounded run (see ``docs/RESILIENCE.md``).
     """
 
     max_minsup: int = 5
@@ -59,6 +68,7 @@ class PipelineConfig:
     classify: bool = False
     classifier_threshold: float = 0.0
     geo_lookup: Optional[GeoLookup] = None
+    blocking_budget: Optional[StageBudget] = None
 
     def scorer(self) -> BlockScorer:
         """Build the block scorer implied by the condition flags."""
@@ -80,6 +90,7 @@ class PipelineConfig:
             scoring=self.scorer(),
             prune_fraction=self.prune_fraction,
             sn_mode=self.sn_mode,
+            budget=self.blocking_budget,
         )
 
     def with_ng(self, ng: float) -> "PipelineConfig":
@@ -105,6 +116,10 @@ class PipelineConfig:
             "classify": self.classify,
             "classifier_threshold": self.classifier_threshold,
             "geo_lookup": self.geo_lookup is not None,
+            "blocking_budget": (
+                None if self.blocking_budget is None
+                else self.blocking_budget.to_echo()
+            ),
         }
 
     def describe(self) -> str:

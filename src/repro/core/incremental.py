@@ -96,14 +96,45 @@ class IncrementalResolver:
         )
 
     def add_record(self, record: VictimRecord) -> List[PairEvidence]:
-        """Absorb one new report; returns the evidence it produced."""
+        """Absorb one new report; returns the evidence it produced.
+
+        Failed adds are atomic. The method is structured
+        validate-then-commit: every raise (duplicate ``book_id``,
+        unfitted classifier, scoring failure) happens before the first
+        store mutation, so after an exception the resolver is exactly
+        as it was — record count, item index, and live evidence all
+        unchanged — and the same record can be retried once the cause
+        is fixed.
+        """
+        # Phase 1: validate — no store mutation past this point until
+        # _commit, so any raise leaves the resolver untouched.
         if record.book_id in self._records:
             raise ValueError(f"duplicate book_id: {record.book_id}")
-        items = record_to_items(record)
-        candidates = self._candidates(items)
+        if (
+            self.config.classify
+            and self.classifier is not None
+            and self.classifier.model is None
+        ):
+            raise RuntimeError("classifier is not fitted")
 
+        # Phase 2: score against the current store (read-only).
+        items = record_to_items(record)
+        produced = self._score_candidates(record, items)
+
+        # Phase 3: commit record, items, and surviving evidence together.
+        self._commit(record, items, produced)
+        return produced
+
+    def _score_candidates(
+        self, record: VictimRecord, items: FrozenSet[Item]
+    ) -> List[PairEvidence]:
+        """Evidence the new record produces against the current store.
+
+        Read-only with respect to the resolver state: the atomicity of
+        :meth:`add_record` depends on it.
+        """
         produced: List[PairEvidence] = []
-        for rid in candidates:
+        for rid in self._candidates(items):
             if (
                 self.config.same_source_discard
                 and self._records[rid].source.key == record.source.key
@@ -133,8 +164,15 @@ class IncrementalResolver:
                 ),
             )
             produced.append(evidence)
+        return produced
 
-        # Register the record, its items, and the surviving evidence.
+    def _commit(
+        self,
+        record: VictimRecord,
+        items: FrozenSet[Item],
+        produced: List[PairEvidence],
+    ) -> None:
+        """Register the record, its items, and the surviving evidence."""
         self._records[record.book_id] = record
         self._item_bags[record.book_id] = items
         for item in items:
@@ -143,7 +181,6 @@ class IncrementalResolver:
             current = self._evidence.get(evidence.pair)
             if current is None or evidence.ranking_key > current.ranking_key:
                 self._evidence[evidence.pair] = evidence
-        return produced
 
     # -- internals ---------------------------------------------------------------
 

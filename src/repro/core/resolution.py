@@ -15,6 +15,7 @@ clusters (connected components) on demand.
 
 from __future__ import annotations
 
+import csv
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -92,6 +93,7 @@ class ResolutionResult:
         evidence: Iterable[PairEvidence],
         n_records: int = 0,
         report: Optional[RunReport] = None,
+        degraded: bool = False,
     ) -> None:
         self._evidence: Dict[Pair, PairEvidence] = {}
         for entry in evidence:
@@ -105,6 +107,10 @@ class ResolutionResult:
         #: not serialized by :meth:`to_json` — resolution artifacts stay
         #: byte-identical with tracing on or off.
         self.report = report
+        #: True when an exhausted stage budget cut the run short: the
+        #: ranking is valid but best-so-far, not complete. Serialized —
+        #: a degraded artifact must never pass for a full one.
+        self.degraded = degraded
 
     # -- container ---------------------------------------------------------------
 
@@ -183,10 +189,36 @@ class ResolutionResult:
 
     # -- persistence ------------------------------------------------------------
 
+    def to_csv(self, path: Union[str, Path], certainty: float = 0.0) -> int:
+        """Write the ranked pairs above ``certainty`` as CSV; returns rows.
+
+        This is *the* ranked artifact of the system — the format the
+        CLI emits, the determinism suite compares byte-for-byte, and
+        the chaos harness diffs after a resume.
+        """
+        written = 0
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["book_id_a", "book_id_b", "similarity", "confidence"]
+            )
+            for evidence in self.ranked():
+                if evidence.ranking_key <= certainty:
+                    continue
+                writer.writerow([
+                    evidence.pair[0], evidence.pair[1],
+                    f"{evidence.similarity:.4f}",
+                    "" if evidence.confidence is None
+                    else f"{evidence.confidence:.4f}",
+                ])
+                written += 1
+        return written
+
     def to_json(self, path: Union[str, Path]) -> None:
         """Persist the resolution (the probabilistic DB of Figure 4)."""
         payload = {
             "n_records": self.n_records,
+            "degraded": self.degraded,
             "evidence": [
                 {
                     "pair": list(evidence.pair),
@@ -212,4 +244,8 @@ class ResolutionResult:
             )
             for entry in payload["evidence"]
         ]
-        return cls(evidence, n_records=payload.get("n_records", 0))
+        return cls(
+            evidence,
+            n_records=payload.get("n_records", 0),
+            degraded=payload.get("degraded", False),
+        )

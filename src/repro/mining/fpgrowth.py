@@ -36,6 +36,7 @@ from typing import (
 from repro.contracts import ordered_output, pure
 from repro.mining.fptree import FPTree
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.resilience.budgets import BudgetMeter
 
 __all__ = [
     "Itemset",
@@ -194,6 +195,7 @@ def maximal_frequent_itemsets(
     transactions: Iterable[Collection[T]],
     minsup: int,
     tracer: Optional[Tracer] = None,
+    budget: Optional[BudgetMeter] = None,
 ) -> List[Itemset[T]]:
     """Mine maximal frequent itemsets (FPMax).
 
@@ -201,6 +203,13 @@ def maximal_frequent_itemsets(
     support of the maximal set itself. An optional tracer times tree
     construction vs. the FPMax recursion and gauges the tree size —
     Fig. 12's dominant cost, broken down.
+
+    ``budget`` bounds the FPMax recursion: each node expansion charges
+    one unit, and an exhausted meter stops the search, returning the
+    MFIs found so far (anytime semantics). The caller reads
+    ``budget.degraded`` to learn the result is partial; with an
+    iteration-only budget the cut point — and therefore the output —
+    is deterministic.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     materialized = [list(transaction) for transaction in transactions]
@@ -212,7 +221,9 @@ def maximal_frequent_itemsets(
     tracer.gauge("fpgrowth.vocabulary", len(vocabulary.value_of))
     store = _MFIStore()
     with tracer.span("fpgrowth.fpmax", minsup=minsup):
-        _fpmax(tree, [], minsup, vocabulary.order, store)
+        _fpmax(tree, [], minsup, vocabulary.order, store, budget)
+    if budget is not None and budget.degraded:
+        tracer.count("fpgrowth.budget_exhausted", 1)
     tracer.count("fpgrowth.mfis", len(store.itemsets))
     return [
         Itemset(vocabulary.decode(ids), support) for ids, support in store.itemsets
@@ -225,9 +236,14 @@ def _fpmax(
     minsup: int,
     order: Dict[int, int],
     store: _MFIStore,
+    budget: Optional[BudgetMeter] = None,
 ) -> None:
     if tree.is_empty():
         return
+    if budget is not None:
+        if budget.exhausted():
+            return
+        budget.charge()
     single = tree.single_path()
     if single is not None:
         candidate = frozenset(suffix) | {item for item, _ in single}
@@ -253,7 +269,9 @@ def _fpmax(
         head = frozenset(new_suffix) | set(conditional.items())
         if store.is_subsumed(head):
             continue
-        _fpmax(conditional, new_suffix, minsup, order, store)
+        _fpmax(conditional, new_suffix, minsup, order, store, budget)
+        if budget is not None and budget.degraded:
+            return
 
 
 @ordered_output

@@ -22,8 +22,13 @@ Report JSON schema (version :data:`~repro.obs.events.SCHEMA_VERSION`)::
       "counters": {"pipeline.records": 180, ...},   # sorted keys
       "gauges": {"fpgrowth.tree_nodes": 412.0, ...},
       "config": {...},               # PipelineConfig echo (or {})
-      "corpus": {...}                # corpus stats (or {})
+      "corpus": {...},               # corpus stats (or {})
+      "resilience": {...}            # degraded flag, checkpoint summary
     }
+
+The ``resilience`` block (schema in ``docs/RESILIENCE.md``) was added
+additively within schema version 1: old readers ignore it, old reports
+deserialize with an empty block.
 """
 
 from __future__ import annotations
@@ -129,6 +134,7 @@ class RunReport:
     gauges: Dict[str, float] = field(default_factory=dict)
     config: Dict[str, Any] = field(default_factory=dict)
     corpus: Dict[str, Any] = field(default_factory=dict)
+    resilience: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def build(
@@ -136,6 +142,7 @@ class RunReport:
         aggregate: Aggregator,
         config: Optional[Mapping[str, Any]] = None,
         corpus: Optional[Mapping[str, Any]] = None,
+        resilience: Optional[Mapping[str, Any]] = None,
     ) -> "RunReport":
         """Snapshot an aggregator into a report (stages are copied)."""
         return cls(
@@ -150,6 +157,7 @@ class RunReport:
             gauges=dict(aggregate.gauges),
             config=dict(config or {}),
             corpus=dict(corpus or {}),
+            resilience=dict(resilience or {}),
         )
 
     # -- serialization -------------------------------------------------------
@@ -166,6 +174,7 @@ class RunReport:
             "gauges": {name: self.gauges[name] for name in sorted(self.gauges)},
             "config": self.config,
             "corpus": self.corpus,
+            "resilience": self.resilience,
         }
 
     def to_json(self, path: Union[str, Path]) -> None:
@@ -190,6 +199,7 @@ class RunReport:
             },
             config=dict(payload.get("config", {})),
             corpus=dict(payload.get("corpus", {})),
+            resilience=dict(payload.get("resilience", {})),
         )
 
     @classmethod
@@ -220,6 +230,14 @@ class RunReport:
                 f"{key}={self.corpus[key]}" for key in sorted(self.corpus)
             )
             lines.append(f"corpus: {corpus_bits}")
+        if self.resilience.get("degraded"):
+            lines.append(
+                "DEGRADED: a stage budget was exhausted; "
+                "results are best-so-far"
+            )
+        resumed = (self.resilience.get("checkpoints") or {}).get("resumed_from")
+        if resumed:
+            lines.append(f"resumed from checkpoint: {resumed}")
         lines.append("")
 
         rows: List[List[str]] = [

@@ -11,6 +11,7 @@ and reloaded by benchmarks without regenerating.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple, Union
@@ -25,6 +26,7 @@ from repro.records.schema import (
     VictimRecord,
 )
 from repro.geo import GeoPoint
+from repro.resilience.quarantine import Quarantine, QuarantinePolicy
 
 __all__ = ["Dataset"]
 
@@ -41,6 +43,7 @@ class Dataset:
             self._records[record.book_id] = record
         self._item_bags: Optional[Dict[int, FrozenSet[Item]]] = None
         self._item_index: Optional[Dict[Item, List[int]]] = None
+        self._content_fingerprint: Optional[str] = None
 
     # -- basic container protocol -------------------------------------------
 
@@ -80,6 +83,30 @@ class Dataset:
         if self._item_index is None:
             self._item_index = build_item_index(self.item_bags.items())
         return self._item_index
+
+    def content_fingerprint(self) -> str:
+        """SHA-256 over the canonical record content (cached).
+
+        Records are serialized sorted by ``book_id`` with sorted keys,
+        so the fingerprint depends only on *what* the dataset contains —
+        never on construction order or hash seed. Checkpoint identity
+        (``docs/RESILIENCE.md``) chains from this value: a resume
+        against a different corpus can never hit.
+        """
+        if self._content_fingerprint is None:
+            canonical = json.dumps(
+                [
+                    _record_to_dict(self._records[rid])
+                    for rid in sorted(self._records)
+                ],
+                sort_keys=True,
+                separators=(",", ":"),
+                ensure_ascii=False,
+            )
+            self._content_fingerprint = hashlib.sha256(
+                canonical.encode("utf-8")
+            ).hexdigest()
+        return self._content_fingerprint
 
     def subset(self, book_ids: Iterable[int], name: Optional[str] = None) -> "Dataset":
         """Return a new dataset restricted to the given record ids."""
@@ -122,10 +149,42 @@ class Dataset:
         Path(path).write_text(json.dumps(payload, ensure_ascii=False, indent=1))
 
     @classmethod
-    def from_json(cls, path: Union[str, Path]) -> "Dataset":
-        """Load a dataset previously written by :meth:`to_json`."""
+    def from_json(
+        cls,
+        path: Union[str, Path],
+        policy: QuarantinePolicy = QuarantinePolicy.FAIL_FAST,
+        quarantine: Optional[Quarantine] = None,
+    ) -> "Dataset":
+        """Load a dataset previously written by :meth:`to_json`.
+
+        ``policy`` governs malformed record entries the same way
+        :func:`repro.records.io.read_csv` treats bad CSV rows; the
+        quarantine ``line_number`` is the 1-based ordinal of the record
+        entry (JSON carries no physical line mapping). JSON entries
+        have no per-cell repair story, so ``REPAIR`` degrades to
+        ``QUARANTINE`` here.
+        """
+        quarantine = quarantine if quarantine is not None else Quarantine()
         payload = json.loads(Path(path).read_text())
-        records = [_record_from_dict(entry) for entry in payload["records"]]
+        records = []
+        seen_ids = set()
+        for ordinal, entry in enumerate(payload["records"], start=1):
+            try:
+                record = _record_from_dict(entry)
+                if record.book_id in seen_ids:
+                    raise ValueError(f"duplicate book_id: {record.book_id}")
+            except (KeyError, ValueError, TypeError) as error:
+                if policy is QuarantinePolicy.FAIL_FAST:
+                    raise ValueError(
+                        f"{path}: record entry {ordinal}: bad record ({error})"
+                    ) from error
+                quarantine.record(
+                    str(path), ordinal, None, str(error),
+                    entry if isinstance(entry, dict) else {"entry": entry},
+                )
+                continue
+            seen_ids.add(record.book_id)
+            records.append(record)
         return cls(records, name=payload.get("name", "dataset"))
 
 

@@ -9,13 +9,23 @@ Layout: one row per report. Multi-valued name attributes are joined with
 ``|``; each place type occupies ``{type}_{part}`` columns plus optional
 ``{type}_lat`` / ``{type}_lon`` coordinates; ``person_id`` is an optional
 ground-truth column used only by evaluation.
+
+Ingestion is resilience-aware: real multi-source extracts contain
+malformed rows as a matter of course, so :func:`read_csv` takes a
+:class:`~repro.resilience.quarantine.QuarantinePolicy`. The default
+(``FAIL_FAST``) raises on the first bad row with the 1-based line
+number *and* the offending column; ``QUARANTINE`` collects bad rows
+into a :class:`~repro.resilience.quarantine.Quarantine` and loads the
+rest; ``REPAIR`` additionally blanks unparseable optional cells and
+keeps the repaired row (recording what was blanked). Duplicate
+``book_id`` rows are handled under the same policy.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Set, Tuple, TypeVar, Union
 
 from repro.geo import GeoPoint
 from repro.records.dataset import Dataset
@@ -30,10 +40,13 @@ from repro.records.schema import (
     SourceRef,
     VictimRecord,
 )
+from repro.resilience.quarantine import Quarantine, QuarantinePolicy, RowError
 
-__all__ = ["CSV_COLUMNS", "write_csv", "read_csv"]
+__all__ = ["CSV_COLUMNS", "REQUIRED_COLUMNS", "write_csv", "read_csv"]
 
 _MULTI_SEPARATOR = "|"
+
+_T = TypeVar("_T")
 
 
 def _place_columns() -> List[str]:
@@ -55,6 +68,9 @@ CSV_COLUMNS: Tuple[str, ...] = tuple(
     + ["person_id"]
 )
 
+#: Columns a row cannot exist without — unrepairable when malformed.
+REQUIRED_COLUMNS: Tuple[str, ...] = ("book_id", "source_kind", "source_id")
+
 
 def write_csv(dataset: Dataset, path: Union[str, Path]) -> None:
     """Write a dataset in the canonical flat layout."""
@@ -65,9 +81,24 @@ def write_csv(dataset: Dataset, path: Union[str, Path]) -> None:
             writer.writerow(_record_to_row(record))
 
 
-def read_csv(path: Union[str, Path], name: Optional[str] = None) -> Dataset:
-    """Load a dataset from the canonical flat layout."""
+def read_csv(
+    path: Union[str, Path],
+    name: Optional[str] = None,
+    policy: QuarantinePolicy = QuarantinePolicy.FAIL_FAST,
+    quarantine: Optional[Quarantine] = None,
+) -> Dataset:
+    """Load a dataset from the canonical flat layout.
+
+    ``policy`` decides what happens to malformed rows (see module
+    docstring); pass a :class:`Quarantine` to receive the structured
+    entries — with the non-default policies and no collector supplied,
+    the rejected rows would be accounted only in the collector this
+    function discards, so callers that care must provide one.
+    """
+    quarantine = quarantine if quarantine is not None else Quarantine()
+    source_label = str(path)
     records: List[VictimRecord] = []
+    seen_ids: Set[int] = set()
     with open(path, newline="", encoding="utf-8") as handle:
         reader = csv.DictReader(handle)
         missing = {"book_id", "source_kind", "source_id"} - set(
@@ -75,14 +106,89 @@ def read_csv(path: Union[str, Path], name: Optional[str] = None) -> Dataset:
         )
         if missing:
             raise ValueError(f"CSV is missing required columns: {missing}")
-        for line_number, row in enumerate(reader, start=2):
+        for row in reader:
+            line_number = reader.line_num
             try:
-                records.append(_row_to_record(row))
-            except (KeyError, ValueError) as error:
+                record = _parse_row(
+                    row, policy, quarantine, source_label, line_number
+                )
+            except RowError as error:
                 raise ValueError(
-                    f"{path}:{line_number}: bad row ({error})"
+                    f"{path}:{line_number}: bad row "
+                    f"(field {error.field!r}: {error})"
                 ) from error
+            if record is None:
+                continue
+            if record.book_id in seen_ids:
+                duplicate = RowError(
+                    "book_id", f"duplicate book_id: {record.book_id}"
+                )
+                if policy is QuarantinePolicy.FAIL_FAST:
+                    raise ValueError(
+                        f"{path}:{line_number}: bad row "
+                        f"(field 'book_id': {duplicate})"
+                    ) from duplicate
+                quarantine.record(
+                    source_label, line_number, duplicate.field,
+                    str(duplicate), dict(row),
+                )
+                continue
+            seen_ids.add(record.book_id)
+            records.append(record)
     return Dataset(records, name=name or Path(path).stem)
+
+
+def _parse_row(
+    row: Dict[str, str],
+    policy: QuarantinePolicy,
+    quarantine: Quarantine,
+    source_label: str,
+    line_number: int,
+) -> Optional[VictimRecord]:
+    """Parse one row under the policy; ``None`` means quarantined."""
+    try:
+        return _row_to_record(row)
+    except RowError as error:
+        if policy is QuarantinePolicy.FAIL_FAST:
+            raise
+        if policy is QuarantinePolicy.REPAIR:
+            repaired = _repair_row(row)
+            if repaired is not None:
+                record, blanked = repaired
+                quarantine.record(
+                    source_label, line_number, error.field, str(error),
+                    dict(row), repaired=True, repaired_fields=blanked,
+                )
+                return record
+        quarantine.record(
+            source_label, line_number, error.field, str(error), dict(row)
+        )
+        return None
+
+
+def _repair_row(
+    row: Dict[str, str]
+) -> Optional[Tuple[VictimRecord, Tuple[str, ...]]]:
+    """Blank unparseable optional cells until the row parses.
+
+    Returns the record plus the blanked column names, or ``None`` when
+    the row is unrepairable (a required identity column is bad). The
+    loop is bounded by the column count: every iteration either
+    succeeds or permanently blanks one more cell.
+    """
+    patched = dict(row)
+    blanked: List[str] = []
+    for _ in range(len(CSV_COLUMNS) + 1):
+        try:
+            return _row_to_record(patched), tuple(blanked)
+        except RowError as error:
+            if error.field is None or error.field in REQUIRED_COLUMNS:
+                return None
+            if patched.get(error.field, "") == "":
+                return None  # blanking did not help; give up
+            patched[error.field] = ""
+            blanked.append(error.field)
+    return None
 
 
 def _record_to_row(record: VictimRecord) -> Dict[str, str]:
@@ -113,6 +219,25 @@ def _record_to_row(record: VictimRecord) -> Dict[str, str]:
     return row
 
 
+def _field(
+    row: Dict[str, str], column: str, convert: Callable[[Optional[str]], _T]
+) -> _T:
+    """Convert one cell, wrapping failures with the column name."""
+    try:
+        return convert(row.get(column))
+    except (KeyError, ValueError, TypeError) as error:
+        raise RowError(column, f"{error}") from error
+
+
+def _required_str(column: str) -> Callable[[Optional[str]], str]:
+    def convert(text: Optional[str]) -> str:
+        if text is None or text == "":
+            raise ValueError(f"missing required value for {column!r}")
+        return text
+
+    return convert
+
+
 def _row_to_record(row: Dict[str, str]) -> VictimRecord:
     places: Dict[PlaceType, Tuple[Place, ...]] = {}
     for place_type in PLACE_TYPES:
@@ -120,24 +245,42 @@ def _row_to_record(row: Dict[str, str]) -> VictimRecord:
             part.value: (row.get(f"{place_type.value}_{part.value}") or None)
             for part in PLACE_PARTS
         }
-        lat = row.get(f"{place_type.value}_lat") or ""
-        lon = row.get(f"{place_type.value}_lon") or ""
-        coords = GeoPoint(float(lat), float(lon)) if lat and lon else None
+        lat_column = f"{place_type.value}_lat"
+        lon_column = f"{place_type.value}_lon"
+        lat_text = row.get(lat_column) or ""
+        lon_text = row.get(lon_column) or ""
+        coords: Optional[GeoPoint] = None
+        if lat_text and lon_text:
+            lat = _field(row, lat_column, lambda text: float(text or ""))
+            lon = _field(row, lon_column, lambda text: float(text or ""))
+            coords = GeoPoint(lat, lon)
         place = Place(coords=coords, **parts)
         if not place.is_empty():
             places[place_type] = (place,)
 
     gender_text = (row.get("gender") or "").strip()
+    gender: Optional[Gender] = None
+    if gender_text:
+        gender = _field(row, "gender", lambda _text: Gender(gender_text))
     return VictimRecord(
-        book_id=int(row["book_id"]),
-        source=SourceRef(SourceKind(row["source_kind"]), row["source_id"]),
-        gender=Gender(gender_text) if gender_text else None,
-        birth_day=_int_or_none(row.get("birth_day")),
-        birth_month=_int_or_none(row.get("birth_month")),
-        birth_year=_int_or_none(row.get("birth_year")),
+        book_id=_field(
+            row, "book_id",
+            lambda text: int(_required_str("book_id")(text)),
+        ),
+        source=SourceRef(
+            _field(
+                row, "source_kind",
+                lambda text: SourceKind(_required_str("source_kind")(text)),
+            ),
+            _field(row, "source_id", _required_str("source_id")),
+        ),
+        gender=gender,
+        birth_day=_field(row, "birth_day", _int_or_none),
+        birth_month=_field(row, "birth_month", _int_or_none),
+        birth_year=_field(row, "birth_year", _int_or_none),
         profession=(row.get("profession") or None),
         places=places,
-        person_id=_int_or_none(row.get("person_id")),
+        person_id=_field(row, "person_id", _int_or_none),
         **{
             attribute: _split_multi(row.get(attribute))
             for attribute in NAME_ATTRIBUTES
@@ -151,7 +294,7 @@ def _split_multi(text: Optional[str]) -> Tuple[str, ...]:
     return tuple(part for part in text.split(_MULTI_SEPARATOR) if part)
 
 
-def _opt(value) -> str:
+def _opt(value: Optional[object]) -> str:
     return "" if value is None else str(value)
 
 

@@ -1,0 +1,136 @@
+"""Stage budgets: anytime semantics for the expensive pipeline stages.
+
+MFIBlocks' ``minsup`` descent and FP-Growth mining are the stages whose
+cost explodes on dirty data (the blocking-survey observation in
+PAPERS.md); Galhotra et al.'s progressive blocking shows ER can still
+yield useful partial results under a budget. A :class:`StageBudget`
+bounds a stage by **iterations** (deterministic: the same corpus always
+exhausts at the same point) and/or by a **deadline** in seconds (a
+liveness guarantee that trades determinism for bounded latency — the
+clock is the tracer's injected :class:`~repro.obs.clock.Clock`, so
+tests drive it manually).
+
+When a budget runs out the stage does not raise: it returns the
+best-so-far result and marks itself *degraded*. The flag propagates to
+:class:`~repro.blocking.base.BlockingResult`,
+:class:`~repro.core.resolution.ResolutionResult` and the run report, so
+a truncated blocking can never masquerade as a complete one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.obs.clock import Clock, MonotonicClock
+
+__all__ = ["StageBudget", "BudgetMeter"]
+
+
+@dataclass(frozen=True)
+class StageBudget:
+    """Bounds on one stage's work.
+
+    ``max_iterations``
+        Units of work the stage may charge before it must stop. An
+        iteration is whatever the stage declares it to be: one
+        ``minsup`` level for the MFIBlocks descent, one node expansion
+        for the FPMax recursion. Deterministic.
+    ``deadline_seconds``
+        Wall-clock allowance measured from the first budget check.
+        Nondeterministic by nature; use for latency guarantees, not for
+        reproducible experiments.
+    """
+
+    max_iterations: Optional[int] = None
+    deadline_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_iterations is None and self.deadline_seconds is None:
+            raise ValueError(
+                "a StageBudget needs max_iterations or deadline_seconds"
+            )
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ValueError(
+                f"max_iterations must be >= 1, got {self.max_iterations}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be positive, got {self.deadline_seconds}"
+            )
+
+    def to_echo(self) -> Dict[str, Any]:
+        """JSON-safe snapshot for config echoes and fingerprints."""
+        return {
+            "max_iterations": self.max_iterations,
+            "deadline_seconds": self.deadline_seconds,
+        }
+
+
+class BudgetMeter:
+    """Tracks one stage's spend against a :class:`StageBudget`.
+
+    A meter with ``budget=None`` never exhausts and costs one attribute
+    check per call — stages thread it unconditionally. The deadline
+    reading goes through the injected clock (``repro.obs.clock`` is the
+    sole wall-clock holder in ``src/``), which is why this class carries
+    no determinism contract: with a deadline set, exhaustion depends on
+    the machine, and the ``degraded`` flag exists to record exactly
+    that.
+    """
+
+    __slots__ = ("budget", "_clock", "_iterations", "_started_at", "_degraded")
+
+    def __init__(
+        self, budget: Optional[StageBudget], clock: Optional[Clock] = None
+    ) -> None:
+        self.budget = budget
+        if clock is None and budget is not None and budget.deadline_seconds is not None:
+            clock = MonotonicClock()
+        self._clock = clock
+        self._iterations = 0
+        self._started_at: Optional[float] = None
+        self._degraded = False
+
+    @property
+    def enabled(self) -> bool:
+        return self.budget is not None
+
+    @property
+    def iterations(self) -> int:
+        """Units of work charged so far."""
+        return self._iterations
+
+    @property
+    def degraded(self) -> bool:
+        """True once exhaustion has been observed by any caller."""
+        return self._degraded
+
+    def charge(self, n: int = 1) -> None:
+        """Record ``n`` units of work."""
+        self._iterations += n
+
+    def exhausted(self) -> bool:
+        """Whether the stage must stop and return best-so-far output.
+
+        The first positive answer latches :attr:`degraded`; callers
+        check before each unit of work, so a freshly exhausted meter
+        stops the stage *before* it overspends.
+        """
+        budget = self.budget
+        if budget is None:
+            return False
+        if (
+            budget.max_iterations is not None
+            and self._iterations >= budget.max_iterations
+        ):
+            self._degraded = True
+            return True
+        if budget.deadline_seconds is not None and self._clock is not None:
+            now = self._clock.now()
+            if self._started_at is None:
+                self._started_at = now
+            elif now - self._started_at >= budget.deadline_seconds:
+                self._degraded = True
+                return True
+        return False

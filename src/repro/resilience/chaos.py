@@ -1,0 +1,412 @@
+"""Chaos harness: seeded fault injection against the live pipeline.
+
+Resilience claims that are not exercised are hopes, not properties.
+This module drives the whole resilience layer end to end with
+deterministically seeded faults and asserts the recovery invariants of
+``docs/RESILIENCE.md``:
+
+``corrupt-rows``
+    Inject :data:`~repro.resilience.faults.CORRUPT_MARKER` rows into a
+    CSV corpus at a seeded 5% (configurable) and require that ingestion
+    under ``QuarantinePolicy.QUARANTINE`` (a) completes, (b) loads
+    exactly the clean rows, and (c) quarantines **exactly** the
+    injected line numbers.
+
+``crash-resume``
+    For every stage boundary in turn, crash the pipeline with a
+    :class:`~repro.resilience.faults.SimulatedCrash` right after the
+    stage's checkpoint is durable, resume from disk, and require the
+    resumed ranked CSV to be **byte-identical** to an uninterrupted
+    run's.
+
+``truncated-checkpoint``
+    Truncate one checkpoint file (stage chosen by the fault seed) and
+    delete the deeper ones, then resume: the store must record a miss
+    for the damaged stage, fall back to the deepest intact ancestor,
+    and still reproduce the uninterrupted bytes.
+
+``budget``
+    Run under an instantly exhausted
+    :class:`~repro.resilience.budgets.StageBudget` and require graceful
+    degradation: the run completes, ``ResolutionResult.degraded`` is
+    set, and the run report carries the flag.
+
+Faults are injected *deterministically* from ``--seed``, so a failing
+scenario replays exactly. On failure the harness keeps its artifacts
+(quarantine JSONL, output diffs, checkpoint directories) for posthoc
+debugging — CI uploads them; locally the path is printed.
+
+Usage: ``repro chaos --seed 0,1,2`` or ``python -m
+repro.resilience.chaos``. Exit codes: 0 all invariants held, 1 a
+scenario failed, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import shutil
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.contracts import impure
+from repro.core import PipelineConfig, UncertainERPipeline
+from repro.core.pipeline import PIPELINE_STAGES
+from repro.core.resolution import ResolutionResult
+from repro.datagen import build_corpus
+from repro.obs import Tracer
+from repro.records.dataset import Dataset
+from repro.records.io import read_csv, write_csv
+from repro.resilience.budgets import StageBudget
+from repro.resilience.checkpoints import CheckpointStore
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    SimulatedCrash,
+    corrupt_csv_rows,
+    truncate_file,
+)
+from repro.resilience.quarantine import Quarantine, QuarantinePolicy
+
+__all__ = [
+    "ChaosConfig",
+    "ScenarioOutcome",
+    "SCENARIOS",
+    "run_chaos",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Which faults to inject, against what corpus."""
+
+    seeds: Tuple[int, ...] = (0,)
+    scenario: str = "all"
+    persons: int = 40
+    corpus_seed: int = 17
+    ng: float = 3.5
+    corrupt_fraction: float = 0.05
+    artifacts_dir: Optional[Path] = None
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise ValueError("need at least one fault seed")
+        if self.persons < 2:
+            raise ValueError(f"persons must be >= 2, got {self.persons}")
+        if not 0.0 < self.corrupt_fraction <= 1.0:
+            raise ValueError(
+                f"corrupt_fraction must be in (0, 1], "
+                f"got {self.corrupt_fraction}"
+            )
+        if self.scenario not in ("all", *SCENARIOS):
+            raise ValueError(f"unknown scenario: {self.scenario!r}")
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Pass/fail of one (scenario, seed) combination."""
+
+    scenario: str
+    seed: int
+    ok: bool
+    detail: str
+
+
+def _build_dataset(config: ChaosConfig) -> Dataset:
+    dataset, _persons = build_corpus(
+        n_persons=config.persons,
+        communities=("italy",),
+        seed=config.corpus_seed,
+        name="chaos",
+    )
+    return dataset
+
+
+def _pipeline_config(config: ChaosConfig) -> PipelineConfig:
+    return PipelineConfig(ng=config.ng, expert_weighting=True)
+
+
+def _ranked_bytes(resolution: ResolutionResult, path: Path) -> bytes:
+    """Write the ranked CSV (the determinism artifact) and read it back."""
+    resolution.to_csv(path)
+    return path.read_bytes()
+
+
+def _diff(expected: bytes, actual: bytes, label: str) -> str:
+    return "".join(
+        difflib.unified_diff(
+            expected.decode("utf-8").splitlines(keepends=True),
+            actual.decode("utf-8").splitlines(keepends=True),
+            fromfile="uninterrupted",
+            tofile=label,
+        )
+    )
+
+
+@impure(reason="writes corrupted corpus and quarantine artifacts to disk")
+def _scenario_corrupt_rows(
+    config: ChaosConfig, seed: int, workdir: Path
+) -> ScenarioOutcome:
+    """Seeded corrupt rows must be quarantined exactly, never fatally."""
+    dataset = _build_dataset(config)
+    clean_path = workdir / "corpus.csv"
+    corrupt_path = workdir / "corpus-corrupted.csv"
+    write_csv(dataset, clean_path)
+    injected = corrupt_csv_rows(
+        clean_path, corrupt_path, config.corrupt_fraction, seed
+    )
+
+    quarantine = Quarantine()
+    loaded = read_csv(
+        corrupt_path, policy=QuarantinePolicy.QUARANTINE,
+        quarantine=quarantine,
+    )
+    quarantine.to_jsonl(workdir / f"quarantine-seed{seed}.jsonl")
+    resolution = UncertainERPipeline(_pipeline_config(config)).run(loaded)
+
+    quarantined = quarantine.line_numbers()
+    if quarantined != injected:
+        return ScenarioOutcome(
+            "corrupt-rows", seed, False,
+            f"quarantined lines {quarantined} != injected {injected}",
+        )
+    if len(loaded) != len(dataset) - len(injected):
+        return ScenarioOutcome(
+            "corrupt-rows", seed, False,
+            f"loaded {len(loaded)} records, expected "
+            f"{len(dataset) - len(injected)}",
+        )
+    return ScenarioOutcome(
+        "corrupt-rows", seed, True,
+        f"{len(injected)} rows quarantined exactly; "
+        f"{len(resolution)} pairs resolved from the remainder",
+    )
+
+
+@impure(reason="kills and resumes pipeline runs via on-disk checkpoints")
+def _scenario_crash_resume(
+    config: ChaosConfig, seed: int, workdir: Path
+) -> ScenarioOutcome:
+    """Crash after every stage in turn; resume must reproduce the bytes."""
+    dataset = _build_dataset(config)
+    pipeline_config = _pipeline_config(config)
+    fresh = UncertainERPipeline(pipeline_config).run(dataset)
+    expected = _ranked_bytes(fresh, workdir / "uninterrupted.csv")
+
+    for stage in PIPELINE_STAGES:
+        store_dir = workdir / f"checkpoints-{stage}"
+        try:
+            UncertainERPipeline(pipeline_config).run(
+                dataset,
+                checkpoints=CheckpointStore(store_dir),
+                faults=FaultInjector(FaultPlan(crash_after_stage=stage)),
+            )
+            return ScenarioOutcome(
+                "crash-resume", seed, False,
+                f"SimulatedCrash after {stage!r} did not fire",
+            )
+        except SimulatedCrash:
+            pass
+        store = CheckpointStore(store_dir)
+        resumed = UncertainERPipeline(pipeline_config).run(
+            dataset, checkpoints=store, resume=True
+        )
+        actual = _ranked_bytes(resumed, workdir / f"resumed-{stage}.csv")
+        if stage not in store.hits:
+            return ScenarioOutcome(
+                "crash-resume", seed, False,
+                f"resume after {stage!r} crash did not hit its checkpoint",
+            )
+        if actual != expected:
+            diff_path = workdir / f"diff-{stage}.patch"
+            diff_path.write_text(
+                _diff(expected, actual, f"resumed-after-{stage}")
+            )
+            return ScenarioOutcome(
+                "crash-resume", seed, False,
+                f"resumed output diverged after {stage!r} crash "
+                f"(diff: {diff_path})",
+            )
+    return ScenarioOutcome(
+        "crash-resume", seed, True,
+        f"byte-identical resume at all {len(PIPELINE_STAGES)} "
+        "stage boundaries",
+    )
+
+
+@impure(reason="truncates checkpoint files on disk to simulate torn writes")
+def _scenario_truncated_checkpoint(
+    config: ChaosConfig, seed: int, workdir: Path
+) -> ScenarioOutcome:
+    """A torn checkpoint must be detected, skipped, and recovered from."""
+    dataset = _build_dataset(config)
+    pipeline_config = _pipeline_config(config)
+    store_dir = workdir / "checkpoints"
+    fresh = UncertainERPipeline(pipeline_config).run(
+        dataset, checkpoints=CheckpointStore(store_dir)
+    )
+    expected = _ranked_bytes(fresh, workdir / "uninterrupted.csv")
+
+    # Damage the seed-chosen stage; delete the deeper checkpoints so the
+    # resume scan actually reaches the torn file instead of hitting a
+    # deeper intact one first.
+    index = seed % len(PIPELINE_STAGES)
+    stage = PIPELINE_STAGES[index]
+    store = CheckpointStore(store_dir)
+    truncate_file(store.path_for(stage))
+    for deeper in PIPELINE_STAGES[index + 1:]:
+        store.path_for(deeper).unlink()
+
+    resumed = UncertainERPipeline(pipeline_config).run(
+        dataset, checkpoints=store, resume=True
+    )
+    actual = _ranked_bytes(resumed, workdir / f"resumed-torn-{stage}.csv")
+    missed_stages = [miss.stage for miss in store.misses]
+    if stage not in missed_stages:
+        return ScenarioOutcome(
+            "truncated-checkpoint", seed, False,
+            f"torn {stage!r} checkpoint was not recorded as a miss "
+            f"(misses: {missed_stages})",
+        )
+    if actual != expected:
+        diff_path = workdir / f"diff-torn-{stage}.patch"
+        diff_path.write_text(_diff(expected, actual, f"torn-{stage}"))
+        return ScenarioOutcome(
+            "truncated-checkpoint", seed, False,
+            f"recovery from torn {stage!r} checkpoint diverged "
+            f"(diff: {diff_path})",
+        )
+    return ScenarioOutcome(
+        "truncated-checkpoint", seed, True,
+        f"torn {stage!r} checkpoint detected and recovered byte-identically",
+    )
+
+
+@impure(reason="exhausts stage budgets against a real pipeline run")
+def _scenario_budget(
+    config: ChaosConfig, seed: int, workdir: Path
+) -> ScenarioOutcome:
+    """An exhausted budget must degrade gracefully, loudly, and completely."""
+    dataset = _build_dataset(config)
+    tracer = Tracer()
+    pipeline_config = PipelineConfig(
+        ng=config.ng,
+        expert_weighting=True,
+        blocking_budget=StageBudget(max_iterations=1),
+    )
+    resolution = UncertainERPipeline(pipeline_config, tracer=tracer).run(
+        dataset
+    )
+    tracer.close()
+    if not resolution.degraded:
+        return ScenarioOutcome(
+            "budget", seed, False,
+            "budget of 1 iteration did not mark the resolution degraded",
+        )
+    report = resolution.report
+    if report is None or not report.resilience.get("degraded"):
+        return ScenarioOutcome(
+            "budget", seed, False,
+            "degraded flag missing from the run report resilience block",
+        )
+    return ScenarioOutcome(
+        "budget", seed, True,
+        f"degraded best-so-far run completed with {len(resolution)} pairs",
+    )
+
+
+_Scenario = Callable[[ChaosConfig, int, Path], ScenarioOutcome]
+
+#: Scenario registry, in execution order.
+SCENARIOS: Dict[str, _Scenario] = {
+    "corrupt-rows": _scenario_corrupt_rows,
+    "crash-resume": _scenario_crash_resume,
+    "truncated-checkpoint": _scenario_truncated_checkpoint,
+    "budget": _scenario_budget,
+}
+
+
+@impure(reason="creates artifact directories and drives faulted runs")
+def run_chaos(config: ChaosConfig) -> int:
+    """Run the selected scenarios under every fault seed; 0 iff all held."""
+    if config.artifacts_dir is not None:
+        root = config.artifacts_dir
+        root.mkdir(parents=True, exist_ok=True)
+        ephemeral = False
+    else:
+        root = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+        ephemeral = True
+
+    names = (
+        list(SCENARIOS) if config.scenario == "all" else [config.scenario]
+    )
+    outcomes: List[ScenarioOutcome] = []
+    for seed in config.seeds:
+        for name in names:
+            workdir = root / f"{name}-seed{seed}"
+            workdir.mkdir(parents=True, exist_ok=True)
+            outcome = SCENARIOS[name](config, seed, workdir)
+            outcomes.append(outcome)
+            status = "ok" if outcome.ok else "FAILED"
+            print(f"chaos {name} (seed {seed}): {status} — {outcome.detail}")
+
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    if failures:
+        print(
+            f"chaos: {len(failures)}/{len(outcomes)} scenario runs failed; "
+            f"artifacts kept in {root}",
+            file=sys.stderr,
+        )
+        return 1
+    if ephemeral:
+        shutil.rmtree(root, ignore_errors=True)
+    print(f"chaos: all {len(outcomes)} scenario runs held their invariants")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description="seeded fault injection against the resilience layer",
+    )
+    parser.add_argument("--seed", default="0",
+                        help="comma-separated fault seeds (default: 0)")
+    parser.add_argument("--scenario", default="all",
+                        choices=("all", *SCENARIOS))
+    parser.add_argument("--persons", type=int, default=40)
+    parser.add_argument("--corpus-seed", type=int, default=17)
+    parser.add_argument("--ng", type=float, default=3.5)
+    parser.add_argument("--corrupt-fraction", type=float, default=0.05)
+    parser.add_argument("--artifacts-dir", type=Path, default=None)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.resilience.chaos``."""
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    try:
+        seeds = tuple(
+            int(part) for part in str(args.seed).split(",")
+            if part.strip() != ""
+        )
+        config = ChaosConfig(
+            seeds=seeds,
+            scenario=args.scenario,
+            persons=args.persons,
+            corpus_seed=args.corpus_seed,
+            ng=args.ng,
+            corrupt_fraction=args.corrupt_fraction,
+            artifacts_dir=args.artifacts_dir,
+        )
+    except ValueError as exc:
+        print(f"repro-chaos: {exc}", file=sys.stderr)
+        return 2
+    return run_chaos(config)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

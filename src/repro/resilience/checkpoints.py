@@ -1,0 +1,243 @@
+"""Versioned, content-hashed pipeline checkpoints.
+
+A killed multi-hour resolution should restart from the last durable
+stage, not from scratch — and a *resumed* run must produce output
+byte-identical to an uninterrupted one (the determinism tests and the
+``repro chaos`` harness enforce this). The store therefore refuses to
+serve anything it cannot prove fresh and intact:
+
+* every checkpoint carries a **fingerprint** chaining the corpus
+  content hash, the pipeline configuration, and the upstream stage's
+  fingerprint (:func:`chain_fingerprint`) — a stale checkpoint from a
+  different corpus, config, or code path simply misses;
+* the payload is guarded by its own SHA-256, so a truncated or
+  hand-edited file is detected and treated as a miss, never trusted;
+* writes are atomic (temp file + ``os.replace``), so a crash *during*
+  checkpointing leaves either the old checkpoint or none — no torn
+  states.
+
+Checkpoint file schema (version :data:`CHECKPOINT_SCHEMA`)::
+
+    {
+      "schema": 1,
+      "stage": "blocking",
+      "fingerprint": "<hex>",     # identity chain, see chain_fingerprint
+      "payload_sha256": "<hex>",  # over the canonical payload dump
+      "payload": {...}            # stage-specific state (JSON-safe)
+    }
+
+Misses are never exceptions: :meth:`CheckpointStore.load` returns
+``None`` and records *why* in :attr:`CheckpointStore.misses` so reports
+and the chaos harness can distinguish "no checkpoint" from "corrupt
+checkpoint".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.contracts import deterministic
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointMiss",
+    "CheckpointStore",
+    "chain_fingerprint",
+    "canonical_digest",
+]
+
+#: Version of the on-disk checkpoint layout. Readers reject other
+#: versions (treated as a miss), so format evolution can never produce
+#: a silently wrong resume.
+CHECKPOINT_SCHEMA = 1
+
+
+@deterministic
+def canonical_digest(payload: Any) -> str:
+    """SHA-256 over the canonical JSON encoding of ``payload``.
+
+    Canonical means sorted keys and no whitespace variance, so the
+    digest depends only on content, never on dict insertion order.
+    """
+    text = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@deterministic
+def chain_fingerprint(
+    parent: Optional[str], stage: str, context: Mapping[str, Any]
+) -> str:
+    """Fingerprint of one stage given its upstream fingerprint.
+
+    ``parent`` is the previous stage's fingerprint (``None`` for the
+    first stage), ``context`` the JSON-safe identity of everything this
+    stage's output depends on besides upstream state — corpus content
+    hash, configuration echo, label digests. Chaining means a change
+    anywhere upstream invalidates every later checkpoint.
+    """
+    return canonical_digest(
+        {
+            "schema": CHECKPOINT_SCHEMA,
+            "parent": parent,
+            "stage": stage,
+            "context": dict(context),
+        }
+    )
+
+
+class CheckpointMiss:
+    """Why a load returned ``None`` (diagnostic, not an error)."""
+
+    MISSING = "missing"
+    UNREADABLE = "unreadable"
+    SCHEMA_MISMATCH = "schema-mismatch"
+    FINGERPRINT_MISMATCH = "fingerprint-mismatch"
+    PAYLOAD_CORRUPT = "payload-corrupt"
+
+    def __init__(self, stage: str, reason: str, detail: str = "") -> None:
+        self.stage = stage
+        self.reason = reason
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return f"CheckpointMiss(stage={self.stage!r}, reason={self.reason!r})"
+
+
+class CheckpointStore:
+    """Durable per-stage checkpoints under one directory.
+
+    One store serves one logical run; stage names map to files
+    ``<stage>.ckpt.json``. The store is deliberately dumb about stage
+    semantics — the pipeline owns payload encoding and fingerprint
+    chaining; the store owns durability and integrity.
+    """
+
+    SUFFIX = ".ckpt.json"
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: Diagnostic trail of failed loads, in load order.
+        self.misses: List[CheckpointMiss] = []
+        #: Stages served from disk by this store instance.
+        self.hits: List[str] = []
+
+    def path_for(self, stage: str) -> Path:
+        """The checkpoint file backing ``stage``."""
+        if not stage or "/" in stage or os.sep in stage:
+            raise ValueError(f"invalid stage name: {stage!r}")
+        return self.directory / f"{stage}{self.SUFFIX}"
+
+    # -- write ---------------------------------------------------------------
+
+    def save(
+        self, stage: str, fingerprint: str, payload: Mapping[str, Any]
+    ) -> Path:
+        """Atomically persist ``payload`` as the checkpoint for ``stage``.
+
+        The write goes to a sibling temp file first and is moved into
+        place with ``os.replace``, so observers only ever see a
+        complete checkpoint (or the previous one).
+        """
+        path = self.path_for(stage)
+        document = {
+            "schema": CHECKPOINT_SCHEMA,
+            "stage": stage,
+            "fingerprint": fingerprint,
+            "payload_sha256": canonical_digest(dict(payload)),
+            "payload": dict(payload),
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(document, sort_keys=True, indent=1, ensure_ascii=False),
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        return path
+
+    # -- read ----------------------------------------------------------------
+
+    def load(self, stage: str, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """Return the stage payload, or ``None`` with a recorded miss.
+
+        A payload is served only when the file parses, declares the
+        supported schema, matches ``fingerprint`` exactly, and its
+        content hash verifies — anything else is a miss, because a
+        wrong resume is strictly worse than a recompute.
+        """
+        path = self.path_for(stage)
+        if not path.is_file():
+            self.misses.append(CheckpointMiss(stage, CheckpointMiss.MISSING))
+            return None
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            self.misses.append(
+                CheckpointMiss(stage, CheckpointMiss.UNREADABLE, str(error))
+            )
+            return None
+        if not isinstance(document, dict) or document.get("schema") != CHECKPOINT_SCHEMA:
+            self.misses.append(
+                CheckpointMiss(
+                    stage,
+                    CheckpointMiss.SCHEMA_MISMATCH,
+                    f"schema={document.get('schema')!r}"
+                    if isinstance(document, dict)
+                    else "not an object",
+                )
+            )
+            return None
+        if document.get("fingerprint") != fingerprint:
+            self.misses.append(
+                CheckpointMiss(
+                    stage,
+                    CheckpointMiss.FINGERPRINT_MISMATCH,
+                    f"found {document.get('fingerprint')!r}",
+                )
+            )
+            return None
+        payload = document.get("payload")
+        if (
+            not isinstance(payload, dict)
+            or canonical_digest(payload) != document.get("payload_sha256")
+        ):
+            self.misses.append(
+                CheckpointMiss(stage, CheckpointMiss.PAYLOAD_CORRUPT)
+            )
+            return None
+        self.hits.append(stage)
+        return payload
+
+    # -- maintenance ---------------------------------------------------------
+
+    def stages_on_disk(self) -> List[str]:
+        """Stage names with a checkpoint file present (sorted)."""
+        return sorted(
+            path.name[: -len(self.SUFFIX)]
+            for path in self.directory.glob(f"*{self.SUFFIX}")
+        )
+
+    def clear(self) -> int:
+        """Delete every checkpoint file; returns how many were removed."""
+        removed = 0
+        for stage in self.stages_on_disk():
+            self.path_for(stage).unlink()
+            removed += 1
+        return removed
+
+    def miss_counts(self) -> Dict[str, int]:
+        """Miss reasons folded into counts (for report counters)."""
+        counts: Dict[str, int] = {}
+        for miss in self.misses:
+            counts[miss.reason] = counts.get(miss.reason, 0) + 1
+        return counts
+
+    def summary(self) -> Tuple[int, int]:
+        """(hits, misses) so far."""
+        return len(self.hits), len(self.misses)

@@ -1,0 +1,139 @@
+"""Deterministic fault injection for chaos testing.
+
+Recovery code that is never exercised is broken code waiting for an
+outage. This module injects the faults the resilience layer claims to
+survive — and injects them *deterministically*, so a chaos test can
+assert exact recovery behavior (which rows were quarantined, which
+stage the resume skipped) instead of hoping:
+
+* :class:`FaultInjector` — raises a :class:`SimulatedCrash` at a
+  configured stage boundary, emulating a kill between a checkpoint
+  write and the next stage;
+* :func:`corrupt_csv_rows` — seeded corruption of a fraction of a CSV
+  corpus's data rows (the required ``book_id`` cell is made
+  unparseable, guaranteeing a quarantine entry);
+* :func:`truncate_file` — chops a checkpoint (or any artifact) so
+  integrity checks must detect the damage;
+* :func:`exhausting_budget` — a budget that exhausts immediately, for
+  degraded-mode assertions.
+
+All randomness flows from an explicit seed (``@seeded``); the same seed
+always corrupts the same rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.contracts import seeded
+from repro.resilience.budgets import StageBudget
+
+__all__ = [
+    "SimulatedCrash",
+    "FaultPlan",
+    "FaultInjector",
+    "corrupt_csv_rows",
+    "truncate_file",
+    "exhausting_budget",
+]
+
+#: The marker written into a corrupted ``book_id`` cell; intentionally
+#: not an integer so ingestion must reject (or quarantine) the row.
+CORRUPT_MARKER = "corrupt!"
+
+
+class SimulatedCrash(RuntimeError):
+    """An injected mid-run crash (stands in for kill -9 / OOM / reboot)."""
+
+    def __init__(self, stage: str) -> None:
+        super().__init__(f"simulated crash after stage {stage!r}")
+        self.stage = stage
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which faults an injector should fire, and where."""
+
+    crash_after_stage: Optional[str] = None
+
+
+class FaultInjector:
+    """Fires planned faults at pipeline-declared injection points.
+
+    The pipeline calls :meth:`after_stage` once per completed stage
+    (after its checkpoint is durable); with no plan the call is a no-op,
+    so production runs pay nothing. ``fired`` records what actually
+    triggered, letting tests assert the fault really happened.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+        self.plan = plan or FaultPlan()
+        self.fired: List[str] = []
+
+    def after_stage(self, stage: str) -> None:
+        """Injection point: the pipeline just finished ``stage``."""
+        if stage == self.plan.crash_after_stage:
+            self.fired.append(f"crash:{stage}")
+            raise SimulatedCrash(stage)
+
+
+@seeded(param="seed")
+def corrupt_csv_rows(
+    source: Union[str, Path],
+    destination: Union[str, Path],
+    fraction: float,
+    seed: int,
+) -> List[int]:
+    """Copy a CSV corpus, corrupting a seeded sample of its data rows.
+
+    Returns the 1-based file line numbers of the corrupted rows (the
+    header is line 1), sorted — exactly the set a quarantining read is
+    expected to report. At least one row is corrupted whenever
+    ``fraction > 0`` and data rows exist.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    with open(source, newline="", encoding="utf-8") as handle:
+        rows = list(csv.reader(handle))
+    if not rows:
+        raise ValueError(f"{source}: empty CSV")
+    header, data = rows[0], rows[1:]
+    n_corrupt = 0
+    if fraction > 0 and data:
+        n_corrupt = max(1, round(len(data) * fraction))
+    rng = random.Random(seed)
+    chosen = sorted(rng.sample(range(len(data)), n_corrupt))
+    for index in chosen:
+        # Breaking the required identity column guarantees the row
+        # cannot be parsed *or repaired* — it must land in quarantine.
+        data[index][0] = CORRUPT_MARKER
+    with open(destination, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(data)
+    return [index + 2 for index in chosen]
+
+
+def truncate_file(path: Union[str, Path], keep_fraction: float = 0.5) -> int:
+    """Truncate ``path`` to a fraction of its bytes; returns bytes kept.
+
+    Keeping a strict prefix of a JSON document guarantees it no longer
+    parses, which is the torn-write shape a real crash produces.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError(
+            f"keep_fraction must be in [0, 1), got {keep_fraction}"
+        )
+    data = Path(path).read_bytes()
+    kept = int(len(data) * keep_fraction)
+    Path(path).write_bytes(data[:kept])
+    return kept
+
+
+def exhausting_budget() -> StageBudget:
+    """A budget that allows one unit of work — forces degraded mode."""
+    return StageBudget(max_iterations=1)

@@ -14,8 +14,16 @@ from repro.classify import ADTreeLearner, render_tree
 from repro.classify.training import pair_features
 from repro.cli import main as cli_main
 from repro.core import PipelineConfig, UncertainERPipeline
+from repro.core.pipeline import PIPELINE_STAGES
 from repro.datagen import ExpertTagger, build_corpus, simplify_tags
 from repro.evaluation import GoldStandard
+from repro.resilience import (
+    CheckpointMiss,
+    CheckpointStore,
+    FaultInjector,
+    FaultPlan,
+    SimulatedCrash,
+)
 
 
 @pytest.fixture(scope="module")
@@ -218,6 +226,92 @@ class TestDeterminismUnderInstrumentation:
             for key in a:
                 if key not in TIMESTAMP_FIELDS:
                     assert a[key] == b[key]
+
+
+class TestResumeDeterminism:
+    """Kill-and-resume must never change the bytes (docs/RESILIENCE.md).
+
+    The chaos contract: for every stage boundary, a pipeline crashed
+    right after that stage's checkpoint and then resumed from disk
+    produces a ranked CSV byte-identical to an uninterrupted run's.
+    A resume that silently diverged would be worse than no resume at
+    all — it would launder a stale partial state into a full artifact.
+    """
+
+    CONFIG = dict(max_minsup=4, ng=3.0, expert_weighting=True)
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        dataset, _ = build_corpus(
+            n_persons=50, communities=("italy",), seed=23
+        )
+        return dataset
+
+    @pytest.fixture(scope="class")
+    def uninterrupted_csv(self, corpus, tmp_path_factory):
+        out = tmp_path_factory.mktemp("fresh") / "ranked.csv"
+        UncertainERPipeline(PipelineConfig(**self.CONFIG)).run(
+            corpus
+        ).to_csv(out)
+        return out.read_bytes()
+
+    @pytest.mark.parametrize("stage", PIPELINE_STAGES)
+    def test_killed_after_stage_resumes_byte_identical(
+        self, corpus, uninterrupted_csv, tmp_path, stage
+    ):
+        store_dir = tmp_path / "checkpoints"
+        with pytest.raises(SimulatedCrash):
+            UncertainERPipeline(PipelineConfig(**self.CONFIG)).run(
+                corpus,
+                checkpoints=CheckpointStore(store_dir),
+                faults=FaultInjector(FaultPlan(crash_after_stage=stage)),
+            )
+
+        store = CheckpointStore(store_dir)
+        resumed = UncertainERPipeline(PipelineConfig(**self.CONFIG)).run(
+            corpus, checkpoints=store, resume=True
+        )
+        assert store.hits == [stage]  # deepest durable stage served
+        out = tmp_path / "resumed.csv"
+        resumed.to_csv(out)
+        assert out.read_bytes() == uninterrupted_csv
+
+    def test_resume_rejects_checkpoints_of_other_config(
+        self, corpus, uninterrupted_csv, tmp_path
+    ):
+        """A config change upstream must invalidate the whole chain."""
+        store_dir = tmp_path / "checkpoints"
+        UncertainERPipeline(PipelineConfig(**self.CONFIG)).run(
+            corpus, checkpoints=CheckpointStore(store_dir)
+        )
+        other = dict(self.CONFIG, ng=3.5)
+        store = CheckpointStore(store_dir)
+        UncertainERPipeline(PipelineConfig(**other)).run(
+            corpus, checkpoints=store, resume=True
+        )
+        assert store.hits == []
+        assert {m.reason for m in store.misses} == {
+            CheckpointMiss.FINGERPRINT_MISMATCH
+        }
+
+    def test_cli_resume_byte_identical(self, tmp_path, capsys):
+        """resolve --checkpoint-dir, then --resume: same bytes."""
+        corpus = tmp_path / "corpus.json"
+        assert cli_main([
+            "generate", "--persons", "40", "--communities", "italy",
+            "--seed", "23", "--out", str(corpus),
+        ]) == 0
+        common = [
+            "resolve", str(corpus), "--ng", "3.0", "--max-minsup", "4",
+            "--expert-weighting", "--checkpoint-dir",
+            str(tmp_path / "ckpts"),
+        ]
+        first = tmp_path / "first.csv"
+        second = tmp_path / "second.csv"
+        assert cli_main([*common, "--out", str(first)]) == 0
+        assert cli_main([*common, "--resume", "--out", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+        assert first.read_bytes()
 
 
 class TestCrossStageConsistency:

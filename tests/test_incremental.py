@@ -136,3 +136,70 @@ class TestAddRecord:
             resolver.add_record(record)
         after = small_gold.evaluate(resolver.resolution().pairs).recall
         assert after > before
+
+
+class TestAtomicity:
+    """Failed adds must leave the resolver exactly as it was.
+
+    `add_record` is validate-then-commit: a raise mid-add (duplicate
+    id, unfitted classifier) must not leak the record, its items, or
+    any partial evidence into the store — and the same record must be
+    addable again once the cause is fixed.
+    """
+
+    def _snapshot(self, resolver):
+        return (
+            len(resolver),
+            dict(resolver._evidence),
+            dict(resolver._item_bags),
+            {item: frozenset(rids) for item, rids in resolver._index.items()},
+        )
+
+    def _classified_resolver(self, small_corpus):
+        from repro.classify.training import PairClassifier
+        from repro.datagen import ExpertTagger, simplify_tags
+
+        dataset, _persons = small_corpus
+        config = PipelineConfig(ng=3.0, expert_weighting=True, classify=True)
+        blocking = UncertainERPipeline(config).block(dataset)
+        labels = simplify_tags(
+            ExpertTagger(dataset, seed=7).tag_pairs(
+                sorted(blocking.candidate_pairs)
+            ),
+            maybe_as=None,
+        )
+        classifier = PairClassifier(dataset).fit(labels)
+        return IncrementalResolver(dataset, config, classifier=classifier)
+
+    def test_unfitted_classifier_leaves_store_untouched(self, small_corpus):
+        dataset, _persons = small_corpus
+        resolver = self._classified_resolver(small_corpus)
+        template = next(iter(dataset))
+        newcomer = make_record(
+            book_id=9_999_997,
+            source=("testimony", "atomicity-sub"),
+            first=template.first,
+            last=template.last,
+            gender=template.gender,
+        )
+        before = self._snapshot(resolver)
+        fitted_model = resolver.classifier.model
+        resolver.classifier.model = None  # classifier invalidated
+        with pytest.raises(RuntimeError, match="not fitted"):
+            resolver.add_record(newcomer)
+        assert self._snapshot(resolver) == before
+        assert 9_999_997 not in resolver._records
+
+        # Once repaired, the very same record is addable — nothing
+        # half-committed blocks the retry.
+        resolver.classifier.model = fitted_model
+        resolver.add_record(newcomer)
+        assert len(resolver) == before[0] + 1
+        assert 9_999_997 in resolver._records
+
+    def test_duplicate_add_leaves_store_untouched(self, resolver, small_corpus):
+        dataset, _persons = small_corpus
+        before = self._snapshot(resolver)
+        with pytest.raises(ValueError, match="duplicate"):
+            resolver.add_record(next(iter(dataset)))
+        assert self._snapshot(resolver) == before

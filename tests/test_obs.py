@@ -239,7 +239,7 @@ class TestRunReport:
         assert payload["version"] == repro_version()
         assert set(payload) == {
             "schema", "version", "total_seconds", "stages",
-            "counters", "gauges", "config", "corpus",
+            "counters", "gauges", "config", "corpus", "resilience",
         }
 
     def test_format_table_lists_stages_and_counters(self):
