@@ -22,17 +22,24 @@ def emit_report(
     tracer: Tracer,
     config: Optional[Mapping[str, Any]] = None,
     corpus: Optional[Mapping[str, Any]] = None,
+    parallel: Optional[Mapping[str, Any]] = None,
 ) -> RunReport:
     """Persist a traced run as ``results/<name>.report.json``.
 
     Benchmarks that run under a :class:`~repro.obs.Tracer` write the
     exact report schema ``repro resolve --report`` / ``repro profile``
     produce (see docs/OBSERVABILITY.md), so profiling numbers from the
-    benchmark tree and the CLI are directly comparable.
+    benchmark tree and the CLI are directly comparable. ``parallel``
+    fills the report's executor block (docs/PARALLELISM.md); timing
+    benchmarks should always record at least ``workers`` and
+    ``cpu_count`` there so BENCH_*.json entries stay comparable across
+    machines.
     """
     if tracer.aggregate is None:
         raise ValueError("emit_report needs an enabled tracer")
-    report = RunReport.build(tracer.aggregate, config=config, corpus=corpus)
+    report = RunReport.build(
+        tracer.aggregate, config=config, corpus=corpus, parallel=parallel
+    )
     RESULTS_DIR.mkdir(exist_ok=True)
     report.to_json(RESULTS_DIR / f"{name}.report.json")
     return report

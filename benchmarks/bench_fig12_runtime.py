@@ -13,6 +13,7 @@ target.
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
@@ -84,10 +85,14 @@ def test_fig12_runtime_by_minsup(corpora, benchmark):
     maximal_frequent_itemsets(
         list(small.item_bags.values()), MINSUPS[-1], tracer=tracer
     )
+    # Worker and CPU counts make BENCH_*.json entries comparable across
+    # machines: a 1-worker time from a 24-core box and one from a
+    # laptop are different experiments.
     emit_report(
         "fig12_mining", tracer,
         config={"label": f"FPMax minsup={MINSUPS[-1]}"},
         corpus={"name": small.name, "n_records": len(small)},
+        parallel={"workers": 1, "cpu_count": os.cpu_count()},
     )
 
     # Time one representative kernel for pytest-benchmark.

@@ -24,12 +24,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.blocking.base import Block, BlockingAlgorithm, BlockingResult
+from repro.blocking.base import (
+    Block,
+    BlockingAlgorithm,
+    BlockingResult,
+    pairs_of_block,
+)
 from repro.blocking.scoring import BlockScorer, SparseNeighborhoodFilter
 from repro.contracts import ordered_output, pure
 from repro.mining.fpgrowth import maximal_frequent_itemsets
 from repro.mining.pruning import prune_frequent_items
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.parallel.executor import Executor
+from repro.parallel.merge import max_merge_into
+from repro.parallel.work import score_pair_chunk
 from repro.records.dataset import Dataset
 from repro.records.itembag import Item
 from repro.resilience.budgets import BudgetMeter, StageBudget
@@ -104,9 +112,18 @@ class MFIBlocks(BlockingAlgorithm):
         self,
         config: Optional[MFIBlocksConfig] = None,
         tracer: Optional[Tracer] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.config = config or MFIBlocksConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Like the tracer, the executor is execution machinery, not
+        # configuration: it never enters config echoes or checkpoint
+        # fingerprints, so any worker count can resume any checkpoint.
+        self.executor = executor
+
+    @property
+    def _parallel(self) -> bool:
+        return self.executor is not None and self.executor.parallel
 
     @ordered_output
     def run(self, dataset: Dataset) -> BlockingResult:
@@ -139,7 +156,11 @@ class MFIBlocks(BlockingAlgorithm):
                     for records, key, score in admitted:
                         result.blocks.append(Block(records, key, score))
                         covered.update(records)
-                        self._score_pairs(records, item_bags, result)
+                    if self._parallel:
+                        self._score_pairs_parallel(admitted, item_bags, result)
+                    else:
+                        for records, _key, _score in admitted:
+                            self._score_pairs(records, item_bags, result)
                 tracer.count("mfiblocks.blocks_admitted", len(admitted))
                 if meter.degraded:
                     # Mining was cut short: the admitted blocks are
@@ -168,7 +189,8 @@ class MFIBlocks(BlockingAlgorithm):
         transactions = [item_bags[rid] for rid in uncovered]
         with tracer.span("mfiblocks.mine", minsup=minsup):
             mfis = maximal_frequent_itemsets(
-                transactions, minsup, tracer=tracer, budget=meter
+                transactions, minsup, tracer=tracer, budget=meter,
+                executor=self.executor,
             )
         tracer.count("mfiblocks.mfis_mined", len(mfis))
         if not mfis:
@@ -252,3 +274,47 @@ class MFIBlocks(BlockingAlgorithm):
                 current = result.pair_scores.get(pair)
                 if current is None or similarity > current:
                     result.pair_scores[pair] = similarity
+
+    def _score_pairs_parallel(
+        self,
+        admitted: List[Tuple[FrozenSet[int], FrozenSet[Item], float]],
+        item_bags: Dict[int, FrozenSet[Item]],
+        result: BlockingResult,
+    ) -> None:
+        """One minsup level's pair scoring, chunked across workers.
+
+        Computes the same function as :meth:`_score_pairs` over all
+        admitted blocks: the unique candidate pairs are scored with the
+        identical ``pair_similarity`` call and max-merged into
+        ``pair_scores``. Chunking is a deterministic partition of the
+        sorted pair list and the max-merge is order-independent, so the
+        resulting mapping — and the ranked output downstream — is
+        byte-identical to the serial path (docs/PARALLELISM.md).
+        """
+        executor = self.executor
+        if executor is None:  # pragma: no cover - guarded by _parallel
+            raise RuntimeError("parallel scoring requires an executor")
+        pairs = sorted(
+            {
+                pair
+                for records, _key, _score in admitted
+                for pair in pairs_of_block(records)
+            }
+        )
+        if not pairs:
+            return
+        scorer = self.config.scoring
+        payloads = []
+        for chunk in executor.plan_chunks(pairs):
+            # Ship only the item bags this chunk's pairs touch.
+            bags: Dict[int, FrozenSet[Item]] = {}
+            for rid_a, rid_b in chunk:
+                bags[rid_a] = item_bags[rid_a]
+                bags[rid_b] = item_bags[rid_b]
+            payloads.append((scorer, bags, chunk))
+        chunk_results = executor.map_chunks(
+            score_pair_chunk, payloads,
+            tracer=self.tracer, label="mfiblocks.score_pairs",
+        )
+        for chunk_result in chunk_results:
+            max_merge_into(result.pair_scores, chunk_result)

@@ -31,6 +31,9 @@ from repro.classify.adtree import ADTreeModel
 from repro.classify.boosting import ADTreeLearner
 from repro.contracts import deterministic, ordered_output, seeded
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.parallel.executor import Executor
+from repro.parallel.merge import merge_scored_chunks
+from repro.parallel.work import classify_pair_chunk
 from repro.records.dataset import Dataset
 from repro.similarity.features import FeatureVector, extract_features
 
@@ -203,11 +206,38 @@ class PairClassifier:
         return model.score(vector)
 
     @ordered_output
-    def rank(self, pairs: Iterable[Pair]) -> List[Tuple[Pair, float]]:
-        """Pairs sorted by descending confidence — the ranked resolution."""
+    def rank(
+        self,
+        pairs: Iterable[Pair],
+        executor: Optional[Executor] = None,
+    ) -> List[Tuple[Pair, float]]:
+        """Pairs sorted by descending confidence — the ranked resolution.
+
+        With a parallel ``executor`` the unique pairs are feature-
+        extracted and model-scored in worker chunks; the scores are the
+        same floats the serial loop computes (identical feature and
+        model arithmetic per pair), and the final sort imposes the
+        canonical order either way, so output is byte-identical across
+        worker counts (docs/PARALLELISM.md).
+        """
         with self.tracer.span("classify.rank"):
-            scored = [(pair, self.score_pair(pair)) for pair in set(pairs)]
-            scored.sort(key=lambda kv: (-kv[1], kv[0]))
+            if executor is not None and executor.parallel:
+                unique = sorted(set(pairs))
+                model = self._require_model()
+                chunk_results = executor.map_chunks(
+                    classify_pair_chunk,
+                    [
+                        (self.dataset, model, self.feature_names, chunk)
+                        for chunk in executor.plan_chunks(unique)
+                    ],
+                    tracer=self.tracer,
+                    label="classify.score_pairs",
+                )
+                merged = merge_scored_chunks(chunk_results)
+                scored = sorted(merged.items(), key=lambda kv: (-kv[1], kv[0]))
+            else:
+                scored = [(pair, self.score_pair(pair)) for pair in set(pairs)]
+                scored.sort(key=lambda kv: (-kv[1], kv[0]))
         self.tracer.count("classify.pairs_scored", len(scored))
         return scored
 

@@ -45,6 +45,7 @@ from repro.evaluation import GoldStandard, format_table
 from repro.graph import ranked_narratives
 from repro.obs import JsonlSink, Tracer
 from repro.obs.tracer import NULL_TRACER
+from repro.parallel import Executor, make_executor
 from repro.records import Dataset
 from repro.records.io import read_csv, write_csv
 from repro.records.patterns import item_type_prevalence, pattern_histogram
@@ -106,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="stream trace events to this JSONL file")
     resolve.add_argument("--report", type=Path, default=None,
                          help="write the structured run report as JSON")
+    _add_parallel_arguments(resolve)
     _add_resilience_arguments(resolve)
 
     profile = commands.add_parser(
@@ -125,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also stream trace events to this JSONL file")
     profile.add_argument("--report", type=Path, default=None,
                          help="also write the run report as JSON")
+    _add_parallel_arguments(profile)
     _add_resilience_arguments(profile)
 
     narratives = commands.add_parser(
@@ -179,6 +182,10 @@ def build_parser() -> argparse.ArgumentParser:
     sanitize.add_argument("--diff-out", type=Path, default=None,
                           help="write the first divergence as a unified "
                                "diff to this file")
+    sanitize.add_argument("--workers", type=int, default=1,
+                          help="run each seeded resolution with this many "
+                               "parallel workers (parity with serial is "
+                               "part of the check)")
 
     chaos = commands.add_parser(
         "chaos",
@@ -190,7 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated fault seeds (default: 0)")
     chaos.add_argument("--scenario", default="all",
                        choices=("all", "corrupt-rows", "truncated-checkpoint",
-                                "crash-resume", "budget"),
+                                "crash-resume", "budget", "worker-crash"),
                        help="which fault family to inject (default: all)")
     chaos.add_argument("--persons", type=int, default=40)
     chaos.add_argument("--corpus-seed", type=int, default=17)
@@ -211,6 +218,26 @@ def _seed_list(text: str) -> List[int]:
         raise argparse.ArgumentTypeError(
             f"expected comma-separated integers, got {text!r}"
         ) from error
+
+
+def _add_parallel_arguments(command: argparse.ArgumentParser) -> None:
+    """The parallel-execution knobs shared by ``resolve`` and ``profile``."""
+    command.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel worker processes for scoring and mining "
+             "(default: 1 = serial; output is byte-identical at any "
+             "worker count)")
+    command.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="override the one-chunk-per-worker plan with fixed-size "
+             "chunks (affects scheduling only, never output)")
+
+
+def _executor(args: argparse.Namespace) -> Executor:
+    """The executor implied by --workers/--chunk-size (serial default)."""
+    return make_executor(
+        getattr(args, "workers", 1), getattr(args, "chunk_size", None)
+    )
 
 
 def _add_resilience_arguments(command: argparse.ArgumentParser) -> None:
@@ -375,7 +402,9 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     config = _pipeline_config(args)
     tracer = _build_tracer(args)
     dataset = _load_corpus_resilient(args, tracer)
-    pipeline = UncertainERPipeline(config, tracer=tracer)
+    pipeline = UncertainERPipeline(
+        config, tracer=tracer, executor=_executor(args)
+    )
 
     labels = None
     if args.classify:
@@ -420,7 +449,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if not tracer.enabled:
         tracer = Tracer()
     dataset = _load_corpus_resilient(args, tracer)
-    pipeline = UncertainERPipeline(config, tracer=tracer)
+    pipeline = UncertainERPipeline(
+        config, tracer=tracer, executor=_executor(args)
+    )
 
     labels = None
     if args.classify:
@@ -543,6 +574,8 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     ]
     if args.no_expert_weighting:
         sanitize_argv.append("--no-expert-weighting")
+    if args.workers != 1:
+        sanitize_argv += ["--workers", str(args.workers)]
     if args.diff_out is not None:
         sanitize_argv += ["--diff-out", str(args.diff_out)]
     return sanitize_main(sanitize_argv)

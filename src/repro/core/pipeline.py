@@ -45,6 +45,7 @@ from repro.core.config import PipelineConfig
 from repro.core.resolution import PairEvidence, ResolutionResult
 from repro.obs.report import RunReport
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.parallel.executor import Executor, SerialExecutor
 from repro.records.dataset import Dataset
 from repro.resilience.checkpoints import (
     CheckpointStore,
@@ -150,9 +151,16 @@ class UncertainERPipeline:
         self,
         config: Optional[PipelineConfig] = None,
         tracer: Optional[Tracer] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.config = config or PipelineConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Execution machinery, like the tracer — deliberately NOT part
+        # of PipelineConfig: the worker count must never reach config
+        # echoes or checkpoint fingerprints, so a run checkpointed at
+        # one worker count resumes byte-identically at any other
+        # (docs/PARALLELISM.md).
+        self.executor = executor if executor is not None else SerialExecutor()
 
     # -- pipeline stages ---------------------------------------------------------
 
@@ -160,7 +168,9 @@ class UncertainERPipeline:
     def block(self, dataset: Dataset) -> BlockingResult:
         """Stage 2: MFIBlocks soft clustering."""
         return MFIBlocks(
-            self.config.blocking_config(), tracer=self.tracer
+            self.config.blocking_config(),
+            tracer=self.tracer,
+            executor=self.executor,
         ).run(dataset)
 
     def same_source_filter(
@@ -317,7 +327,7 @@ class UncertainERPipeline:
                             "or labeled_pairs"
                         )
                     classifier = self.train_classifier(dataset, labeled_pairs)
-                scored = classifier.rank(state.pairs)
+                scored = classifier.rank(state.pairs, executor=self.executor)
                 filtered = [
                     pair for pair, score in scored
                     if score > config.classifier_threshold
@@ -422,6 +432,7 @@ class UncertainERPipeline:
             config=self.config.to_echo(),
             corpus=corpus_stats(dataset),
             resilience=resilience,
+            parallel=self.executor.to_echo(),
         )
 
 

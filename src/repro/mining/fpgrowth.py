@@ -36,6 +36,7 @@ from typing import (
 from repro.contracts import ordered_output, pure
 from repro.mining.fptree import FPTree
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.parallel.executor import Executor
 from repro.resilience.budgets import BudgetMeter
 
 __all__ = [
@@ -43,6 +44,7 @@ __all__ = [
     "frequent_itemsets",
     "maximal_frequent_itemsets",
     "maximal_via_filter",
+    "merge_mfi_candidates",
 ]
 
 T = TypeVar("T", bound=Hashable)
@@ -196,6 +198,7 @@ def maximal_frequent_itemsets(
     minsup: int,
     tracer: Optional[Tracer] = None,
     budget: Optional[BudgetMeter] = None,
+    executor: Optional[Executor] = None,
 ) -> List[Itemset[T]]:
     """Mine maximal frequent itemsets (FPMax).
 
@@ -210,11 +213,24 @@ def maximal_frequent_itemsets(
     ``budget.degraded`` to learn the result is partial; with an
     iteration-only budget the cut point — and therefore the output —
     is deterministic.
+
+    ``executor`` (when parallel) shards the FPMax top level across
+    workers by item id; the shard union, maximality-pruned, is exactly
+    the serial MFI set with the same supports
+    (``docs/PARALLELISM.md``). A budgeted mine always runs serially:
+    the budget's deterministic cut point is defined by the serial visit
+    order, which sharding would not preserve.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     materialized = [list(transaction) for transaction in transactions]
     _validate(materialized, minsup)
     tracer.count("fpgrowth.transactions", len(materialized))
+    if (
+        executor is not None
+        and executor.parallel
+        and (budget is None or not budget.enabled)
+    ):
+        return _maximal_parallel(materialized, minsup, executor, tracer)
     with tracer.span("fpgrowth.build_tree", minsup=minsup):
         tree, vocabulary = _build_tree(materialized, minsup)
     tracer.gauge("fpgrowth.tree_nodes", tree.node_count())
@@ -272,6 +288,122 @@ def _fpmax(
         _fpmax(conditional, new_suffix, minsup, order, store, budget)
         if budget is not None and budget.degraded:
             return
+
+
+# ---------------------------------------------------------------------------
+# Sharded FPMax (parallel path)
+# ---------------------------------------------------------------------------
+#
+# Correctness sketch (full argument in docs/PARALLELISM.md): FPMax
+# processes top-level items least-frequent-first, and every candidate it
+# emits while processing top item *i* contains *i* as its highest id.
+# Sharding the top-level items therefore partitions the candidate space:
+# each itemset's generating shard is uniquely determined by its max id,
+# so shard-local mining finds every serial candidate exactly once, with
+# its true support (supports come from the full tree, which every worker
+# rebuilds from the complete encoded transaction list). Shard-local
+# subsumption pruning is *weaker* than serial pruning — a shard cannot
+# see another shard's supersets — which only ever leaves extra
+# non-maximal candidates behind; the global merge removes exactly those.
+
+
+def _mine_shard(
+    payload: Tuple[List[List[int]], int, int, List[int]]
+) -> List[Tuple[FrozenSet[int], int]]:
+    """FPMax over the top-level items of one shard (pool-worker body).
+
+    Rebuilds the FP-tree from the encoded transactions — cheaper and
+    simpler than pickling a node graph with parent links — then runs the
+    serial top-level loop restricted to the shard's item ids. Module-
+    level and argument-determined, so a chunk computes the same result
+    in a worker, in-process, or in a crash retry.
+    """
+    encoded, minsup, n_items, shard = payload
+    tree = FPTree()
+    for transaction in encoded:
+        tree.insert(transaction)
+    order = {item: item for item in range(n_items)}
+    store = _MFIStore()
+    present = set(tree.items())
+    for item in sorted(shard, reverse=True):
+        if item not in present:
+            continue
+        support = tree.support_of(item)
+        if support < minsup:
+            continue
+        suffix = [item]
+        conditional = FPTree.from_conditional(
+            tree.prefix_paths(item), minsup, order
+        )
+        if conditional.is_empty():
+            candidate = frozenset(suffix)
+            if not store.is_subsumed(candidate):
+                store.add(candidate, support)
+            continue
+        head = frozenset(suffix) | set(conditional.items())
+        if store.is_subsumed(head):
+            continue
+        _fpmax(conditional, suffix, minsup, order, store)
+    return store.itemsets
+
+
+@ordered_output
+def merge_mfi_candidates(
+    shard_results: Iterable[List[Tuple[FrozenSet[int], int]]]
+) -> List[Tuple[FrozenSet[int], int]]:
+    """Globally maximality-prune shard-local MFI candidates.
+
+    Order-independent: candidates are deduplicated and visited in
+    canonical order (longest first, ties by sorted item ids), so any
+    permutation of ``shard_results`` yields the same list. Longer sets
+    are inserted before anything they could subsume, and equal-length
+    distinct sets can never subsume each other, so one pass suffices.
+    """
+    unique = {
+        candidate for result in shard_results for candidate in result
+    }
+    ordered = sorted(
+        unique, key=lambda entry: (-len(entry[0]), sorted(entry[0]))
+    )
+    store = _MFIStore()
+    for items, support in ordered:
+        if not store.is_subsumed(items):
+            store.add(items, support)
+    return store.itemsets
+
+
+def _maximal_parallel(
+    materialized: List[List[T]],
+    minsup: int,
+    executor: Executor,
+    tracer: Tracer,
+) -> List[Itemset[T]]:
+    """Shard the FPMax top level across the executor's workers."""
+    vocabulary: _Vocabulary[T] = _Vocabulary(materialized, minsup)
+    n_items = len(vocabulary.value_of)
+    tracer.gauge("fpgrowth.vocabulary", n_items)
+    if n_items == 0:
+        return []
+    encoded: List[List[int]] = []
+    for transaction in materialized:
+        ids = vocabulary.encode(transaction)
+        if ids:
+            encoded.append(ids)
+    # Round-robin over item ids: ids are support-ordered, so each shard
+    # gets a comparable mix of frequent (cheap) and rare (deep) items.
+    n_shards = min(executor.workers, n_items)
+    shards = [
+        [item for item in range(n_items) if item % n_shards == index]
+        for index in range(n_shards)
+    ]
+    payloads = [(encoded, minsup, n_items, shard) for shard in shards]
+    with tracer.span("fpgrowth.fpmax", minsup=minsup, shards=n_shards):
+        shard_results = executor.map_chunks(
+            _mine_shard, payloads, tracer=tracer, label="fpgrowth.shards"
+        )
+        merged = merge_mfi_candidates(shard_results)
+    tracer.count("fpgrowth.mfis", len(merged))
+    return [Itemset(vocabulary.decode(ids), support) for ids, support in merged]
 
 
 @ordered_output

@@ -23,12 +23,15 @@ Report JSON schema (version :data:`~repro.obs.events.SCHEMA_VERSION`)::
       "gauges": {"fpgrowth.tree_nodes": 412.0, ...},
       "config": {...},               # PipelineConfig echo (or {})
       "corpus": {...},               # corpus stats (or {})
-      "resilience": {...}            # degraded flag, checkpoint summary
+      "resilience": {...},           # degraded flag, checkpoint summary
+      "parallel": {...}              # executor echo: workers, chunk counts
     }
 
-The ``resilience`` block (schema in ``docs/RESILIENCE.md``) was added
-additively within schema version 1: old readers ignore it, old reports
-deserialize with an empty block.
+The ``resilience`` block (schema in ``docs/RESILIENCE.md``) and the
+``parallel`` block (executor name, worker count, chunk/retry counts —
+schema in ``docs/PARALLELISM.md``) were added additively within schema
+version 1: old readers ignore them, old reports deserialize with empty
+blocks.
 """
 
 from __future__ import annotations
@@ -135,6 +138,7 @@ class RunReport:
     config: Dict[str, Any] = field(default_factory=dict)
     corpus: Dict[str, Any] = field(default_factory=dict)
     resilience: Dict[str, Any] = field(default_factory=dict)
+    parallel: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def build(
@@ -143,6 +147,7 @@ class RunReport:
         config: Optional[Mapping[str, Any]] = None,
         corpus: Optional[Mapping[str, Any]] = None,
         resilience: Optional[Mapping[str, Any]] = None,
+        parallel: Optional[Mapping[str, Any]] = None,
     ) -> "RunReport":
         """Snapshot an aggregator into a report (stages are copied)."""
         return cls(
@@ -158,6 +163,7 @@ class RunReport:
             config=dict(config or {}),
             corpus=dict(corpus or {}),
             resilience=dict(resilience or {}),
+            parallel=dict(parallel or {}),
         )
 
     # -- serialization -------------------------------------------------------
@@ -175,6 +181,7 @@ class RunReport:
             "config": self.config,
             "corpus": self.corpus,
             "resilience": self.resilience,
+            "parallel": self.parallel,
         }
 
     def to_json(self, path: Union[str, Path]) -> None:
@@ -200,6 +207,7 @@ class RunReport:
             config=dict(payload.get("config", {})),
             corpus=dict(payload.get("corpus", {})),
             resilience=dict(payload.get("resilience", {})),
+            parallel=dict(payload.get("parallel", {})),
         )
 
     @classmethod
@@ -230,6 +238,14 @@ class RunReport:
                 f"{key}={self.corpus[key]}" for key in sorted(self.corpus)
             )
             lines.append(f"corpus: {corpus_bits}")
+        workers = self.parallel.get("workers")
+        if isinstance(workers, int) and workers > 1:
+            lines.append(
+                f"parallel: {self.parallel.get('executor')} executor, "
+                f"{workers} workers, "
+                f"{self.parallel.get('chunks', 0)} chunks "
+                f"({self.parallel.get('worker_retries', 0)} retried)"
+            )
         if self.resilience.get("degraded"):
             lines.append(
                 "DEGRADED: a stage budget was exhausted; "

@@ -1,0 +1,60 @@
+"""Deterministic chunk planning for parallel dispatch.
+
+Both planners produce a *partition* of the input: every element appears
+in exactly one chunk, chunks preserve the input order, and the plan is a
+pure function of ``(items, parameter)`` — never of worker count ordering,
+scheduling, or hash seeds. That partition property is half of the
+determinism-by-merge argument (``docs/PARALLELISM.md``); the other half
+is the order-independent merges in :mod:`repro.parallel.merge`. Property
+tests in ``tests/test_property_invariants.py`` pin both.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+from repro.contracts import pure
+
+__all__ = ["partition_evenly", "fixed_chunks"]
+
+T = TypeVar("T")
+
+
+@pure
+def partition_evenly(items: Sequence[T], n_chunks: int) -> List[List[T]]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, balanced runs.
+
+    Chunk sizes differ by at most one (the first ``len % n`` chunks get
+    the extra element), no chunk is empty, and concatenating the chunks
+    reproduces ``items`` exactly.
+    """
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    materialized = list(items)
+    if not materialized:
+        return []
+    n_chunks = min(n_chunks, len(materialized))
+    base, extra = divmod(len(materialized), n_chunks)
+    chunks: List[List[T]] = []
+    start = 0
+    for index in range(n_chunks):
+        size = base + (1 if index < extra else 0)
+        chunks.append(materialized[start:start + size])
+        start += size
+    return chunks
+
+
+@pure
+def fixed_chunks(items: Sequence[T], chunk_size: int) -> List[List[T]]:
+    """Split ``items`` into contiguous runs of ``chunk_size`` elements.
+
+    The final chunk may be shorter; no chunk is empty, and concatenating
+    the chunks reproduces ``items`` exactly.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    materialized = list(items)
+    return [
+        materialized[start:start + chunk_size]
+        for start in range(0, len(materialized), chunk_size)
+    ]

@@ -1,0 +1,255 @@
+"""Executors: serial and process-pool dispatch of chunked work.
+
+The pipeline's hot paths (pairwise scoring, FPMax mining, classifier
+ranking) are embarrassingly parallel; what they must never be is
+*schedule-dependent*. The contract here is determinism **by merge, not
+by schedule** (``docs/PARALLELISM.md``):
+
+* chunk plans come from :mod:`repro.parallel.chunking` and are pure
+  functions of the work list;
+* :meth:`Executor.map_chunks` returns results in **submission order**
+  regardless of completion order;
+* chunk work functions are module-level and argument-determined (they
+  run identically in a worker, in-process, or in a crash retry);
+* every consumer merges chunk results with an order-independent
+  function from :mod:`repro.parallel.merge`.
+
+Under those four rules a run with ``--workers 4`` is byte-identical to
+``--workers 1``, which is what the parity harness in
+``tests/test_parallel.py`` pins.
+
+Resilience: a :class:`~repro.resilience.faults.WorkerCrashPlan` can kill
+one worker mid-chunk (the ``repro chaos`` ``worker-crash`` scenario). A
+broken pool loses the results of every unfinished chunk; the executor
+recomputes exactly those chunks in-process — the work functions are
+deterministic, so the retry reproduces what the worker would have
+returned, and the merged output is unchanged.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
+
+from repro.contracts import deterministic, impure
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.parallel.chunking import fixed_chunks, partition_evenly
+from repro.resilience.faults import WorkerCrashPlan, kill_current_worker
+
+__all__ = [
+    "ExecutorStats",
+    "Executor",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "make_executor",
+]
+
+T = TypeVar("T")
+
+#: A chunk work function: module-level, picklable, argument-determined.
+ChunkFunc = Callable[[Any], Any]
+
+
+@dataclass
+class ExecutorStats:
+    """Dispatch accounting, echoed into the run report ``parallel`` block.
+
+    Counts are deterministic for a given workload and worker count —
+    except ``worker_retries``/``kills_armed``, which are only non-zero
+    under injected faults.
+    """
+
+    map_calls: int = 0
+    chunks: int = 0
+    worker_chunks: int = 0
+    inline_chunks: int = 0
+    worker_retries: int = 0
+    kills_armed: int = 0
+
+    def to_echo(self) -> Dict[str, int]:
+        return {
+            "map_calls": self.map_calls,
+            "chunks": self.chunks,
+            "worker_chunks": self.worker_chunks,
+            "inline_chunks": self.inline_chunks,
+            "worker_retries": self.worker_retries,
+            "kills_armed": self.kills_armed,
+        }
+
+
+class Executor(abc.ABC):
+    """Runs chunked work; subclasses choose where chunks execute.
+
+    ``workers`` is the parallelism degree; ``chunk_size`` optionally
+    overrides the default one-chunk-per-worker plan with fixed-size
+    chunks (useful to test merge behavior across many small chunks).
+    """
+
+    name: str = "executor"
+
+    def __init__(self, workers: int, chunk_size: Optional[int] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.stats = ExecutorStats()
+
+    @property
+    def parallel(self) -> bool:
+        """True when this executor actually dispatches to workers."""
+        return self.workers > 1
+
+    @deterministic
+    def plan_chunks(self, items: Sequence[T]) -> List[List[T]]:
+        """The deterministic chunk plan for ``items`` (a partition)."""
+        if self.chunk_size is not None:
+            return fixed_chunks(items, self.chunk_size)
+        return partition_evenly(items, self.workers)
+
+    def to_echo(self) -> Dict[str, Any]:
+        """JSON-safe self-description for run reports and debugging."""
+        echo: Dict[str, Any] = {
+            "executor": self.name,
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+        }
+        echo.update(self.stats.to_echo())
+        return echo
+
+    @abc.abstractmethod
+    def map_chunks(
+        self,
+        func: ChunkFunc,
+        payloads: Sequence[Any],
+        tracer: Optional[Tracer] = None,
+        label: str = "parallel.map",
+    ) -> List[Any]:
+        """Apply ``func`` to every payload; results in submission order."""
+
+
+class SerialExecutor(Executor):
+    """In-process execution: the reference the parallel paths must match."""
+
+    name = "serial"
+
+    def __init__(self, chunk_size: Optional[int] = None) -> None:
+        super().__init__(1, chunk_size)
+
+    @deterministic
+    def map_chunks(
+        self,
+        func: ChunkFunc,
+        payloads: Sequence[Any],
+        tracer: Optional[Tracer] = None,
+        label: str = "parallel.map",
+    ) -> List[Any]:
+        tracer = tracer if tracer is not None else NULL_TRACER
+        stats = self.stats
+        stats.map_calls += 1
+        stats.chunks += len(payloads)
+        stats.inline_chunks += len(payloads)
+        with tracer.span(label, executor=self.name, chunks=len(payloads)):
+            return [func(payload) for payload in payloads]
+
+
+class MultiprocessExecutor(Executor):
+    """ProcessPoolExecutor-backed dispatch with deterministic crash retry.
+
+    Workers cannot reach the parent tracer, so per-chunk timing stays
+    parent-side: one ``label`` span wraps the whole dispatch and the
+    stats record chunk counts. Chunk *results* are collected in
+    submission order, so completion order — the one thing the OS
+    scheduler controls — never reaches a caller.
+
+    ``worker_fault`` is the chaos hook: when the targeted chunk comes
+    up, :func:`~repro.resilience.faults.kill_current_worker` is
+    submitted in its place, the pool breaks, and the lost chunks are
+    recomputed in-process.
+    """
+
+    name = "multiprocess"
+
+    def __init__(
+        self,
+        workers: int,
+        chunk_size: Optional[int] = None,
+        worker_fault: Optional[WorkerCrashPlan] = None,
+    ) -> None:
+        super().__init__(workers, chunk_size)
+        self.worker_fault = worker_fault
+
+    @impure(
+        reason="spawns OS worker processes whose completion order is "
+               "scheduler-dependent; callers restore determinism by "
+               "collecting in submission order and merging order-"
+               "independently (docs/PARALLELISM.md)"
+    )
+    def map_chunks(
+        self,
+        func: ChunkFunc,
+        payloads: Sequence[Any],
+        tracer: Optional[Tracer] = None,
+        label: str = "parallel.map",
+    ) -> List[Any]:
+        tracer = tracer if tracer is not None else NULL_TRACER
+        stats = self.stats
+        call_index = stats.map_calls
+        stats.map_calls += 1
+        work = list(payloads)
+        stats.chunks += len(work)
+        if not work:
+            return []
+        if len(work) == 1 and self.worker_fault is None:
+            # One chunk gains nothing from a pool; skip the process cost.
+            stats.inline_chunks += 1
+            with tracer.span(label, executor=self.name, chunks=1):
+                return [func(work[0])]
+
+        results: Dict[int, Any] = {}
+        failed: List[int] = []
+        with tracer.span(label, executor=self.name, chunks=len(work)):
+            max_workers = min(self.workers, len(work))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures: List["Future[Any]"] = []
+                for index, payload in enumerate(work):
+                    fault = self.worker_fault
+                    if fault is not None and fault.should_kill(
+                        call_index, index
+                    ):
+                        stats.kills_armed += 1
+                        futures.append(pool.submit(kill_current_worker))
+                    else:
+                        futures.append(pool.submit(func, payload))
+                for index in range(len(work)):
+                    try:
+                        results[index] = futures[index].result()
+                    except BrokenProcessPool:
+                        # The worker died before returning this chunk;
+                        # remember it and recompute below. Anything
+                        # else (a real exception raised by ``func``)
+                        # propagates unchanged.
+                        failed.append(index)
+            stats.worker_chunks += len(work) - len(failed)
+            for index in failed:
+                # Deterministic retry: the same func + payload yields
+                # the same result the worker would have produced.
+                results[index] = func(work[index])
+                stats.worker_retries += 1
+            tracer.count("parallel.chunks", len(work))
+            if failed:
+                tracer.count("parallel.worker_retries", len(failed))
+        return [results[index] for index in range(len(work))]
+
+
+def make_executor(
+    workers: int, chunk_size: Optional[int] = None
+) -> Executor:
+    """The executor for a ``--workers N`` request (serial when N <= 1)."""
+    if workers <= 1:
+        return SerialExecutor(chunk_size=chunk_size)
+    return MultiprocessExecutor(workers, chunk_size=chunk_size)

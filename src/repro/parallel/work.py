@@ -1,0 +1,66 @@
+"""Picklable chunk-work functions executed inside pool workers.
+
+A worker process shares nothing with the parent but the pickled
+payload: no tracer, no caches, no ambient state. Each function here is
+therefore a pure function of its payload — the property that makes a
+chunk's result identical whether it runs in a worker, in-process on the
+serial path, or in a deterministic retry after a worker crash
+(``docs/PARALLELISM.md``). Payloads carry everything the computation
+needs (scorer/model plus just the item bags or records the chunk's
+pairs touch), keeping pickling cost proportional to the chunk.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.contracts import pure
+from repro.similarity.features import extract_features
+
+if TYPE_CHECKING:
+    from repro.blocking.scoring import BlockScorer
+    from repro.classify.adtree import ADTreeModel
+    from repro.records.dataset import Dataset
+    from repro.records.itembag import Item
+
+__all__ = ["score_pair_chunk", "classify_pair_chunk"]
+
+Pair = Tuple[int, int]
+
+#: (scorer, item bags restricted to the chunk's records, pairs to score)
+ScoreChunk = Tuple["BlockScorer", Dict[int, FrozenSet["Item"]], List[Pair]]
+
+#: (dataset, trained model, feature-name subset, pairs to score)
+ClassifyChunk = Tuple[
+    "Dataset", "ADTreeModel", Optional[Tuple[str, ...]], List[Pair]
+]
+
+
+@pure
+def score_pair_chunk(payload: ScoreChunk) -> List[Tuple[Pair, float]]:
+    """Blocking pair similarity for one chunk of candidate pairs.
+
+    The same ``BlockScorer.pair_similarity`` call the serial path makes,
+    so the floats are bit-identical.
+    """
+    scorer, item_bags, pairs = payload
+    return [
+        (pair, scorer.pair_similarity(item_bags[pair[0]], item_bags[pair[1]]))
+        for pair in pairs
+    ]
+
+
+@pure
+def classify_pair_chunk(payload: ClassifyChunk) -> List[Tuple[Pair, float]]:
+    """ADTree confidences for one chunk of candidate pairs.
+
+    Mirrors ``PairClassifier.score_pair`` without the classifier wrapper
+    (whose tracer must not cross the process boundary): extract the
+    pair's features, score them with the trained model.
+    """
+    dataset, model, feature_names, pairs = payload
+    scored: List[Tuple[Pair, float]] = []
+    for a, b in pairs:
+        vector = extract_features(dataset[a], dataset[b], names=feature_names)
+        scored.append(((a, b), model.score(vector)))
+    return scored

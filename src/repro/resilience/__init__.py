@@ -34,8 +34,10 @@ from repro.resilience.faults import (
     FaultInjector,
     FaultPlan,
     SimulatedCrash,
+    WorkerCrashPlan,
     corrupt_csv_rows,
     exhausting_budget,
+    kill_current_worker,
     truncate_file,
 )
 from repro.resilience.quarantine import (
@@ -55,8 +57,10 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "SimulatedCrash",
+    "WorkerCrashPlan",
     "corrupt_csv_rows",
     "exhausting_budget",
+    "kill_current_worker",
     "truncate_file",
     "Quarantine",
     "QuarantineEntry",

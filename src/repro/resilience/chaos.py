@@ -31,6 +31,13 @@ deterministically seeded faults and asserts the recovery invariants of
     degradation: the run completes, ``ResolutionResult.degraded`` is
     set, and the run report carries the flag.
 
+``worker-crash``
+    Kill one process-pool worker mid-chunk (the seed picks which
+    parallel dispatch dies) and require that the executor's
+    deterministic chunk retry reproduces output **byte-identical** to a
+    serial run — the parallel layer's recovery invariant
+    (``docs/PARALLELISM.md``).
+
 Faults are injected *deterministically* from ``--seed``, so a failing
 scenario replays exactly. On failure the harness keeps its artifacts
 (quarantine JSONL, output diffs, checkpoint directories) for posthoc
@@ -58,6 +65,7 @@ from repro.core.pipeline import PIPELINE_STAGES
 from repro.core.resolution import ResolutionResult
 from repro.datagen import build_corpus
 from repro.obs import Tracer
+from repro.parallel.executor import MultiprocessExecutor
 from repro.records.dataset import Dataset
 from repro.records.io import read_csv, write_csv
 from repro.resilience.budgets import StageBudget
@@ -66,6 +74,7 @@ from repro.resilience.faults import (
     FaultInjector,
     FaultPlan,
     SimulatedCrash,
+    WorkerCrashPlan,
     corrupt_csv_rows,
     truncate_file,
 )
@@ -319,6 +328,54 @@ def _scenario_budget(
     )
 
 
+@impure(reason="kills a live pool worker to exercise the chunk retry path")
+def _scenario_worker_crash(
+    config: ChaosConfig, seed: int, workdir: Path
+) -> ScenarioOutcome:
+    """A killed worker's chunks must be retried to byte-identical output."""
+    dataset = _build_dataset(config)
+    pipeline_config = _pipeline_config(config)
+    serial = UncertainERPipeline(pipeline_config).run(dataset)
+    expected = _ranked_bytes(serial, workdir / "serial.csv")
+
+    # The seed picks which parallel dispatch loses a worker; chunk 0
+    # always exists, and every map call of this workload has >= 2
+    # chunks at 2 workers, so the plan is guaranteed to arm.
+    plan = WorkerCrashPlan(map_call=seed % 3, chunk=0)
+    executor = MultiprocessExecutor(workers=2, worker_fault=plan)
+    survived = UncertainERPipeline(pipeline_config, executor=executor).run(
+        dataset
+    )
+    actual = _ranked_bytes(survived, workdir / "worker-crash.csv")
+
+    if not plan.fired:
+        return ScenarioOutcome(
+            "worker-crash", seed, False,
+            f"crash plan (map call {plan.map_call}, chunk {plan.chunk}) "
+            f"never armed — only {executor.stats.map_calls} parallel "
+            "dispatches ran",
+        )
+    if executor.stats.worker_retries < 1:
+        return ScenarioOutcome(
+            "worker-crash", seed, False,
+            "worker was killed but no chunk retry was recorded",
+        )
+    if actual != expected:
+        diff_path = workdir / "diff-worker-crash.patch"
+        diff_path.write_text(_diff(expected, actual, "after-worker-crash"))
+        return ScenarioOutcome(
+            "worker-crash", seed, False,
+            f"output diverged from serial after the worker kill "
+            f"(diff: {diff_path})",
+        )
+    return ScenarioOutcome(
+        "worker-crash", seed, True,
+        f"worker killed at dispatch {plan.map_call}; "
+        f"{executor.stats.worker_retries} chunk(s) retried in-process; "
+        "output byte-identical to serial",
+    )
+
+
 _Scenario = Callable[[ChaosConfig, int, Path], ScenarioOutcome]
 
 #: Scenario registry, in execution order.
@@ -327,6 +384,7 @@ SCENARIOS: Dict[str, _Scenario] = {
     "crash-resume": _scenario_crash_resume,
     "truncated-checkpoint": _scenario_truncated_checkpoint,
     "budget": _scenario_budget,
+    "worker-crash": _scenario_worker_crash,
 }
 
 

@@ -15,7 +15,11 @@ stage the resume skipped) instead of hoping:
 * :func:`truncate_file` — chops a checkpoint (or any artifact) so
   integrity checks must detect the damage;
 * :func:`exhausting_budget` — a budget that exhausts immediately, for
-  degraded-mode assertions.
+  degraded-mode assertions;
+* :class:`WorkerCrashPlan` / :func:`kill_current_worker` — abrupt death
+  of one process-pool worker mid-chunk, so the parallel layer's
+  deterministic chunk retry (``docs/PARALLELISM.md``) is exercised, not
+  assumed.
 
 All randomness flows from an explicit seed (``@seeded``); the same seed
 always corrupts the same rows.
@@ -24,22 +28,29 @@ always corrupts the same rows.
 from __future__ import annotations
 
 import csv
+import os
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Union
 
-from repro.contracts import seeded
+from repro.contracts import impure, seeded
 from repro.resilience.budgets import StageBudget
 
 __all__ = [
     "SimulatedCrash",
     "FaultPlan",
     "FaultInjector",
+    "WorkerCrashPlan",
+    "kill_current_worker",
     "corrupt_csv_rows",
     "truncate_file",
     "exhausting_budget",
 ]
+
+#: Exit code a killed pool worker dies with; distinctive in core dumps
+#: and chaos logs, never produced by a healthy worker.
+WORKER_KILL_EXIT_CODE = 23
 
 #: The marker written into a corrupted ``book_id`` cell; intentionally
 #: not an integer so ingestion must reject (or quarantine) the row.
@@ -79,6 +90,55 @@ class FaultInjector:
         if stage == self.plan.crash_after_stage:
             self.fired.append(f"crash:{stage}")
             raise SimulatedCrash(stage)
+
+
+@dataclass
+class WorkerCrashPlan:
+    """Kill one process-pool worker mid-chunk, exactly once.
+
+    Targets the ``chunk``-th chunk of the ``map_call``-th parallel
+    dispatch of a
+    :class:`~repro.parallel.executor.MultiprocessExecutor`. When the
+    targeted chunk is submitted, the executor sends
+    :func:`kill_current_worker` to the pool instead of the real work;
+    the worker dies abruptly, the pool breaks, and the executor's
+    deterministic in-process retry must reproduce the lost results.
+    ``fired`` records whether the fault actually triggered, so chaos
+    tests can assert the kill happened rather than silently passing on
+    a run that never dispatched in parallel.
+    """
+
+    map_call: int = 0
+    chunk: int = 0
+    fired: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.map_call < 0 or self.chunk < 0:
+            raise ValueError(
+                f"map_call and chunk must be >= 0, got "
+                f"({self.map_call}, {self.chunk})"
+            )
+
+    def should_kill(self, map_call: int, chunk: int) -> bool:
+        """True exactly once, when the targeted dispatch point is reached."""
+        if self.fired:
+            return False
+        if map_call == self.map_call and chunk == self.chunk:
+            self.fired = True
+            return True
+        return False
+
+
+@impure(reason="terminates the executing process abruptly (chaos fault)")
+def kill_current_worker() -> None:
+    """Emulate ``kill -9`` / OOM of the executing pool worker.
+
+    ``os._exit`` skips interpreter cleanup entirely, which is the shape
+    of death a real kill produces: no result, no exception pickled back,
+    just a broken pipe the parent pool must notice. Module-level so it
+    pickles into a worker task.
+    """
+    os._exit(WORKER_KILL_EXIT_CODE)
 
 
 @seeded(param="seed")

@@ -58,10 +58,13 @@ class SanitizeConfig:
     baseline_hash_seed: int = 0
     hash_seeds: Tuple[int, ...] = (1, 2, 3)
     timeout: float = 120.0
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.persons < 2:
             raise ValueError(f"persons must be >= 2, got {self.persons}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
         if not self.hash_seeds:
             raise ValueError("need at least one non-baseline hash seed")
         if self.baseline_hash_seed in self.hash_seeds:
@@ -108,13 +111,17 @@ def emit_resolution(config: SanitizeConfig) -> str:
     Everything downstream of the interpreter's hash seed is exercised:
     item-bag construction, MFI mining, blocking, scoring, and ranking.
     All explicit RNG is seeded from ``config``, so the *only* free
-    variable across child processes is PYTHONHASHSEED.
+    variable across child processes is PYTHONHASHSEED. With
+    ``workers > 1`` the resolution runs through the parallel executor,
+    which folds the parallel layer's chunking and merging into the same
+    byte-identity requirement (hash seeds × worker schedules).
     """
     # Imported here so the child process pays for the pipeline only in
     # --emit mode and the module stays importable for config/diff logic
     # even in stripped-down environments.
     from repro.core import PipelineConfig, UncertainERPipeline
     from repro.datagen import build_corpus
+    from repro.parallel import make_executor
 
     dataset, _persons = build_corpus(
         n_persons=config.persons,
@@ -123,7 +130,8 @@ def emit_resolution(config: SanitizeConfig) -> str:
         name="sanitize",
     )
     pipeline = UncertainERPipeline(
-        PipelineConfig(ng=config.ng, expert_weighting=config.expert_weighting)
+        PipelineConfig(ng=config.ng, expert_weighting=config.expert_weighting),
+        executor=make_executor(config.workers),
     )
     resolution = pipeline.run(dataset)
     lines = ["book_id_a,book_id_b,similarity"]
@@ -158,6 +166,8 @@ def subprocess_runner(config: SanitizeConfig) -> Runner:
         ]
         if not config.expert_weighting:
             argv.append("--no-expert-weighting")
+        if config.workers != 1:
+            argv += ["--workers", str(config.workers)]
         completed = subprocess.run(
             argv,
             env=env,
@@ -233,6 +243,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="score blocks with uniform Jaccard instead",
     )
     parser.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel workers for each seeded resolution (default: 1)",
+    )
+    parser.add_argument(
         "--diff-out", type=Path, default=None,
         help="write the first divergence as a unified diff to this file",
     )
@@ -251,6 +265,7 @@ def _config_from_args(args: argparse.Namespace) -> SanitizeConfig:
         ng=args.ng,
         expert_weighting=not args.no_expert_weighting,
         hash_seeds=tuple(range(1, args.seeds + 1)),
+        workers=args.workers,
     )
 
 

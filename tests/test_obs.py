@@ -240,6 +240,7 @@ class TestRunReport:
         assert set(payload) == {
             "schema", "version", "total_seconds", "stages",
             "counters", "gauges", "config", "corpus", "resilience",
+            "parallel",
         }
 
     def test_format_table_lists_stages_and_counters(self):

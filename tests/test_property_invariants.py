@@ -2,12 +2,25 @@
 
 from __future__ import annotations
 
+import random
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.blocking.scoring import BlockScorer, SparseNeighborhoodFilter, neighborhood_cap
 from repro.core.resolution import PairEvidence, ResolutionResult, connected_components
-from repro.mining.fpgrowth import maximal_frequent_itemsets
+from repro.mining.fpgrowth import (
+    _mine_shard,
+    _Vocabulary,
+    maximal_frequent_itemsets,
+    merge_mfi_candidates,
+)
+from repro.parallel import (
+    fixed_chunks,
+    max_merge_into,
+    merge_scored_chunks,
+    partition_evenly,
+)
 from repro.records.itembag import Item, ItemType
 from repro.similarity.items import jaccard_items, soft_jaccard_items, weighted_jaccard_items
 
@@ -144,3 +157,141 @@ class TestResolutionInvariants:
         nodes = {node for pair in pairs for node in pair}
         covered = set().union(*components) if components else set()
         assert covered == nodes
+
+
+# -- parallel layer: chunk plans are partitions, merges ignore order ----------
+
+work_items = st.lists(st.integers(-50, 50), max_size=40)
+scored_chunks = st.lists(
+    st.lists(
+        st.tuples(
+            st.integers(0, 10),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        ),
+        max_size=8,
+    ),
+    max_size=6,
+)
+seeds = st.integers(0, 2**16)
+
+
+def _shuffled(chunks, seed):
+    """A seeded permutation of the chunk list and of each chunk."""
+    rng = random.Random(seed)
+    permuted = [list(chunk) for chunk in chunks]
+    rng.shuffle(permuted)
+    for chunk in permuted:
+        rng.shuffle(chunk)
+    return permuted
+
+
+class TestChunkingInvariants:
+    @given(work_items, st.integers(1, 8))
+    def test_partition_evenly_is_a_partition(self, items, n_chunks):
+        chunks = partition_evenly(items, n_chunks)
+        # No pair lost, none duplicated, order preserved.
+        assert [x for chunk in chunks for x in chunk] == items
+        assert all(chunks)  # no empty chunks
+        assert len(chunks) == min(n_chunks, len(items))
+        if chunks:
+            sizes = [len(chunk) for chunk in chunks]
+            assert max(sizes) - min(sizes) <= 1
+
+    @given(work_items, st.integers(1, 8))
+    def test_fixed_chunks_is_a_partition(self, items, chunk_size):
+        chunks = fixed_chunks(items, chunk_size)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert all(len(chunk) <= chunk_size for chunk in chunks)
+        assert all(len(chunk) == chunk_size for chunk in chunks[:-1])
+
+
+class TestMergeInvariants:
+    @given(scored_chunks, seeds)
+    def test_merge_scored_chunks_ignores_order(self, chunks, seed):
+        merged = merge_scored_chunks(chunks)
+        assert merge_scored_chunks(_shuffled(chunks, seed)) == merged
+        flat = [entry for chunk in chunks for entry in chunk]
+        assert set(merged) == {key for key, _ in flat}
+        for key, score in merged.items():
+            assert score == max(s for k, s in flat if k == key)
+
+    @given(scored_chunks, seeds)
+    def test_max_merge_into_ignores_call_grouping(self, chunks, seed):
+        one_call: dict = {}
+        max_merge_into(
+            one_call, [entry for chunk in chunks for entry in chunk]
+        )
+        incremental: dict = {}
+        for chunk in _shuffled(chunks, seed):
+            assert max_merge_into(incremental, chunk) is incremental
+        assert incremental == one_call
+
+
+mfi_shards = st.lists(
+    st.lists(
+        st.frozensets(st.integers(0, 8), min_size=1, max_size=5),
+        max_size=6,
+    ),
+    max_size=4,
+)
+
+
+class TestShardedMiningInvariants:
+    @staticmethod
+    def _with_supports(shards):
+        # Support must be a function of the itemset (as it is in real
+        # mining, where every shard scores against the full tree).
+        return [
+            [(items, len(items) + min(items)) for items in shard]
+            for shard in shards
+        ]
+
+    @settings(max_examples=60, deadline=None)
+    @given(mfi_shards, seeds)
+    def test_merge_mfi_candidates_is_permutation_invariant(
+        self, shards, seed
+    ):
+        candidates = self._with_supports(shards)
+        merged = merge_mfi_candidates(candidates)
+        assert merge_mfi_candidates(_shuffled(candidates, seed)) == merged
+
+    @settings(max_examples=60, deadline=None)
+    @given(mfi_shards)
+    def test_merge_mfi_candidates_keeps_exactly_the_maximal(self, shards):
+        candidates = self._with_supports(shards)
+        merged = merge_mfi_candidates(candidates)
+        kept = {items for items, _ in merged}
+        everything = {
+            entry for shard in candidates for entry in shard
+        }
+        # Output is an antichain...
+        for a in kept:
+            for b in kept:
+                assert a == b or not a < b
+        # ...and every input survives or is strictly subsumed.
+        for items, support in everything:
+            assert items in kept or any(items < other for other in kept)
+
+    @settings(max_examples=40, deadline=None)
+    @given(transactions, st.integers(1, 4), st.integers(1, 4))
+    def test_sharded_fpmax_equals_serial(self, txns, minsup, n_shards_max):
+        serial = {
+            (mined.items, mined.support)
+            for mined in maximal_frequent_itemsets(txns, minsup)
+        }
+        vocabulary = _Vocabulary([list(t) for t in txns], minsup)
+        n_items = len(vocabulary.value_of)
+        encoded = [e for e in (vocabulary.encode(t) for t in txns) if e]
+        n_shards = max(1, min(n_shards_max, n_items))
+        shard_results = [
+            _mine_shard((
+                encoded, minsup, n_items,
+                [i for i in range(n_items) if i % n_shards == index],
+            ))
+            for index in range(n_shards)
+        ]
+        merged = merge_mfi_candidates(shard_results)
+        sharded = {
+            (vocabulary.decode(ids), support) for ids, support in merged
+        }
+        assert sharded == serial

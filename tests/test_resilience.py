@@ -389,6 +389,15 @@ class TestChaosScenarios:
         outcome = SCENARIOS[name](self.CONFIG, 0, tmp_path)
         assert outcome.ok, outcome.detail
 
+    def test_worker_crash_scenario_retries_and_matches_serial(self, tmp_path):
+        """The seed retargets the kill to a later parallel dispatch and
+        the invariant still holds: chunks retried, bytes unchanged."""
+        outcome = SCENARIOS["worker-crash"](self.CONFIG, 1, tmp_path)
+        assert outcome.ok, outcome.detail
+        assert "worker killed at dispatch 1" in outcome.detail
+        assert "retried in-process" in outcome.detail
+        assert "byte-identical" in outcome.detail
+
     def test_run_chaos_keeps_artifacts_dir(self, tmp_path, capsys):
         artifacts = tmp_path / "artifacts"
         config = ChaosConfig(
