@@ -8,14 +8,18 @@ dataset at 1, 2, and 4 workers, requires identical ranked output, and
 emits a speedup table plus one run report per worker count.
 
 The paper ran on a 24-core server; CI and laptops vary, so the speedup
-*assertion* (>= 1.8x at 4 workers) only arms when the machine actually
-has >= 4 CPUs. The parity assertion always runs — determinism must not
-depend on core count.
+*target* (>= 1.8x at 4 workers) is reported, not asserted: each run
+report carries a ``speedup_ok`` verdict (``null`` when the machine has
+fewer than 4 CPUs and the claim is vacuous) and a miss warns on stderr.
+Passing ``--assert-speedup`` turns the miss into a failure — the opt-in
+for machines where the throughput claim is meant to hold. The parity
+assertion always runs — determinism must not depend on core count.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 import time
 
 import pytest
@@ -63,7 +67,7 @@ def _resolve(dataset, workers):
     return _ranked_lines(resolution), elapsed, tracer
 
 
-def test_parallel_speedup_and_parity(corpus, benchmark):
+def test_parallel_speedup_and_parity(corpus, benchmark, request):
     lines = {}
     timings = {}
     tracers = {}
@@ -80,6 +84,11 @@ def test_parallel_speedup_and_parity(corpus, benchmark):
 
     speedups = {w: timings[1] / timings[w] for w in WORKER_COUNTS}
     cpu_count = os.cpu_count() or 1
+    # The throughput claim needs cores to be real; on a 1-2 CPU runner
+    # the pool only adds pickling overhead and the claim is vacuous.
+    speedup_ok = (
+        speedups[4] >= SPEEDUP_TARGET if cpu_count >= 4 else None
+    )
     for workers in WORKER_COUNTS:
         emit_report(
             f"parallel_w{workers}", tracers[workers],
@@ -90,6 +99,8 @@ def test_parallel_speedup_and_parity(corpus, benchmark):
                 "cpu_count": cpu_count,
                 "wall_seconds": round(timings[workers], 4),
                 "speedup_vs_serial": round(speedups[workers], 3),
+                "speedup_target": SPEEDUP_TARGET,
+                "speedup_ok": speedup_ok,
             },
         )
 
@@ -107,13 +118,15 @@ def test_parallel_speedup_and_parity(corpus, benchmark):
     )
     emit("parallel_speedup", table)
 
-    # The throughput claim needs cores to be real; on a 1-2 CPU runner
-    # the pool only adds pickling overhead and the claim is vacuous.
-    if cpu_count >= 4:
-        assert speedups[4] >= SPEEDUP_TARGET, (
+    if speedup_ok is False:
+        message = (
             f"expected >= {SPEEDUP_TARGET}x at 4 workers on "
             f"{cpu_count} CPUs, got {speedups[4]:.2f}x"
         )
+        if request.config.getoption("--assert-speedup"):
+            pytest.fail(message)
+        # Timing is machine-dependent: report the miss, don't gate on it.
+        print(f"WARNING: speedup target missed: {message}", file=sys.stderr)
 
     # Kernel for pytest-benchmark: the chunk-planning step that every
     # parallel dispatch pays, independent of pool scheduling noise.

@@ -156,7 +156,8 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*", type=Path,
                       help="files or directories "
                            "(default: [tool.reprolint] paths)")
-    lint.add_argument("--format", choices=("human", "json"), default="human")
+    lint.add_argument("--format", choices=("human", "json", "sarif"),
+                      default="human")
     lint.add_argument("--select", default=None,
                       help="comma-separated rule codes to run exclusively")
     lint.add_argument("--statistics", action="store_true",
@@ -164,6 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--contracts", action="store_true",
                       help="also run the inter-procedural RL100-RL103 "
                            "contract checks")
+    lint.add_argument("--parallel-safety", action="store_true",
+                      help="also run the RL200-RL205 parallel-safety "
+                           "checks (fork/pickle/merge contracts)")
 
     sanitize = commands.add_parser(
         "sanitize",
@@ -186,6 +190,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run each seeded resolution with this many "
                                "parallel workers (parity with serial is "
                                "part of the check)")
+    sanitize.add_argument("--schedule", action="store_true",
+                          help="run the adversarial-schedule sanitizer "
+                               "instead: permute chunk execution order "
+                               "under seeded schedules x worker counts")
+    sanitize.add_argument("--schedule-seeds", type=int, default=3,
+                          help="adversarial schedule seeds to try "
+                               "(default: 3)")
+    sanitize.add_argument("--schedule-workers", default="1,2,4",
+                          help="comma-separated worker counts swept under "
+                               "each schedule seed (default: 1,2,4)")
 
     chaos = commands.add_parser(
         "chaos",
@@ -538,6 +552,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         lint_argv.append("--statistics")
     if args.contracts:
         lint_argv.append("--contracts")
+    if args.parallel_safety:
+        lint_argv.append("--parallel-safety")
 
     try:
         from tools.reprolint.cli import main as reprolint_main
@@ -578,6 +594,12 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
         sanitize_argv += ["--workers", str(args.workers)]
     if args.diff_out is not None:
         sanitize_argv += ["--diff-out", str(args.diff_out)]
+    if args.schedule:
+        sanitize_argv += [
+            "--schedule",
+            "--schedule-seeds", str(args.schedule_seeds),
+            "--schedule-workers", args.schedule_workers,
+        ]
     return sanitize_main(sanitize_argv)
 
 

@@ -26,6 +26,27 @@ boundaries. These decorators are the vocabulary of that pass:
     wall-clock holder of this marker in ``src/``; a contracted function
     that reaches a declared-impure one is an RL100 violation.
 
+The parallel-safety pass (``repro lint --parallel-safety``, rules
+RL200-RL205 in ``tools/reprolint/parallel_safety.py``) adds four more
+markers for code that crosses a process boundary:
+
+``@picklable_work``
+    A chunk work function handed to ``Executor.map_chunks``: module
+    level, picklable, and argument-determined. The linter makes every
+    such function a parallel-safety root whether or not it can see the
+    submission site.
+``@fork_safe``
+    Safe to execute in a forked/spawned worker: reaches no inherited
+    file handle, live RNG, tracer/sink, or connection object (RL203).
+``@commutative_merge``
+    An order-independent fold of chunk results — invariant under any
+    permutation of its input chunks. RL202 requires every
+    ``map_chunks`` result to flow through one of these.
+``@shared_readonly``
+    Declares that the module-global state a work function reads is
+    reviewed as effectively immutable; RL201 still forbids writes to
+    it anywhere reachable from worker code.
+
 At runtime the decorators only attach ``__repro_contracts__`` metadata
 (queryable via :func:`contracts_of`) and return the function unchanged:
 zero overhead, no wrapping, signatures and identities preserved. All
@@ -43,6 +64,10 @@ __all__ = [
     "ordered_output",
     "seeded",
     "impure",
+    "picklable_work",
+    "fork_safe",
+    "commutative_merge",
+    "shared_readonly",
     "contracts_of",
 ]
 
@@ -96,6 +121,34 @@ def impure(reason: str) -> Callable[[F], F]:
         return _attach(func, "impure")
 
     return decorate
+
+
+def picklable_work(func: F) -> F:
+    """Mark ``func`` as an executor work function: picklable, module
+    level, argument-determined (parallel-safety root for RL200/RL201)."""
+    return _attach(func, "picklable_work")
+
+
+def fork_safe(func: F) -> F:
+    """Mark ``func`` safe to run in a forked/spawned worker process:
+    no inherited handle, live RNG, tracer, or connection is reachable."""
+    return _attach(func, "fork_safe")
+
+
+def commutative_merge(func: F) -> F:
+    """Mark ``func`` as an order-independent chunk-result fold.
+
+    The result must be invariant under any permutation of the chunk
+    results it consumes — the property that makes ``--workers N``
+    byte-identical to ``--workers 1`` (RL202).
+    """
+    return _attach(func, "commutative_merge")
+
+
+def shared_readonly(func: F) -> F:
+    """Declare the module-global state ``func`` reads as reviewed
+    read-only; RL201 still forbids mutating it from worker code."""
+    return _attach(func, "shared_readonly")
 
 
 def contracts_of(func: Callable[..., Any]) -> Tuple[str, ...]:

@@ -33,7 +33,13 @@ from typing import (
     TypeVar,
 )
 
-from repro.contracts import ordered_output, pure
+from repro.contracts import (
+    commutative_merge,
+    fork_safe,
+    ordered_output,
+    picklable_work,
+    pure,
+)
 from repro.mining.fptree import FPTree
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.parallel.executor import Executor
@@ -307,6 +313,8 @@ def _fpmax(
 # non-maximal candidates behind; the global merge removes exactly those.
 
 
+@picklable_work
+@fork_safe
 def _mine_shard(
     payload: Tuple[List[List[int]], int, int, List[int]]
 ) -> List[Tuple[FrozenSet[int], int]]:
@@ -347,6 +355,7 @@ def _mine_shard(
     return store.itemsets
 
 
+@commutative_merge
 @ordered_output
 def merge_mfi_candidates(
     shard_results: Iterable[List[Tuple[FrozenSet[int], int]]]

@@ -21,6 +21,7 @@ Together they make ``repro resolve --workers 4`` byte-identical to
 
 from __future__ import annotations
 
+from repro.parallel.adversarial import AdversarialScheduleExecutor
 from repro.parallel.chunking import fixed_chunks, partition_evenly
 from repro.parallel.executor import (
     Executor,
@@ -33,6 +34,7 @@ from repro.parallel.merge import max_merge_into, merge_scored_chunks
 from repro.parallel.work import classify_pair_chunk, score_pair_chunk
 
 __all__ = [
+    "AdversarialScheduleExecutor",
     "fixed_chunks",
     "partition_evenly",
     "Executor",

@@ -21,13 +21,14 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Tuple, TypeVar
 
-from repro.contracts import deterministic
+from repro.contracts import commutative_merge, deterministic
 
 __all__ = ["merge_scored_chunks", "max_merge_into"]
 
 K = TypeVar("K", bound=Hashable)
 
 
+@commutative_merge
 @deterministic
 def max_merge_into(
     target: Dict[K, float], updates: Iterable[Tuple[K, float]]
@@ -44,6 +45,7 @@ def max_merge_into(
     return target
 
 
+@commutative_merge
 @deterministic
 def merge_scored_chunks(
     chunks: Iterable[List[Tuple[K, float]]]

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
 
-from repro.contracts import pure
+from repro.contracts import fork_safe, picklable_work, pure
 from repro.similarity.features import extract_features
 
 if TYPE_CHECKING:
@@ -36,6 +36,8 @@ ClassifyChunk = Tuple[
 ]
 
 
+@picklable_work
+@fork_safe
 @pure
 def score_pair_chunk(payload: ScoreChunk) -> List[Tuple[Pair, float]]:
     """Blocking pair similarity for one chunk of candidate pairs.
@@ -50,6 +52,8 @@ def score_pair_chunk(payload: ScoreChunk) -> List[Tuple[Pair, float]]:
     ]
 
 
+@picklable_work
+@fork_safe
 @pure
 def classify_pair_chunk(payload: ClassifyChunk) -> List[Tuple[Pair, float]]:
     """ADTree confidences for one chunk of candidate pairs.

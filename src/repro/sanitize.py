@@ -19,6 +19,17 @@ the ranked-pairs CSV to stdout); :func:`run_sanitize` drives it through
 a pluggable *runner* so tests can exercise the comparison logic without
 spawning processes. Exit codes mirror reprolint: 0 identical, 1
 divergence, 2 bad invocation.
+
+``--schedule`` runs the *adversarial-schedule* variant instead: the
+same seeded resolution executed under
+:class:`repro.parallel.AdversarialScheduleExecutor`, which permutes
+chunk execution order per ``(schedule seed, dispatch)`` while sweeping
+worker counts (and with them chunk boundaries). It is the dynamic
+counterpart of reprolint's RL200-RL205 parallel-safety pass: the static
+pass proves work functions capture no shared state and merges are
+declared order-independent; the schedule sanitizer *executes* a hostile
+schedule and requires the ranked CSV to stay byte-identical to the
+serial reference across every seed × worker-count cell.
 """
 
 from __future__ import annotations
@@ -36,14 +47,23 @@ __all__ = [
     "SanitizeConfig",
     "SeedRun",
     "SanitizeResult",
+    "ScheduleConfig",
+    "ScheduleRun",
+    "ScheduleResult",
     "emit_resolution",
     "subprocess_runner",
     "run_sanitize",
+    "inprocess_schedule_runner",
+    "run_schedule_sanitize",
     "main",
 ]
 
 #: Maps a PYTHONHASHSEED value to the emitted resolution text.
 Runner = Callable[[int], str]
+
+#: Maps (schedule seed or None for the serial reference, workers) to the
+#: emitted resolution text.
+ScheduleRunner = Callable[[Optional[int], int], str]
 
 
 @dataclass(frozen=True)
@@ -105,6 +125,43 @@ class SanitizeResult:
         path.write_text(self.diff or "", encoding="utf-8")
 
 
+def _resolve_ranked(
+    persons: int,
+    communities: Tuple[str, ...],
+    corpus_seed: int,
+    ng: float,
+    expert_weighting: bool,
+    executor: object,
+) -> str:
+    """Build the sanitizer corpus, resolve it, render the ranked CSV.
+
+    The one resolution both sanitizer modes share; they differ only in
+    which executor they hand in and which axis they permute around it.
+    """
+    # Imported here so the child process pays for the pipeline only when
+    # actually resolving and the module stays importable for config/diff
+    # logic even in stripped-down environments.
+    from repro.core import PipelineConfig, UncertainERPipeline
+    from repro.datagen import build_corpus
+
+    dataset, _persons = build_corpus(
+        n_persons=persons,
+        communities=communities,
+        seed=corpus_seed,
+        name="sanitize",
+    )
+    pipeline = UncertainERPipeline(
+        PipelineConfig(ng=ng, expert_weighting=expert_weighting),
+        executor=executor,
+    )
+    resolution = pipeline.run(dataset)
+    lines = ["book_id_a,book_id_b,similarity"]
+    for evidence in resolution.ranked():
+        a, b = evidence.pair
+        lines.append(f"{a},{b},{evidence.similarity:.6f}")
+    return "\n".join(lines) + "\n"
+
+
 def emit_resolution(config: SanitizeConfig) -> str:
     """Generate the sanitizer corpus, resolve it, render the ranked CSV.
 
@@ -116,29 +173,16 @@ def emit_resolution(config: SanitizeConfig) -> str:
     which folds the parallel layer's chunking and merging into the same
     byte-identity requirement (hash seeds × worker schedules).
     """
-    # Imported here so the child process pays for the pipeline only in
-    # --emit mode and the module stays importable for config/diff logic
-    # even in stripped-down environments.
-    from repro.core import PipelineConfig, UncertainERPipeline
-    from repro.datagen import build_corpus
     from repro.parallel import make_executor
 
-    dataset, _persons = build_corpus(
-        n_persons=config.persons,
+    return _resolve_ranked(
+        persons=config.persons,
         communities=config.communities,
-        seed=config.corpus_seed,
-        name="sanitize",
-    )
-    pipeline = UncertainERPipeline(
-        PipelineConfig(ng=config.ng, expert_weighting=config.expert_weighting),
+        corpus_seed=config.corpus_seed,
+        ng=config.ng,
+        expert_weighting=config.expert_weighting,
         executor=make_executor(config.workers),
     )
-    resolution = pipeline.run(dataset)
-    lines = ["book_id_a,book_id_b,similarity"]
-    for evidence in resolution.ranked():
-        a, b = evidence.pair
-        lines.append(f"{a},{b},{evidence.similarity:.6f}")
-    return "\n".join(lines) + "\n"
 
 
 def subprocess_runner(config: SanitizeConfig) -> Runner:
@@ -217,6 +261,132 @@ def run_sanitize(
     return result
 
 
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """What to resolve and which hostile schedules to re-run it under."""
+
+    persons: int = 40
+    communities: Tuple[str, ...] = ("italy",)
+    corpus_seed: int = 17
+    ng: float = 3.5
+    expert_weighting: bool = True
+    schedule_seeds: Tuple[int, ...] = (1, 2, 3)
+    worker_counts: Tuple[int, ...] = (1, 2, 4)
+
+    def __post_init__(self) -> None:
+        if self.persons < 2:
+            raise ValueError(f"persons must be >= 2, got {self.persons}")
+        if not self.schedule_seeds:
+            raise ValueError("need at least one schedule seed")
+        if not self.worker_counts:
+            raise ValueError("need at least one worker count")
+        bad = [w for w in self.worker_counts if w < 1]
+        if bad:
+            raise ValueError(f"worker counts must be >= 1, got {bad}")
+
+
+@dataclass(frozen=True)
+class ScheduleRun:
+    """One (schedule seed, worker count) cell compared to the baseline."""
+
+    schedule_seed: int
+    workers: int
+    matches_baseline: bool
+    n_lines: int
+
+
+@dataclass
+class ScheduleResult:
+    """Serial baseline plus the seeds × workers comparison matrix."""
+
+    baseline_output: str
+    runs: List[ScheduleRun] = field(default_factory=list)
+    diff: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(run.matches_baseline for run in self.runs)
+
+    @property
+    def divergent_cells(self) -> List[Tuple[int, int]]:
+        return [
+            (r.schedule_seed, r.workers)
+            for r in self.runs
+            if not r.matches_baseline
+        ]
+
+    def write_diff(self, path: Path) -> None:
+        """Persist the divergence diff (empty file when clean) for CI."""
+        path.write_text(self.diff or "", encoding="utf-8")
+
+
+def inprocess_schedule_runner(config: ScheduleConfig) -> ScheduleRunner:
+    """Real schedule runner: resolve in-process under a chosen executor.
+
+    ``schedule_seed=None`` selects the serial reference executor; any
+    integer selects :class:`~repro.parallel.AdversarialScheduleExecutor`
+    with that seed. No subprocesses: the adversarial permutation is the
+    experiment's only free variable, so PYTHONHASHSEED may stay fixed.
+    """
+
+    def run(schedule_seed: Optional[int], workers: int) -> str:
+        from repro.parallel import AdversarialScheduleExecutor, make_executor
+
+        if schedule_seed is None:
+            executor: object = make_executor(workers)
+        else:
+            executor = AdversarialScheduleExecutor(workers, schedule_seed)
+        return _resolve_ranked(
+            persons=config.persons,
+            communities=config.communities,
+            corpus_seed=config.corpus_seed,
+            ng=config.ng,
+            expert_weighting=config.expert_weighting,
+            executor=executor,
+        )
+
+    return run
+
+
+def run_schedule_sanitize(
+    config: ScheduleConfig, runner: Optional[ScheduleRunner] = None
+) -> ScheduleResult:
+    """Serial baseline, then every schedule seed × worker count cell.
+
+    The baseline is ``runner(None, 1)`` — the serial reference path with
+    no adversary — so every parallel cell is compared against the output
+    the paper-facing CLI produces by default.
+    """
+    runner = runner if runner is not None else inprocess_schedule_runner(config)
+    baseline = runner(None, 1)
+    result = ScheduleResult(baseline_output=baseline)
+    for schedule_seed in config.schedule_seeds:
+        for workers in config.worker_counts:
+            output = runner(schedule_seed, workers)
+            matches = output == baseline
+            result.runs.append(
+                ScheduleRun(
+                    schedule_seed=schedule_seed,
+                    workers=workers,
+                    matches_baseline=matches,
+                    n_lines=output.count("\n"),
+                )
+            )
+            if not matches and result.diff is None:
+                result.diff = "".join(
+                    difflib.unified_diff(
+                        baseline.splitlines(keepends=True),
+                        output.splitlines(keepends=True),
+                        fromfile="serial baseline",
+                        tofile=(
+                            f"schedule_seed={schedule_seed} "
+                            f"workers={workers}"
+                        ),
+                    )
+                )
+    return result
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sanitize",
@@ -251,6 +421,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the first divergence as a unified diff to this file",
     )
     parser.add_argument(
+        "--schedule", action="store_true",
+        help="run the adversarial-schedule sanitizer instead: permute "
+        "chunk execution order under seeded schedules x worker counts "
+        "and require byte-identical ranked output",
+    )
+    parser.add_argument(
+        "--schedule-seeds", type=int, default=3,
+        help="number of adversarial schedule seeds to try (default: 3)",
+    )
+    parser.add_argument(
+        "--schedule-workers", default="1,2,4",
+        help="comma-separated worker counts to sweep under each "
+        "schedule seed (default: 1,2,4)",
+    )
+    parser.add_argument(
         "--emit", action="store_true",
         help=argparse.SUPPRESS,  # internal: child mode, print CSV and exit
     )
@@ -269,9 +454,71 @@ def _config_from_args(args: argparse.Namespace) -> SanitizeConfig:
     )
 
 
+def _schedule_config_from_args(args: argparse.Namespace) -> ScheduleConfig:
+    try:
+        worker_counts = tuple(
+            int(token)
+            for token in args.schedule_workers.split(",")
+            if token.strip()
+        )
+    except ValueError:
+        raise ValueError(
+            f"--schedule-workers must be comma-separated integers, "
+            f"got {args.schedule_workers!r}"
+        ) from None
+    return ScheduleConfig(
+        persons=args.persons,
+        communities=tuple(args.communities),
+        corpus_seed=args.corpus_seed,
+        ng=args.ng,
+        expert_weighting=not args.no_expert_weighting,
+        schedule_seeds=tuple(range(1, args.schedule_seeds + 1)),
+        worker_counts=worker_counts,
+    )
+
+
+def _main_schedule(args: argparse.Namespace) -> int:
+    if args.schedule_seeds < 1:
+        print("repro-sanitize: --schedule-seeds must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        config = _schedule_config_from_args(args)
+    except ValueError as exc:
+        print(f"repro-sanitize: {exc}", file=sys.stderr)
+        return 2
+
+    result = run_schedule_sanitize(config)
+    n_pairs = result.baseline_output.count("\n") - 1
+    print(f"serial baseline: {n_pairs} ranked pairs")
+    for run in result.runs:
+        status = "identical" if run.matches_baseline else "DIVERGED"
+        print(
+            f"schedule_seed={run.schedule_seed} workers={run.workers}: "
+            f"{status}"
+        )
+    if args.diff_out is not None:
+        result.write_diff(args.diff_out)
+        if result.diff:
+            print(f"wrote divergence diff to {args.diff_out}")
+    if result.ok:
+        print(
+            f"adversarial-schedule sanitizer: {len(result.runs)} "
+            "schedule cells byte-identical to the serial baseline"
+        )
+        return 0
+    print(
+        "adversarial-schedule sanitizer: output depends on chunk "
+        f"schedule (diverging (seed, workers): {result.divergent_cells})",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro.sanitize`` and ``repro sanitize``."""
     args = build_parser().parse_args(list(argv) if argv is not None else None)
+    if args.schedule:
+        return _main_schedule(args)
     if args.seeds < 1:
         print("repro-sanitize: --seeds must be >= 1", file=sys.stderr)
         return 2

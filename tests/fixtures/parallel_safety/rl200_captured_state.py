@@ -1,0 +1,17 @@
+"""RL200: a work function capturing non-picklable / mutable globals."""
+
+import threading
+
+LOCK = threading.Lock()
+CACHE = {}
+
+
+def work(payload):
+    with LOCK:  # non-picklable capture: cannot cross the fork
+        if payload in CACHE:  # mutable capture: workers see stale copies
+            return CACHE[payload]
+    return payload
+
+
+def driver(executor, items):
+    return sorted(executor.map_chunks(work, items))

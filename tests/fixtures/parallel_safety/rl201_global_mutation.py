@@ -1,0 +1,16 @@
+"""RL201: worker-reachable code mutating module-global state."""
+
+SEEN = []
+
+
+def work(payload):
+    return tally(payload)
+
+
+def tally(payload):
+    SEEN.append(payload)  # write is lost across the process boundary
+    return len(payload)
+
+
+def driver(executor, items):
+    return sorted(executor.map_chunks(work, items))

@@ -1,0 +1,13 @@
+"""RL202: chunk results reduced without an @commutative_merge fold."""
+
+
+def work(payload):
+    return [x * 2 for x in payload]
+
+
+def driver(executor, chunks):
+    results = executor.map_chunks(work, chunks)
+    merged = []
+    for result in results:  # concatenation order = chunk-plan order
+        merged.extend(result)
+    return merged

@@ -1,0 +1,18 @@
+"""RL203: a @fork_safe function reaching a fork-unsafe resource."""
+
+import sqlite3
+
+from contracts import fork_safe
+
+DB = sqlite3.connect(":memory:")
+
+
+@fork_safe
+def work(payload):
+    return lookup(payload)
+
+
+def lookup(payload):
+    # The inherited connection's file descriptor is shared with the
+    # parent after fork; concurrent use corrupts the session.
+    return DB.execute("select ?", (payload,)).fetchone()

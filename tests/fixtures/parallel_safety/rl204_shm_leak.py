@@ -1,0 +1,18 @@
+"""RL204: a shared_memory buffer created without paired teardown."""
+
+from multiprocessing import shared_memory
+
+
+def leak_segment(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    shm.buf[:4] = b"data"  # neither .close() nor .unlink(): leaks
+    return shm.name
+
+
+def clean_segment(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        return bytes(shm.buf[:4])
+    finally:
+        shm.close()
+        shm.unlink()

@@ -1,0 +1,11 @@
+"""RL205: worker count / executor identity flowing into fingerprints."""
+
+
+def fingerprint_inputs(ng, workers):
+    return ("ng", ng), ("workers", workers)
+
+
+def build_stage_key(config, executor):
+    # Folding the schedule into the resume key forces a full re-run
+    # whenever the worker count changes, for byte-identical output.
+    return fingerprint_inputs(config.ng, executor.workers)

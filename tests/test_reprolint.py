@@ -986,3 +986,237 @@ class TestSelfHosting:
         for prefix, codes in config.per_path_ignores.items():
             if prefix.startswith("src"):
                 assert not any(code.startswith("RL10") for code in codes)
+
+
+class TestParallelSafetyCLI:
+    def _write_package(self, tmp_path, body):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(textwrap.dedent("""
+            [tool.reprolint]
+            paths = ["src"]
+            contract-packages = ["src"]
+            future-required-packages = []
+        """))
+        package = tmp_path / "src"
+        package.mkdir()
+        (package / "module.py").write_text(textwrap.dedent(body))
+        return pyproject
+
+    def test_parallel_findings_only_under_flag(self, tmp_path, capsys):
+        pyproject = self._write_package(tmp_path, """
+            SEEN = []
+
+            def work(payload):
+                SEEN.append(payload)
+                return payload
+
+            def driver(executor, items):
+                return sorted(executor.map_chunks(work, items))
+        """)
+        assert reprolint_main(["--config", str(pyproject)]) == 0
+        capsys.readouterr()
+        assert reprolint_main(
+            ["--config", str(pyproject), "--parallel-safety"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "RL201" in out
+
+    def test_rl20x_selectable(self, tmp_path, capsys):
+        pyproject = self._write_package(tmp_path, """
+            CACHE = {}
+
+            def work(payload):
+                CACHE[payload] = True
+                return CACHE.get(payload)
+
+            def driver(executor, items):
+                return sorted(executor.map_chunks(work, items))
+        """)
+        code = reprolint_main([
+            "--config", str(pyproject), "--parallel-safety",
+            "--select", "RL201", "--format", "json",
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["counts"]) == {"RL201"}
+
+    def test_list_rules_includes_parallel_catalogue(self, capsys):
+        assert reprolint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RL200", "RL201", "RL202", "RL203", "RL204", "RL205"):
+            assert code in out
+
+    def test_rl20x_suppressible_inline(self, tmp_path, capsys):
+        pyproject = self._write_package(tmp_path, """
+            SEEN = []
+
+            def work(payload):
+                SEEN.append(payload)  # reprolint: disable=RL200,RL201 -- test-only sink
+                return payload
+
+            def driver(executor, items):
+                return sorted(executor.map_chunks(work, items))
+        """)
+        assert reprolint_main(
+            ["--config", str(pyproject), "--parallel-safety"]
+        ) == 0
+
+
+class TestSarifOutput:
+    def _sarif_for(self, tmp_path, capsys, body):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(textwrap.dedent("""
+            [tool.reprolint]
+            paths = ["src"]
+            future-required-packages = []
+        """))
+        package = tmp_path / "src"
+        package.mkdir()
+        (package / "module.py").write_text(textwrap.dedent(body))
+        code = reprolint_main(
+            ["--config", str(pyproject), "--format", "sarif"]
+        )
+        return code, json.loads(capsys.readouterr().out)
+
+    def test_findings_rendered_as_results(self, tmp_path, capsys):
+        code, sarif = self._sarif_for(tmp_path, capsys, """
+            import random
+            x = random.random()
+        """)
+        assert code == 1
+        assert sarif["version"] == "2.1.0"
+        (run,) = sarif["runs"]
+        (result,) = run["results"]
+        assert result["ruleId"] == "RL001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/module.py"
+        assert location["region"]["startLine"] == 3
+
+    def test_clean_tree_emits_empty_results_exit_zero(self, tmp_path, capsys):
+        code, sarif = self._sarif_for(tmp_path, capsys, "x = 1\n")
+        assert code == 0
+        assert sarif["runs"][0]["results"] == []
+
+    def test_driver_carries_full_rule_catalogue(self, tmp_path, capsys):
+        from tools.reprolint.sarif import rule_catalogue
+
+        _, sarif = self._sarif_for(tmp_path, capsys, "x = 1\n")
+        rules = sarif["runs"][0]["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == sorted(rule_catalogue())
+        by_id = {r["id"]: r["name"] for r in rules}
+        assert by_id["RL001"] == "unseeded-rng"
+        assert by_id["RL200"] == "work-captures-state"
+
+    def test_rendering_is_deterministic(self):
+        from tools.reprolint.findings import Finding, Severity
+        from tools.reprolint.sarif import render_sarif
+
+        findings = [
+            Finding(path="src/b.py", line=2, col=1, rule="RL002",
+                    message="b", severity=Severity.WARNING),
+            Finding(path="src/a.py", line=9, col=4, rule="RL001",
+                    message="a", severity=Severity.ERROR),
+        ]
+        first = render_sarif(findings)
+        second = render_sarif(list(reversed(findings)))
+        assert first == second
+        parsed = json.loads(first)
+        levels = [r["level"] for r in parsed["runs"][0]["results"]]
+        assert levels == ["error", "warning"]  # sorted: a.py before b.py
+
+
+class TestAutofix:
+    def test_inserts_below_docstring(self):
+        from tools.reprolint.autofix import fix_future_annotations
+
+        source = '"""Doc."""\n\nimport os\n\nx = os.sep\n'
+        fixed = fix_future_annotations(source)
+        assert fixed.startswith(
+            '"""Doc."""\n\nfrom __future__ import annotations\n'
+        )
+        assert fixed.endswith("import os\n\nx = os.sep\n")
+
+    def test_inserts_at_top_without_docstring(self):
+        from tools.reprolint.autofix import fix_future_annotations
+
+        source = "# comment\nimport os\n"
+        fixed = fix_future_annotations(source)
+        assert fixed == (
+            "# comment\nfrom __future__ import annotations\n\nimport os\n"
+        )
+
+    def test_idempotent_byte_for_byte(self):
+        from tools.reprolint.autofix import fix_future_annotations
+
+        source = '"""Doc."""\n\nimport os\n'
+        once = fix_future_annotations(source)
+        assert fix_future_annotations(once) == once
+
+    def test_docstring_only_and_syntax_error_unchanged(self):
+        from tools.reprolint.autofix import fix_future_annotations
+
+        assert fix_future_annotations('"""Doc."""\n') == '"""Doc."""\n'
+        broken = "def f(:\n"
+        assert fix_future_annotations(broken) == broken
+
+    def _write_package(self, tmp_path, body):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(textwrap.dedent("""
+            [tool.reprolint]
+            paths = ["src"]
+            future-required-packages = ["src"]
+        """))
+        package = tmp_path / "src"
+        package.mkdir()
+        (package / "module.py").write_text(textwrap.dedent(body))
+        return pyproject, package / "module.py"
+
+    def test_cli_fix_rewrites_and_then_lints_clean(self, tmp_path, capsys):
+        pyproject, module = self._write_package(
+            tmp_path, '"""Doc."""\n\nimport os\n\nx = os.sep\n'
+        )
+        assert reprolint_main(["--config", str(pyproject)]) == 1
+        capsys.readouterr()
+        assert reprolint_main(["--config", str(pyproject), "--fix"]) == 0
+        out = capsys.readouterr().out
+        assert "fixed: src/module.py" in out
+        assert "from __future__ import annotations" in module.read_text()
+        # Second --fix run: nothing left to fix, file byte-stable.
+        before = module.read_text()
+        assert reprolint_main(["--config", str(pyproject), "--fix"]) == 0
+        assert "fixed:" not in capsys.readouterr().out
+        assert module.read_text() == before
+
+    def test_fix_respects_suppressions(self, tmp_path, capsys):
+        pyproject, module = self._write_package(
+            tmp_path,
+            "import os  # reprolint: disable=RL007 -- vendored module\n",
+        )
+        assert reprolint_main(["--config", str(pyproject), "--fix"]) == 0
+        assert "from __future__" not in module.read_text()
+
+
+class TestDocRuleParity:
+    def test_docs_tables_match_rule_catalogue(self):
+        import re
+        from pathlib import Path
+
+        from tools.reprolint.sarif import rule_catalogue
+
+        docs = (
+            Path(__file__).resolve().parents[1]
+            / "docs"
+            / "STATIC_ANALYSIS.md"
+        )
+        if not docs.is_file():
+            pytest.skip("repository checkout required")
+        documented = dict(
+            re.findall(
+                r"^\| (RL\d{3}) \| ([a-z0-9-]+)\s*\|",
+                docs.read_text(encoding="utf-8"),
+                flags=re.MULTILINE,
+            )
+        )
+        catalogue = rule_catalogue()
+        assert documented == catalogue

@@ -1,0 +1,88 @@
+"""Autofixes: mechanical rewrites for rules with one correct remedy.
+
+Only RL007 (missing ``from __future__ import annotations``) qualifies
+today — the fix is a single unambiguous insertion. The fixer is:
+
+* **idempotent** — fixing an already-fixed module returns it unchanged,
+  byte for byte;
+* **surgical** — the import lands directly below the module docstring
+  (or above the first statement when there is none), leaving shebangs,
+  encoding cookies, and leading comments untouched;
+* **consistent with the rule** — a module RL007 would not flag
+  (docstring-only, or outside ``future-required-packages``) is returned
+  unchanged, so ``--fix`` can never introduce a diff the lint did not
+  ask for.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from tools.reprolint.config import Config
+from tools.reprolint.engine import _discover, _relative_path, lint_file
+from tools.reprolint.rules.rl007_future import FutureAnnotationsRule
+
+__all__ = ["fix_future_annotations", "fix_paths"]
+
+_IMPORT_LINE = "from __future__ import annotations\n"
+
+
+def fix_future_annotations(source: str) -> str:
+    """Insert the future-annotations import; no-op when not needed."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source  # RL000 territory; nothing mechanical to do
+    has_docstring = bool(
+        tree.body
+        and isinstance(tree.body[0], ast.Expr)
+        and isinstance(tree.body[0].value, ast.Constant)
+        and isinstance(tree.body[0].value.value, str)
+    )
+    statements = tree.body[1:] if has_docstring else tree.body
+    if not statements:
+        return source  # docstring-only module: RL007 exempts it
+    for stmt in statements:
+        if isinstance(stmt, ast.ImportFrom) and stmt.module == "__future__":
+            if any(alias.name == "annotations" for alias in stmt.names):
+                return source
+    lines = source.splitlines(keepends=True)
+    if has_docstring:
+        insert_at = int(tree.body[0].end_lineno or tree.body[0].lineno)
+        insertion = "\n" + _IMPORT_LINE
+    else:
+        insert_at = statements[0].lineno - 1
+        insertion = _IMPORT_LINE + "\n"
+    return "".join([*lines[:insert_at], insertion, *lines[insert_at:]])
+
+
+def fix_paths(
+    paths: Iterable[Path],
+    config: Optional[Config] = None,
+    root: Optional[Path] = None,
+) -> List[str]:
+    """Apply autofixes to every fixable file; returns rewritten paths.
+
+    Only files where RL007 actually fires (per config: required
+    packages, excludes, select/ignore, suppressions) are touched.
+    """
+    config = config or Config()
+    root = root or Path.cwd()
+    fixed: List[str] = []
+    for file_path in _discover(paths, config, root):
+        findings = lint_file(
+            file_path,
+            config=config,
+            root=root,
+            rules=[FutureAnnotationsRule],
+        )
+        if not any(f.rule == "RL007" for f in findings):
+            continue
+        source = file_path.read_text(encoding="utf-8")
+        updated = fix_future_annotations(source)
+        if updated != source:
+            file_path.write_text(updated, encoding="utf-8")
+            fixed.append(_relative_path(file_path, root))
+    return fixed

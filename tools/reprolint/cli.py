@@ -21,9 +21,15 @@ from tools.reprolint.config import (
     load_config,
 )
 from tools.reprolint.contracts import CONTRACT_RULES
-from tools.reprolint.engine import analyze_contract_paths, lint_paths
+from tools.reprolint.engine import (
+    analyze_contract_paths,
+    analyze_parallel_paths,
+    lint_paths,
+)
 from tools.reprolint.findings import Finding
+from tools.reprolint.parallel_safety import PARALLEL_RULES
 from tools.reprolint.rules import ALL_RULES
+from tools.reprolint.sarif import render_sarif, rule_catalogue
 
 __all__ = ["main", "build_parser"]
 
@@ -46,7 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         help="output format (default: human)",
     )
@@ -74,6 +80,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(RL100-RL103) over [tool.reprolint] contract-packages",
     )
     parser.add_argument(
+        "--parallel-safety",
+        action="store_true",
+        help="additionally run the parallel-safety pass (RL200-RL205) "
+        "over [tool.reprolint] contract-packages",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply available autofixes (RL007: insert the missing "
+        "`from __future__ import annotations`) before linting",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -96,6 +114,11 @@ def _list_rules() -> str:
         lines.append(
             f"{code}  {CONTRACT_RULES[code]:<22} inter-procedural contract "
             "pass (--contracts)"
+        )
+    for code in sorted(PARALLEL_RULES):
+        lines.append(
+            f"{code}  {PARALLEL_RULES[code]:<22} parallel-safety pass "
+            "(--parallel-safety)"
         )
     return "\n".join(lines)
 
@@ -145,11 +168,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"reprolint: bad configuration: {exc}", file=sys.stderr)
         return 2
 
-    known_codes = (
-        {rule_cls.code for rule_cls in ALL_RULES}
-        | set(CONTRACT_RULES)
-        | {"RL000"}
-    )
+    known_codes = set(rule_catalogue())
     if args.select:
         config.select = tuple(
             code.strip().upper() for code in args.select.split(",") if code.strip()
@@ -180,21 +199,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
+    if args.fix:
+        from tools.reprolint.autofix import fix_paths
+
+        for fixed in fix_paths(paths, config=config, root=root):
+            print(f"fixed: {fixed}")
+
     findings = lint_paths(paths, config=config, root=root)
 
+    contract_roots = [
+        root / prefix
+        for prefix in config.contract_packages
+        if (root / prefix).exists()
+    ]
     if args.contracts:
-        contract_roots = [
-            root / prefix
-            for prefix in config.contract_packages
-            if (root / prefix).exists()
-        ]
         findings = sorted(
             findings
             + analyze_contract_paths(contract_roots, config=config, root=root)
         )
+    if args.parallel_safety:
+        findings = sorted(
+            findings
+            + analyze_parallel_paths(contract_roots, config=config, root=root)
+        )
 
     if args.format == "json":
         print(_render_json(findings))
+    elif args.format == "sarif":
+        print(render_sarif(findings))
     else:
         output = _render_human(findings, statistics=args.statistics)
         if output:

@@ -56,7 +56,13 @@ from tools.reprolint.rules.rl002_set_order import (
 from tools.reprolint.rules.base import attach_parents
 from tools.reprolint.rules.rl005_wallclock import _CLOCK_CALLS
 
-__all__ = ["CONTRACT_RULES", "Contract", "check_contracts", "contracts_for"]
+__all__ = [
+    "CONTRACT_RULES",
+    "PARALLEL_KINDS",
+    "Contract",
+    "check_contracts",
+    "contracts_for",
+]
 
 #: Rule catalogue entries for the inter-procedural pass (code -> name).
 CONTRACT_RULES: Dict[str, str] = {
@@ -67,6 +73,16 @@ CONTRACT_RULES: Dict[str, str] = {
 }
 
 _DETERMINISM_KINDS = ("pure", "deterministic", "ordered_output", "seeded")
+
+#: Parallel-safety contract kinds (``tools/reprolint/parallel_safety.py``).
+#: Recognized by :func:`contracts_for` but *not* determinism contracts —
+#: they never make a function an RL100-RL103 root.
+PARALLEL_KINDS = (
+    "picklable_work",
+    "fork_safe",
+    "commutative_merge",
+    "shared_readonly",
+)
 
 _HazardFn = Callable[[ast.AST], bool]
 
@@ -107,7 +123,9 @@ def contracts_for(
         origin, _, name = dotted.rpartition(".")
         if not (origin == "contracts" or origin.endswith(".contracts")):
             continue
-        if name in ("pure", "deterministic", "ordered_output"):
+        if name in ("pure", "deterministic", "ordered_output") or (
+            name in PARALLEL_KINDS
+        ):
             out.append(Contract(name, None, dec))
         elif name == "seeded":
             param = "rng"

@@ -20,6 +20,7 @@ from tools.reprolint.callgraph import build_call_graph
 from tools.reprolint.config import Config
 from tools.reprolint.contracts import check_contracts
 from tools.reprolint.findings import Finding, Severity
+from tools.reprolint.parallel_safety import check_parallel_safety
 from tools.reprolint.rules import ALL_RULES, Rule
 from tools.reprolint.rules.base import RuleContext
 from tools.reprolint.suppressions import collect_suppressions
@@ -30,6 +31,8 @@ __all__ = [
     "lint_paths",
     "analyze_contract_sources",
     "analyze_contract_paths",
+    "analyze_parallel_sources",
+    "analyze_parallel_paths",
 ]
 
 
@@ -119,13 +122,54 @@ def analyze_contract_sources(
     file set, not one file. Per-line ``# reprolint: disable=RL10x``
     suppressions and config select/ignore/per-path-ignores still apply.
     """
+    return _analyze_graph_sources(sources, check_contracts, config)
+
+
+def analyze_contract_paths(
+    paths: Iterable[Path],
+    config: Optional[Config] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Contract pass over every Python file under files/directories."""
+    return analyze_contract_sources(
+        _read_sources(paths, config, root), config=config
+    )
+
+
+def analyze_parallel_sources(
+    sources: Sequence[tuple],
+    config: Optional[Config] = None,
+) -> List[Finding]:
+    """Run the parallel-safety pass (RL200-RL205) over (path, source)
+    pairs. Same whole-file-set unit of analysis as the contract pass;
+    suppressions and config select/ignore/per-path-ignores apply."""
+    return _analyze_graph_sources(sources, check_parallel_safety, config)
+
+
+def analyze_parallel_paths(
+    paths: Iterable[Path],
+    config: Optional[Config] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Parallel-safety pass over every Python file under the paths."""
+    return analyze_parallel_sources(
+        _read_sources(paths, config, root), config=config
+    )
+
+
+def _analyze_graph_sources(
+    sources: Sequence[tuple],
+    checker,
+    config: Optional[Config] = None,
+) -> List[Finding]:
+    """Shared driver for the call-graph passes (contracts, parallel)."""
     config = config or Config()
     graph = build_call_graph(list(sources))
     suppressions = {
         path: collect_suppressions(text) for path, text in sources
     }
     findings: List[Finding] = []
-    for finding in check_contracts(graph):
+    for finding in checker(graph):
         if not config.rule_enabled(finding.rule, finding.path):
             continue
         suppressed = suppressions.get(finding.path)
@@ -137,22 +181,21 @@ def analyze_contract_sources(
     return sorted(findings)
 
 
-def analyze_contract_paths(
+def _read_sources(
     paths: Iterable[Path],
-    config: Optional[Config] = None,
-    root: Optional[Path] = None,
-) -> List[Finding]:
-    """Contract pass over every Python file under files/directories."""
+    config: Optional[Config],
+    root: Optional[Path],
+) -> List[tuple]:
     config = config or Config()
     root = root or Path.cwd()
-    sources = []
+    sources: List[tuple] = []
     for file_path in _discover(paths, config, root):
         try:
             text = file_path.read_text(encoding="utf-8")
         except (OSError, UnicodeDecodeError):
             continue  # lint_paths already reports unreadable files (RL000)
         sources.append((_relative_path(file_path, root), text))
-    return analyze_contract_sources(sources, config=config)
+    return sources
 
 
 def _discover(

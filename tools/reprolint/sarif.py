@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 rendering for reprolint findings.
+
+GitHub code scanning ingests SARIF and renders each result as an
+inline annotation on the offending line, so `--format sarif` turns the
+CI lint job's findings into PR review comments for free. The output is
+deterministic: rules and results are emitted in sorted order and the
+JSON is rendered with sorted keys, so two runs over the same tree are
+byte-identical (the linter holds itself to its own standard).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from tools.reprolint.contracts import CONTRACT_RULES
+from tools.reprolint.findings import Finding, Severity
+from tools.reprolint.parallel_safety import PARALLEL_RULES
+from tools.reprolint.rules import ALL_RULES
+
+__all__ = ["rule_catalogue", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def rule_catalogue() -> Dict[str, str]:
+    """Every registered rule id -> short name, across all passes.
+
+    The single registry the SARIF driver, the CLI's ``--select``
+    validation, and the doc-parity test all share — a rule cannot exist
+    without appearing here.
+    """
+    catalogue: Dict[str, str] = {"RL000": "parse-error"}
+    for rule_cls in ALL_RULES:
+        catalogue[rule_cls.code] = rule_cls.name
+    catalogue.update(CONTRACT_RULES)
+    catalogue.update(PARALLEL_RULES)
+    return catalogue
+
+
+def render_sarif(findings: List[Finding]) -> str:
+    """One SARIF run containing every finding, as an indented string."""
+    catalogue = rule_catalogue()
+    rules = [
+        {
+            "id": code,
+            "name": catalogue[code],
+            "shortDescription": {"text": catalogue[code]},
+            # The canonical catalogue lives in-repo, not at a registry.
+            "helpUri": "docs/STATIC_ANALYSIS.md",
+        }
+        for code in sorted(catalogue)
+    ]
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": _LEVELS.get(finding.severity, "error"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in sorted(findings)
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "docs/STATIC_ANALYSIS.md",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
