@@ -23,6 +23,7 @@ def emit_report(
     config: Optional[Mapping[str, Any]] = None,
     corpus: Optional[Mapping[str, Any]] = None,
     parallel: Optional[Mapping[str, Any]] = None,
+    parallel_profile: Optional[Mapping[str, Any]] = None,
 ) -> RunReport:
     """Persist a traced run as ``results/<name>.report.json``.
 
@@ -33,12 +34,15 @@ def emit_report(
     fills the report's executor block (docs/PARALLELISM.md); timing
     benchmarks should always record at least ``workers`` and
     ``cpu_count`` there so BENCH_*.json entries stay comparable across
-    machines.
+    machines. ``parallel_profile`` carries the per-chunk overhead
+    ledger (``executor.profile_echo()``) that ``repro perf diff`` and
+    ``repro profile --timeline`` consume.
     """
     if tracer.aggregate is None:
         raise ValueError("emit_report needs an enabled tracer")
     report = RunReport.build(
-        tracer.aggregate, config=config, corpus=corpus, parallel=parallel
+        tracer.aggregate, config=config, corpus=corpus, parallel=parallel,
+        parallel_profile=parallel_profile,
     )
     RESULTS_DIR.mkdir(exist_ok=True)
     report.to_json(RESULTS_DIR / f"{name}.report.json")

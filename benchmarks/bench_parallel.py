@@ -9,8 +9,10 @@ emits a speedup table plus one run report per worker count.
 
 The paper ran on a 24-core server; CI and laptops vary, so the speedup
 *target* (>= 1.8x at 4 workers) is reported, not asserted: each run
-report carries a ``speedup_ok`` verdict (``null`` when the machine has
-fewer than 4 CPUs and the claim is vacuous) and a miss warns on stderr.
+report carries a ``speedup_ok`` verdict (``null`` when the process has
+fewer than 4 usable CPUs and the claim is vacuous) and a miss warns on
+stderr; sweeping more workers than usable CPUs also warns, since such a
+table measures queue wait, not throughput.
 Passing ``--assert-speedup`` turns the miss into a failure — the opt-in
 for machines where the throughput claim is meant to hold. The parity
 assertion always runs — determinism must not depend on core count.
@@ -54,27 +56,41 @@ def _ranked_lines(resolution):
     return lines
 
 
+def _cpu_counts():
+    """(total CPUs, CPUs this process may use) — they differ in cgroups.
+
+    ``os.cpu_count()`` reports the machine; ``sched_getaffinity`` (where
+    the platform has it) reports what the scheduler will actually give
+    us, which is what a speedup table should be read against.
+    """
+    total = os.cpu_count() or 1
+    affinity = getattr(os, "sched_getaffinity", None)
+    usable = len(affinity(0)) if affinity is not None else total
+    return total, usable
+
+
 def _resolve(dataset, workers):
     tracer = Tracer()
+    executor = make_executor(workers)
     pipeline = UncertainERPipeline(
         PipelineConfig(ng=3.5, expert_weighting=True),
         tracer=tracer,
-        executor=make_executor(workers),
+        executor=executor,
     )
     start = time.perf_counter()
     resolution = pipeline.run(dataset)
     elapsed = time.perf_counter() - start
-    return _ranked_lines(resolution), elapsed, tracer
+    return _ranked_lines(resolution), elapsed, tracer, executor
 
 
 def test_parallel_speedup_and_parity(corpus, benchmark, request):
     lines = {}
     timings = {}
     tracers = {}
+    executors = {}
     for workers in WORKER_COUNTS:
-        lines[workers], timings[workers], tracers[workers] = _resolve(
-            corpus, workers
-        )
+        (lines[workers], timings[workers], tracers[workers],
+         executors[workers]) = _resolve(corpus, workers)
 
     # Byte-identity first: a fast wrong answer is not a speedup.
     for workers in WORKER_COUNTS[1:]:
@@ -83,11 +99,21 @@ def test_parallel_speedup_and_parity(corpus, benchmark, request):
         )
 
     speedups = {w: timings[1] / timings[w] for w in WORKER_COUNTS}
-    cpu_count = os.cpu_count() or 1
+    cpu_count, cpu_usable = _cpu_counts()
+    if max(WORKER_COUNTS) > cpu_usable:
+        # An oversubscribed sweep measures queue wait, not throughput;
+        # say so where the table is read (the perf ledger keeps the
+        # numbers comparable to same-shaped boxes either way).
+        print(
+            f"WARNING: sweeping up to {max(WORKER_COUNTS)} workers on "
+            f"{cpu_usable} usable CPUs - expect queue-wait-bound "
+            "slowdowns, not speedups (see repro profile --timeline)",
+            file=sys.stderr,
+        )
     # The throughput claim needs cores to be real; on a 1-2 CPU runner
     # the pool only adds pickling overhead and the claim is vacuous.
     speedup_ok = (
-        speedups[4] >= SPEEDUP_TARGET if cpu_count >= 4 else None
+        speedups[4] >= SPEEDUP_TARGET if cpu_usable >= 4 else None
     )
     for workers in WORKER_COUNTS:
         emit_report(
@@ -97,11 +123,13 @@ def test_parallel_speedup_and_parity(corpus, benchmark, request):
             parallel={
                 "workers": workers,
                 "cpu_count": cpu_count,
+                "cpu_usable": cpu_usable,
                 "wall_seconds": round(timings[workers], 4),
                 "speedup_vs_serial": round(speedups[workers], 3),
                 "speedup_target": SPEEDUP_TARGET,
                 "speedup_ok": speedup_ok,
             },
+            parallel_profile=executors[workers].profile_echo(),
         )
 
     table = format_series(
@@ -112,7 +140,8 @@ def test_parallel_speedup_and_parity(corpus, benchmark, request):
         ],
         title=(
             f"Parallel resolution - {len(corpus)} records, "
-            f"{cpu_count} CPUs, {len(lines[1])} ranked pairs "
+            f"{cpu_count} CPUs ({cpu_usable} usable), "
+            f"{len(lines[1])} ranked pairs "
             "(byte-identical across worker counts)"
         ),
     )
@@ -121,7 +150,7 @@ def test_parallel_speedup_and_parity(corpus, benchmark, request):
     if speedup_ok is False:
         message = (
             f"expected >= {SPEEDUP_TARGET}x at 4 workers on "
-            f"{cpu_count} CPUs, got {speedups[4]:.2f}x"
+            f"{cpu_usable} usable CPUs, got {speedups[4]:.2f}x"
         )
         if request.config.getoption("--assert-speedup"):
             pytest.fail(message)

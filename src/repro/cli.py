@@ -127,6 +127,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also stream trace events to this JSONL file")
     profile.add_argument("--report", type=Path, default=None,
                          help="also write the run report as JSON")
+    profile.add_argument("--timeline", action="store_true",
+                         help="render the parallel_profile block as "
+                              "per-worker lanes plus an overhead-vs-"
+                              "compute summary (needs --workers > 1)")
+    profile.add_argument("--profile-memory", action="store_true",
+                         help="record per-chunk tracemalloc peaks in "
+                              "workers (slows compute; timings include "
+                              "the allocator hooks)")
     _add_parallel_arguments(profile)
     _add_resilience_arguments(profile)
 
@@ -221,6 +229,49 @@ def build_parser() -> argparse.ArgumentParser:
                        help="keep quarantine/diff artifacts here "
                             "(default: temporary, removed on success)")
 
+    perf = commands.add_parser(
+        "perf",
+        help="perf-regression ledger: record benchmark baselines and "
+             "diff fresh results against them (docs/OBSERVABILITY.md)",
+    )
+    perf_commands = perf.add_subparsers(dest="perf_command", required=True)
+
+    record = perf_commands.add_parser(
+        "record", help="add/refresh run-report baselines in the ledger"
+    )
+    record.add_argument("reports", nargs="+", type=Path,
+                        help="run-report JSON files "
+                             "(e.g. benchmarks/results/*.report.json)")
+    record.add_argument("--ledger", type=Path,
+                        default=Path("benchmarks/baselines"),
+                        help="ledger directory "
+                             "(default: benchmarks/baselines)")
+    record.add_argument("--note", default="",
+                        help="operator note stored with the entries")
+
+    diff = perf_commands.add_parser(
+        "diff",
+        help="compare a results directory against the committed "
+             "baseline ledger; human table + JSON verdict",
+    )
+    diff.add_argument("--baseline", type=Path,
+                      default=Path("benchmarks/baselines"),
+                      help="baseline ledger directory "
+                           "(default: benchmarks/baselines)")
+    diff.add_argument("--current", type=Path,
+                      default=Path("benchmarks/results"),
+                      help="directory holding fresh <name>.report.json "
+                           "files (default: benchmarks/results)")
+    diff.add_argument("--threshold", type=float, default=None,
+                      help="regression ratio threshold (default: 0.25 "
+                           "= 25%% slower flags)")
+    diff.add_argument("--strict", action="store_true",
+                      help="exit 1 on a regression verdict (default "
+                           "warn-only, mirroring --assert-speedup)")
+    diff.add_argument("--json", type=Path, default=None, dest="json_out",
+                      help="also write the machine-readable verdict "
+                           "here (the CI artifact)")
+
     return parser
 
 
@@ -250,7 +301,9 @@ def _add_parallel_arguments(command: argparse.ArgumentParser) -> None:
 def _executor(args: argparse.Namespace) -> Executor:
     """The executor implied by --workers/--chunk-size (serial default)."""
     return make_executor(
-        getattr(args, "workers", 1), getattr(args, "chunk_size", None)
+        getattr(args, "workers", 1),
+        getattr(args, "chunk_size", None),
+        profile_memory=getattr(args, "profile_memory", False),
     )
 
 
@@ -482,6 +535,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     _finish_tracing(args, tracer, resolution)
     assert resolution.report is not None  # tracer is always enabled here
     print(resolution.report.format_table())
+    if args.timeline:
+        print()
+        print(resolution.report.format_timeline())
     return 0
 
 
@@ -619,6 +675,52 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return run_chaos(config)
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    """The perf-regression ledger (``repro perf record`` / ``diff``)."""
+    import json as json_module
+
+    from repro.obs.perf import DEFAULT_THRESHOLD, PerfLedger, run_diff
+
+    if args.perf_command == "record":
+        missing = [path for path in args.reports if not path.exists()]
+        if missing:
+            names = ", ".join(str(path) for path in missing)
+            print(f"repro perf record: no such report: {names}",
+                  file=sys.stderr)
+            return 2
+        entries = PerfLedger(args.ledger).record(
+            list(args.reports), note=args.note
+        )
+        for entry in entries:
+            print(f"recorded baseline {entry.name} "
+                  f"({entry.file}, repro {entry.repro_version})")
+        print(f"ledger: {args.ledger / 'ledger.json'}")
+        return 0
+
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    )
+    result, error = run_diff(args.baseline, args.current, threshold)
+    if result is None:
+        print(f"repro perf diff: {error}", file=sys.stderr)
+        return 2
+    print(result.format_table())
+    if args.json_out is not None:
+        args.json_out.write_text(
+            json_module.dumps(result.to_dict(), indent=1) + "\n"
+        )
+        print(f"wrote verdict to {args.json_out}")
+    if result.verdict == "regression":
+        if args.strict:
+            return 1
+        print(
+            "WARNING: perf regression vs baseline (warn-only; pass "
+            "--strict to fail)",
+            file=sys.stderr,
+        )
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "analyze": _cmd_analyze,
@@ -629,6 +731,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "sanitize": _cmd_sanitize,
     "chaos": _cmd_chaos,
+    "perf": _cmd_perf,
 }
 
 

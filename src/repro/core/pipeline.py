@@ -433,6 +433,7 @@ class UncertainERPipeline:
             corpus=corpus_stats(dataset),
             resilience=resilience,
             parallel=self.executor.to_echo(),
+            parallel_profile=self.executor.profile_echo(),
         )
 
 

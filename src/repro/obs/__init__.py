@@ -25,21 +25,32 @@ from __future__ import annotations
 
 from repro.obs.clock import Clock, ManualClock, MonotonicClock
 from repro.obs.events import (
+    SCHEDULE_ATTRS,
     SCHEMA_VERSION,
     TIMESTAMP_FIELDS,
     strip_timestamps,
+    strip_volatile,
 )
 from repro.obs.report import Aggregator, RunReport, StageStats
 from repro.obs.sinks import InMemorySink, JsonlSink, NullSink, Sink
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.obs.worker import (
+    ChunkProfile,
+    DispatchProfile,
+    ParallelProfile,
+    WorkerTracer,
+    merge_worker_events,
+)
 
 __all__ = [
     "Clock",
     "ManualClock",
     "MonotonicClock",
+    "SCHEDULE_ATTRS",
     "SCHEMA_VERSION",
     "TIMESTAMP_FIELDS",
     "strip_timestamps",
+    "strip_volatile",
     "Aggregator",
     "RunReport",
     "StageStats",
@@ -49,4 +60,9 @@ __all__ = [
     "Sink",
     "NULL_TRACER",
     "Tracer",
+    "ChunkProfile",
+    "DispatchProfile",
+    "ParallelProfile",
+    "WorkerTracer",
+    "merge_worker_events",
 ]

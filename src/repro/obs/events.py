@@ -36,7 +36,9 @@ __all__ = [
     "COUNTER",
     "GAUGE",
     "TIMESTAMP_FIELDS",
+    "SCHEDULE_ATTRS",
     "strip_timestamps",
+    "strip_volatile",
 ]
 
 #: Version of the event (and report) schema; bump on breaking change.
@@ -51,6 +53,12 @@ GAUGE = "gauge"
 #: The only event fields allowed to differ between identical runs.
 TIMESTAMP_FIELDS = ("t", "duration")
 
+#: Span attributes that depend on the OS schedule, not the workload:
+#: merged worker events carry the pid of whichever pool worker happened
+#: to pick the chunk up. Everything else about a merged worker event —
+#: path, depth, chunk index, ordering — is workload-determined.
+SCHEDULE_ATTRS = ("worker",)
+
 
 def strip_timestamps(event: Mapping[str, Any]) -> Dict[str, Any]:
     """Copy of ``event`` without its wall-time fields.
@@ -64,3 +72,26 @@ def strip_timestamps(event: Mapping[str, Any]) -> Dict[str, Any]:
         for key, value in event.items()
         if key not in TIMESTAMP_FIELDS
     }
+
+
+def strip_volatile(event: Mapping[str, Any]) -> Dict[str, Any]:
+    """:func:`strip_timestamps` plus the schedule-dependent attributes.
+
+    The projection under which two traces of the same deterministic
+    *parallel* run must be equal: worker pids (:data:`SCHEDULE_ATTRS`)
+    vary with the pool schedule even though the merged event sequence —
+    keyed by chunk index, not arrival order — does not.
+    """
+    stripped = strip_timestamps(event)
+    attrs = stripped.get("attrs")
+    if isinstance(attrs, Mapping):
+        remaining = {
+            key: value
+            for key, value in attrs.items()
+            if key not in SCHEDULE_ATTRS
+        }
+        if remaining:
+            stripped["attrs"] = remaining
+        else:
+            stripped.pop("attrs", None)
+    return stripped

@@ -1,0 +1,420 @@
+"""The perf-regression ledger: versioned baselines + threshold diffs.
+
+The parallel layer's negative scaling went unnoticed until a human
+read ``parallel_speedup.txt``; this module makes that comparison a
+machine check. A :class:`PerfLedger` is a committed directory
+(``benchmarks/baselines/``) of run-report JSONs — the exact schema
+``repro resolve --report`` / ``bench_common.emit_report`` write — plus
+a ``ledger.json`` index. ``repro perf record`` adds or refreshes
+baselines; ``repro perf diff`` compares a fresh results directory
+against them and renders a human table plus a JSON verdict, which CI's
+``perf-regression`` job uploads as an artifact.
+
+Design constraints:
+
+* **No timestamps in the ledger.** Entries carry the build version and
+  an operator note, never a recording time — committing a baseline
+  must not churn bytes on re-record of identical results, and the
+  repo-wide wall-clock ban (reprolint RL005) extends to tooling.
+* **Noise-floored thresholds.** Timing metrics compare by ratio
+  against ``--threshold`` (default 0.25 = 25% slower is a regression),
+  but only above a floor of :data:`MIN_SECONDS` — sub-10ms stages are
+  scheduler noise on any shared runner.
+* **Workload drift is its own failure.** Counters are workload-
+  deterministic (records seen, pairs ranked); a counter mismatch means
+  baseline and current measured *different work*, which is reported as
+  drift rather than silently compared. Measurement counters
+  (``parallel.*`` byte/chunk counts) are exempt — they legitimately
+  vary with worker count and pickle memoization.
+* **Warn-only by default.** Timing on shared CI is noisy; the diff
+  exits 0 unless ``--strict`` is passed, mirroring the benchmark
+  suite's ``--assert-speedup`` opt-in.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.obs.report import RunReport
+from repro.version import repro_version
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "LEDGER_INDEX",
+    "MIN_SECONDS",
+    "DEFAULT_THRESHOLD",
+    "LedgerEntry",
+    "PerfLedger",
+    "MetricDiff",
+    "PerfDiffResult",
+    "diff_reports",
+    "run_diff",
+]
+
+#: Version of the ledger index schema; bump on breaking change.
+LEDGER_SCHEMA = 1
+
+#: Index file name inside a ledger directory.
+LEDGER_INDEX = "ledger.json"
+
+#: Timing noise floor: metrics where both sides are below this many
+#: seconds are never flagged — they measure the scheduler, not the code.
+MIN_SECONDS = 0.01
+
+#: Default regression threshold: current/baseline ratio above 1.25
+#: (or below 0.75 for higher-is-better metrics) flags a regression.
+DEFAULT_THRESHOLD = 0.25
+
+#: Counter prefixes that measure the *measurement* (pickle bytes, chunk
+#: counts), not the workload; they vary with worker count and
+#: PYTHONHASHSEED and are excluded from drift detection.
+_MEASUREMENT_COUNTER_PREFIXES = ("parallel.",)
+
+#: Stage rows deeper than this are skipped: leaf spans multiply with
+#: chunk counts (merged worker spans) and add noise, not signal.
+_MAX_STAGE_DEPTH = 2
+
+
+@dataclass
+class LedgerEntry:
+    """One baseline in the ledger index."""
+
+    name: str
+    file: str
+    repro_version: str
+    note: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "file": self.file,
+            "repro_version": self.repro_version,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "LedgerEntry":
+        return cls(
+            name=str(payload["name"]),
+            file=str(payload["file"]),
+            repro_version=str(payload.get("repro_version", "")),
+            note=str(payload.get("note", "")),
+        )
+
+
+class PerfLedger:
+    """A committed directory of baseline run reports plus an index."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    @property
+    def index_path(self) -> Path:
+        return self.directory / LEDGER_INDEX
+
+    def entries(self) -> List[LedgerEntry]:
+        """The index, sorted by name; [] for a fresh/absent ledger."""
+        if not self.index_path.exists():
+            return []
+        payload = json.loads(self.index_path.read_text())
+        entries = [
+            LedgerEntry.from_dict(entry)
+            for entry in payload.get("entries", [])
+        ]
+        return sorted(entries, key=lambda entry: entry.name)
+
+    def baseline(self, name: str) -> Optional[RunReport]:
+        """The recorded baseline report for ``name`` (None if absent)."""
+        for entry in self.entries():
+            if entry.name == name:
+                path = self.directory / entry.file
+                if path.exists():
+                    return RunReport.from_json(path)
+        return None
+
+    def record(
+        self, reports: List[Path], note: str = ""
+    ) -> List[LedgerEntry]:
+        """Add or refresh baselines from report JSON files.
+
+        Each report is parsed (validating the schema), renamed to
+        ``<name>.report.json`` where ``name`` is the source stem minus
+        any ``.report`` suffix, and re-serialized into the ledger
+        directory; same-name entries are replaced. Returns the entries
+        written.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        existing = {entry.name: entry for entry in self.entries()}
+        written: List[LedgerEntry] = []
+        for source in reports:
+            report = RunReport.from_json(source)
+            name = source.stem
+            if name.endswith(".report"):
+                name = name[: -len(".report")]
+            filename = f"{name}.report.json"
+            report.to_json(self.directory / filename)
+            entry = LedgerEntry(
+                name=name,
+                file=filename,
+                repro_version=report.version,
+                note=note,
+            )
+            existing[name] = entry
+            written.append(entry)
+        index = {
+            "schema": LEDGER_SCHEMA,
+            "recorded_with": repro_version(),
+            "entries": [
+                existing[name].to_dict() for name in sorted(existing)
+            ],
+        }
+        self.index_path.write_text(
+            json.dumps(index, indent=1, sort_keys=False) + "\n"
+        )
+        return written
+
+
+@dataclass
+class MetricDiff:
+    """One compared metric: baseline vs current, with a verdict.
+
+    ``status`` is one of ``ok`` / ``regression`` / ``improved`` /
+    ``drift`` (workload counters differ — the comparison itself is
+    suspect). ``direction`` records which way is better so the JSON
+    verdict is self-describing.
+    """
+
+    report: str
+    metric: str
+    baseline: float
+    current: float
+    status: str
+    direction: str  # "lower-better" | "higher-better" | "exact"
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.baseline == 0:
+            return None
+        return self.current / self.baseline
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "report": self.report,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "ratio": self.ratio,
+            "status": self.status,
+            "direction": self.direction,
+        }
+
+
+@dataclass
+class PerfDiffResult:
+    """The full outcome of one ledger diff."""
+
+    threshold: float
+    rows: List[MetricDiff] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDiff]:
+        return [
+            row for row in self.rows if row.status in ("regression", "drift")
+        ]
+
+    @property
+    def verdict(self) -> str:
+        if self.regressions or self.missing:
+            return "regression"
+        return "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": LEDGER_SCHEMA,
+            "threshold": self.threshold,
+            "verdict": self.verdict,
+            "missing": list(self.missing),
+            "regressions": [row.to_dict() for row in self.regressions],
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    def format_table(self) -> str:
+        """The human-facing diff: flagged rows first, then the verdict."""
+        lines: List[str] = [
+            f"perf diff vs baseline (threshold {self.threshold:.0%}, "
+            f"noise floor {MIN_SECONDS * 1000:.0f} ms)"
+        ]
+        flagged = self.regressions
+        improved = [row for row in self.rows if row.status == "improved"]
+        ordered = flagged + improved
+        if not ordered and not self.missing:
+            lines.append(
+                f"all {len(self.rows)} compared metrics within threshold"
+            )
+        rows: List[List[str]] = []
+        for row in ordered:
+            ratio = row.ratio
+            rows.append(
+                [
+                    row.report,
+                    row.metric,
+                    f"{row.baseline:.4f}",
+                    f"{row.current:.4f}",
+                    f"{ratio:.2f}x" if ratio is not None else "-",
+                    row.status.upper()
+                    if row.status in ("regression", "drift")
+                    else row.status,
+                ]
+            )
+        if rows:
+            headers = ["report", "metric", "baseline", "current",
+                       "ratio", "status"]
+            widths = [
+                max(len(headers[col]), *(len(r[col]) for r in rows))
+                for col in range(len(headers))
+            ]
+
+            def render(cells: List[str]) -> str:
+                return "  ".join(
+                    cell.ljust(width)
+                    for cell, width in zip(cells, widths)
+                ).rstrip()
+
+            lines.append(render(headers))
+            lines.append(render(["-" * width for width in widths]))
+            lines.extend(render(r) for r in rows)
+        for name in self.missing:
+            lines.append(
+                f"MISSING: baseline {name!r} has no current report"
+            )
+        lines.append(f"verdict: {self.verdict}")
+        return "\n".join(lines)
+
+
+def diff_reports(
+    name: str,
+    baseline: RunReport,
+    current: RunReport,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[MetricDiff]:
+    """Compare one baseline/current report pair metric by metric."""
+    rows: List[MetricDiff] = []
+
+    def timing(metric: str, base: float, cur: float,
+               higher_better: bool = False) -> None:
+        direction = "higher-better" if higher_better else "lower-better"
+        if not higher_better and base < MIN_SECONDS and cur < MIN_SECONDS:
+            status = "ok"  # both under the noise floor
+        elif base <= 0:
+            status = "ok"  # no ratio to form; total/counters catch it
+        else:
+            ratio = cur / base
+            if higher_better:
+                ratio = base / cur if cur > 0 else float("inf")
+            if ratio > 1.0 + threshold:
+                status = "regression"
+            elif ratio < 1.0 - threshold:
+                status = "improved"
+            else:
+                status = "ok"
+        rows.append(
+            MetricDiff(
+                report=name, metric=metric, baseline=base, current=cur,
+                status=status, direction=direction,
+            )
+        )
+
+    timing("total_seconds", baseline.total_seconds, current.total_seconds)
+
+    base_stages = {
+        stats.path: stats
+        for stats in baseline.stages
+        if stats.depth <= _MAX_STAGE_DEPTH
+    }
+    cur_stages = {stats.path: stats for stats in current.stages}
+    for path in sorted(base_stages):
+        cur_stats = cur_stages.get(path)
+        if cur_stats is None:
+            continue  # stage set drift surfaces through counters/total
+        timing(
+            f"stage:{path}",
+            base_stages[path].total_seconds,
+            cur_stats.total_seconds,
+        )
+
+    for metric, higher_better in (
+        ("wall_seconds", False),
+        ("speedup_vs_serial", True),
+    ):
+        base_value = baseline.parallel.get(metric)
+        cur_value = current.parallel.get(metric)
+        if isinstance(base_value, (int, float)) and isinstance(
+            cur_value, (int, float)
+        ):
+            timing(
+                f"parallel.{metric}",
+                float(base_value),
+                float(cur_value),
+                higher_better=higher_better,
+            )
+
+    for counter in sorted(baseline.counters):
+        if counter.startswith(_MEASUREMENT_COUNTER_PREFIXES):
+            continue
+        base_count = baseline.counters[counter]
+        cur_count = current.counters.get(counter)
+        if cur_count is None or cur_count != base_count:
+            rows.append(
+                MetricDiff(
+                    report=name,
+                    metric=f"counter:{counter}",
+                    baseline=float(base_count),
+                    current=float(cur_count if cur_count is not None else -1),
+                    status="drift",
+                    direction="exact",
+                )
+            )
+    return rows
+
+
+def run_diff(
+    baseline_dir: Union[str, Path],
+    current_dir: Union[str, Path],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[Optional[PerfDiffResult], str]:
+    """Diff every ledger baseline against ``current_dir``'s reports.
+
+    Returns ``(result, error)``: on usage errors (no ledger, empty
+    index) the result is None and ``error`` explains; otherwise
+    ``error`` is "".
+    """
+    ledger = PerfLedger(baseline_dir)
+    if not ledger.index_path.exists():
+        return None, (
+            f"no ledger index at {ledger.index_path} - record a baseline "
+            "first (repro perf record benchmarks/results/*.report.json "
+            f"--ledger {ledger.directory})"
+        )
+    entries = ledger.entries()
+    if not entries:
+        return None, f"ledger index {ledger.index_path} has no entries"
+    current_path = Path(current_dir)
+    result = PerfDiffResult(threshold=threshold)
+    for entry in entries:
+        baseline = ledger.baseline(entry.name)
+        if baseline is None:
+            result.missing.append(entry.name)
+            continue
+        candidate = current_path / f"{entry.name}.report.json"
+        if not candidate.exists():
+            result.missing.append(entry.name)
+            continue
+        current = RunReport.from_json(candidate)
+        result.rows.extend(
+            diff_reports(entry.name, baseline, current, threshold)
+        )
+    return result, ""

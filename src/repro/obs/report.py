@@ -24,14 +24,17 @@ Report JSON schema (version :data:`~repro.obs.events.SCHEMA_VERSION`)::
       "config": {...},               # PipelineConfig echo (or {})
       "corpus": {...},               # corpus stats (or {})
       "resilience": {...},           # degraded flag, checkpoint summary
-      "parallel": {...}              # executor echo: workers, chunk counts
+      "parallel": {...},             # executor echo: workers, chunk counts
+      "parallel_profile": {...}      # per-chunk overhead ledger (or {})
     }
 
-The ``resilience`` block (schema in ``docs/RESILIENCE.md``) and the
+The ``resilience`` block (schema in ``docs/RESILIENCE.md``), the
 ``parallel`` block (executor name, worker count, chunk/retry counts —
-schema in ``docs/PARALLELISM.md``) were added additively within schema
-version 1: old readers ignore them, old reports deserialize with empty
-blocks.
+schema in ``docs/PARALLELISM.md``) and the ``parallel_profile`` block
+(per-worker/per-chunk pickle bytes, queue-wait vs compute breakdown —
+schema in ``docs/OBSERVABILITY.md``, rendered by ``repro profile
+--timeline``) were added additively within schema version 1: old
+readers ignore them, old reports deserialize with empty blocks.
 """
 
 from __future__ import annotations
@@ -139,6 +142,7 @@ class RunReport:
     corpus: Dict[str, Any] = field(default_factory=dict)
     resilience: Dict[str, Any] = field(default_factory=dict)
     parallel: Dict[str, Any] = field(default_factory=dict)
+    parallel_profile: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def build(
@@ -148,6 +152,7 @@ class RunReport:
         corpus: Optional[Mapping[str, Any]] = None,
         resilience: Optional[Mapping[str, Any]] = None,
         parallel: Optional[Mapping[str, Any]] = None,
+        parallel_profile: Optional[Mapping[str, Any]] = None,
     ) -> "RunReport":
         """Snapshot an aggregator into a report (stages are copied)."""
         return cls(
@@ -164,6 +169,7 @@ class RunReport:
             corpus=dict(corpus or {}),
             resilience=dict(resilience or {}),
             parallel=dict(parallel or {}),
+            parallel_profile=dict(parallel_profile or {}),
         )
 
     # -- serialization -------------------------------------------------------
@@ -182,6 +188,7 @@ class RunReport:
             "corpus": self.corpus,
             "resilience": self.resilience,
             "parallel": self.parallel,
+            "parallel_profile": self.parallel_profile,
         }
 
     def to_json(self, path: Union[str, Path]) -> None:
@@ -208,6 +215,7 @@ class RunReport:
             corpus=dict(payload.get("corpus", {})),
             resilience=dict(payload.get("resilience", {})),
             parallel=dict(payload.get("parallel", {})),
+            parallel_profile=dict(payload.get("parallel_profile", {})),
         )
 
     @classmethod
@@ -245,6 +253,15 @@ class RunReport:
                 f"{workers} workers, "
                 f"{self.parallel.get('chunks', 0)} chunks "
                 f"({self.parallel.get('worker_retries', 0)} retried)"
+            )
+        profile_totals = self.parallel_profile.get("totals") or {}
+        if profile_totals:
+            accounted = float(profile_totals.get("accounted_fraction", 0.0))
+            lines.append(
+                "parallel profile: "
+                f"{profile_totals.get('dispatches', 0)} dispatches, "
+                f"{accounted:.0%} of dispatch wall attributed "
+                "(repro profile --timeline)"
             )
         if self.resilience.get("degraded"):
             lines.append(
@@ -294,3 +311,149 @@ class RunReport:
             for name in sorted(self.gauges):
                 lines.append(f"  {name.ljust(width)}  {self.gauges[name]:g}")
         return "\n".join(lines)
+
+    def format_timeline(self) -> str:
+        """Per-worker lane table + overhead-vs-compute summary.
+
+        Renders the additive ``parallel_profile`` block (``repro
+        profile --timeline``). Reports without the block — pre-profile
+        reports, serial runs, untraced runs — render a one-line notice
+        instead of failing, which is the forward-compatibility contract
+        ``tests/test_obs.py`` pins. Every field access tolerates
+        absence: a report written by a newer build with extra keys, or
+        an older one missing some, still renders.
+        """
+        profile = self.parallel_profile
+        if not profile or not profile.get("chunks"):
+            return (
+                "no parallel profile recorded - run traced with "
+                "--workers > 1 (the serial executor has no dispatch "
+                "overhead to attribute)"
+            )
+        lines: List[str] = [
+            f"parallel timeline ({profile.get('executor', '?')} executor, "
+            f"{profile.get('workers', '?')} workers, "
+            f"{len(profile.get('dispatches') or [])} dispatches)"
+        ]
+        if profile.get("profile_memory"):
+            lines.append(
+                "memory profiling: tracemalloc peaks recorded per chunk"
+            )
+        lines.append("")
+
+        lane_rows: List[List[str]] = []
+        for index, lane in enumerate(profile.get("lanes") or []):
+            name = f"w{index}"
+            if lane.get("role") == "parent":
+                name += " (parent)"
+            lane_rows.append(
+                [
+                    name,
+                    str(lane.get("worker", "")),
+                    str(lane.get("chunks", 0)),
+                    f"{float(lane.get('compute_seconds', 0.0)):.4f}",
+                    f"{float(lane.get('queue_seconds', 0.0)):.4f}",
+                    f"{float(lane.get('pickle_seconds', 0.0)):.4f}",
+                    _kib(lane.get("payload_bytes_in", 0)),
+                    _kib(lane.get("payload_bytes_out", 0)),
+                ]
+            )
+        lines.extend(
+            _render_table(
+                ["lane", "pid", "chunks", "compute s", "queue s",
+                 "pickle s", "in KiB", "out KiB"],
+                lane_rows,
+            )
+        )
+        lines.append(
+            "(lanes overlap in wall time when chunks run concurrently; "
+            "parent lanes are inline or crash-retried chunks)"
+        )
+        lines.append("")
+
+        dispatch_rows: List[List[str]] = []
+        for dispatch in profile.get("dispatches") or []:
+            dispatch_rows.append(
+                [
+                    f"{dispatch.get('label', '?')} "
+                    f"(#{dispatch.get('map_call', 0)})",
+                    str(dispatch.get("chunks", 0)),
+                    f"{float(dispatch.get('wall_seconds', 0.0)):.4f}",
+                    f"{float(dispatch.get('compute_seconds', 0.0)):.4f}",
+                    f"{float(dispatch.get('queue_seconds', 0.0)):.4f}",
+                    f"{float(dispatch.get('pickle_seconds', 0.0)):.4f}",
+                    _kib(dispatch.get("payload_bytes_in", 0)),
+                    f"{float(dispatch.get('accounted_fraction', 0.0)):.0%}",
+                ]
+            )
+        lines.extend(
+            _render_table(
+                ["dispatch", "chunks", "wall s", "compute s", "queue s",
+                 "pickle s", "in KiB", "accounted"],
+                dispatch_rows,
+            )
+        )
+        lines.append("")
+
+        totals = profile.get("totals") or {}
+        wall = float(totals.get("wall_seconds", 0.0))
+        compute = float(totals.get("compute_seconds", 0.0))
+        queue = float(totals.get("queue_seconds", 0.0))
+        pickle_s = float(totals.get("pickle_seconds", 0.0))
+
+        def share(seconds: float) -> str:
+            return f"{seconds / wall:6.1%} of wall" if wall > 0 else ""
+
+        lines.append("overhead vs compute:")
+        lines.append(f"  dispatch wall              {wall:.4f} s")
+        lines.append(
+            f"  worker compute             {compute:.4f} s  {share(compute)}"
+            .rstrip()
+        )
+        lines.append(
+            f"  pickle (payloads+results)  {pickle_s:.4f} s  "
+            f"{share(pickle_s)}".rstrip()
+        )
+        lines.append(
+            f"  queue wait                 {queue:.4f} s  {share(queue)}"
+            .rstrip()
+        )
+        peak = totals.get("tracemalloc_peak_bytes")
+        if peak is not None:
+            lines.append(
+                f"  tracemalloc peak           {_kib(peak)} KiB (max chunk)"
+            )
+        accounted = float(totals.get("accounted_fraction", 0.0))
+        lines.append(
+            f"accounting: {accounted:.1%} of dispatch wall attributed "
+            "parent-side (target >= 90%)"
+        )
+        return "\n".join(lines)
+
+
+def _kib(value: Any) -> str:
+    """Bytes rendered as KiB with one decimal (table-friendly)."""
+    try:
+        return f"{float(value) / 1024.0:.1f}"
+    except (TypeError, ValueError):
+        return "?"
+
+
+def _render_table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    """Left-justified fixed-width text table (header, rule, rows)."""
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows))
+        if rows
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+
+    def render(cells: List[str]) -> str:
+        return "  ".join(
+            cell.ljust(width) for cell, width in zip(cells, widths)
+        ).rstrip()
+
+    lines = [render(headers), render(["-" * width for width in widths])]
+    lines.extend(render(row) for row in rows)
+    return lines
+

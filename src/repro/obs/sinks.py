@@ -30,8 +30,17 @@ class Sink:
     def emit(self, event: Dict[str, Any]) -> None:
         raise NotImplementedError
 
+    def flush(self) -> None:
+        """Push buffered events to durable storage; safe to call anytime.
+
+        The tracer calls this when a span exits abnormally so a crash
+        (e.g. the chaos ``worker-crash`` scenario breaking the pool out
+        from under a dispatch) cannot strand the final events in a
+        userspace buffer.
+        """
+
     def close(self) -> None:
-        """Flush/release resources; further emits are undefined."""
+        """Flush/release resources; must be idempotent."""
 
 
 class NullSink(Sink):
@@ -56,8 +65,12 @@ class JsonlSink(Sink):
 
     Keys are serialized sorted so identical runs produce byte-identical
     lines modulo the timestamp fields. When constructed from a path the
-    sink owns (and closes) the handle; a caller-supplied handle is left
-    open on :meth:`close`.
+    sink owns (and closes) the handle; a caller-supplied handle is
+    flushed but left open on :meth:`close`. Events are written one full
+    line at a time and :meth:`flush` pushes them through the userspace
+    buffer, so an abnormal exit flushed by the tracer never truncates
+    the stream mid-line. ``close`` is idempotent — teardown paths that
+    race an exception handler can both call it safely.
     """
 
     def __init__(self, target: Union[str, Path, IO[str]]) -> None:
@@ -72,7 +85,13 @@ class JsonlSink(Sink):
             raise ValueError("sink is closed")
         self._handle.write(json.dumps(event, sort_keys=True) + "\n")
 
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
     def close(self) -> None:
-        if self._handle is not None and self._owns_handle:
-            self._handle.close()
+        if self._handle is not None:
+            self._handle.flush()
+            if self._owns_handle:
+                self._handle.close()
         self._handle = None

@@ -100,18 +100,30 @@ class Span:
     ) -> bool:
         tracer = self._tracer
         end = tracer.clock.now()
+        attrs = self.attrs
+        if exc_type is not None:
+            # An abnormal exit closes the span with the exception type
+            # attached, so a trace that ends in a traceback names the
+            # span that died and why.
+            attrs = dict(attrs)
+            attrs["error"] = exc_type.__name__
         event: Dict[str, Any] = {
             "event": SPAN_END,
             "name": self.name,
             "path": self.path,
             "depth": self.depth,
         }
-        if self.attrs:
-            event["attrs"] = self.attrs
+        if attrs:
+            event["attrs"] = attrs
         event["t"] = end
         event["duration"] = end - self._start
         tracer._emit(event)
         tracer._stack.pop()
+        if exc_type is not None:
+            # Flush before the exception propagates: the process may
+            # not live to reach Tracer.close().
+            for sink in tracer.sinks:
+                sink.flush()
         return False
 
 
@@ -155,6 +167,28 @@ class Tracer:
             self.aggregate.emit(event)
         for sink in self.sinks:
             sink.emit(event)
+
+    def absorb(self, event: Dict[str, Any]) -> None:
+        """Emit a pre-built event (e.g. a merged worker event) as our own.
+
+        The event is renumbered into this tracer's ``seq`` space and
+        fanned out to the aggregator and sinks like any native event;
+        the caller owns path/depth adjustment
+        (:func:`repro.obs.worker.merge_worker_events`).
+        """
+        if not self.enabled:
+            return
+        self._emit(event)
+
+    @property
+    def current_path(self) -> str:
+        """The ``/``-joined path of the currently open spans."""
+        return "/".join(self._stack)
+
+    @property
+    def current_depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
 
     # -- instrumentation API -------------------------------------------------
 

@@ -31,7 +31,11 @@ from repro.parallel.executor import (
     make_executor,
 )
 from repro.parallel.merge import max_merge_into, merge_scored_chunks
-from repro.parallel.work import classify_pair_chunk, score_pair_chunk
+from repro.parallel.work import (
+    classify_pair_chunk,
+    run_traced_chunk,
+    score_pair_chunk,
+)
 
 __all__ = [
     "AdversarialScheduleExecutor",
@@ -45,5 +49,6 @@ __all__ = [
     "max_merge_into",
     "merge_scored_chunks",
     "classify_pair_chunk",
+    "run_traced_chunk",
     "score_pair_chunk",
 ]

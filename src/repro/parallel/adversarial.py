@@ -24,7 +24,7 @@ actually reordered something.
 from __future__ import annotations
 
 import random
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.contracts import deterministic
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -58,6 +58,18 @@ class AdversarialScheduleExecutor(Executor):
         self.schedule_seed = schedule_seed
         #: One entry per dispatch: the execution-order permutation used.
         self.schedule_log: List[List[int]] = []
+
+    def to_echo(self) -> Dict[str, Any]:
+        """Report echo with the schedule seed, so a sanitize run's
+        report says which hostile permutation it survived. Echoes are
+        measurement output only — the seed never reaches configs or
+        checkpoint fingerprints (reprolint RL205), and
+        ``profile_echo()`` stays ``{}``: an in-process executor has no
+        pickle/queue overhead to attribute.
+        """
+        echo = super().to_echo()
+        echo["schedule_seed"] = self.schedule_seed
+        return echo
 
     @deterministic
     def map_chunks(

@@ -29,14 +29,24 @@ returned, and the merged output is unchanged.
 from __future__ import annotations
 
 import abc
+import os
+import pickle
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.contracts import deterministic, impure
+from repro.obs.clock import Clock
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.obs.worker import (
+    ChunkProfile,
+    DispatchProfile,
+    ParallelProfile,
+    merge_worker_events,
+)
 from repro.parallel.chunking import fixed_chunks, partition_evenly
+from repro.parallel.work import run_traced_chunk
 from repro.resilience.faults import WorkerCrashPlan, kill_current_worker
 
 __all__ = [
@@ -121,6 +131,18 @@ class Executor(abc.ABC):
         echo.update(self.stats.to_echo())
         return echo
 
+    def profile_echo(self) -> Dict[str, Any]:
+        """The additive ``parallel_profile`` report block.
+
+        ``{}`` unless this executor recorded per-chunk overhead (only
+        traced :class:`MultiprocessExecutor` dispatches do), so serial
+        and untraced reports keep their previous shape. Like
+        :meth:`to_echo` this is measurement, not configuration — it
+        never reaches config echoes or checkpoint fingerprints
+        (reprolint RL205).
+        """
+        return {}
+
     @abc.abstractmethod
     def map_chunks(
         self,
@@ -160,11 +182,20 @@ class SerialExecutor(Executor):
 class MultiprocessExecutor(Executor):
     """ProcessPoolExecutor-backed dispatch with deterministic crash retry.
 
-    Workers cannot reach the parent tracer, so per-chunk timing stays
-    parent-side: one ``label`` span wraps the whole dispatch and the
-    stats record chunk counts. Chunk *results* are collected in
-    submission order, so completion order — the one thing the OS
-    scheduler controls — never reaches a caller.
+    Chunk *results* are collected in submission order, so completion
+    order — the one thing the OS scheduler controls — never reaches a
+    caller. With a disabled tracer (the default) workers run the bare
+    chunk function and one ``label`` span worth of stats is all the
+    parent records. With tracing enabled the dispatch goes through
+    :meth:`_map_chunks_traced`: each chunk runs under a
+    :class:`~repro.obs.worker.WorkerTracer` whose buffered events ship
+    back with the result and merge into the parent trace keyed by chunk
+    index, while the executor's :class:`~repro.obs.worker.
+    ParallelProfile` ledger records per-chunk pickle bytes/time, queue
+    wait vs compute, and (with ``profile_memory``) tracemalloc peaks.
+    Both paths run the same module-level chunk function on the same
+    payloads, so traced output is byte-identical to untraced
+    (``tests/test_worker_trace.py``).
 
     ``worker_fault`` is the chaos hook: when the targeted chunk comes
     up, :func:`~repro.resilience.faults.kill_current_worker` is
@@ -179,9 +210,12 @@ class MultiprocessExecutor(Executor):
         workers: int,
         chunk_size: Optional[int] = None,
         worker_fault: Optional[WorkerCrashPlan] = None,
+        profile_memory: bool = False,
     ) -> None:
         super().__init__(workers, chunk_size)
         self.worker_fault = worker_fault
+        self.profile_memory = profile_memory
+        self.profile = ParallelProfile()
 
     @impure(
         reason="spawns OS worker processes whose completion order is "
@@ -204,6 +238,10 @@ class MultiprocessExecutor(Executor):
         stats.chunks += len(work)
         if not work:
             return []
+        if tracer.enabled:
+            return self._map_chunks_traced(
+                func, work, tracer, label, call_index
+            )
         if len(work) == 1 and self.worker_fault is None:
             # One chunk gains nothing from a pool; skip the process cost.
             stats.inline_chunks += 1
@@ -245,11 +283,229 @@ class MultiprocessExecutor(Executor):
                 tracer.count("parallel.worker_retries", len(failed))
         return [results[index] for index in range(len(work))]
 
+    @impure(
+        reason="measures scheduler-dependent queue wait and worker pids; "
+               "chunk results and merged trace content stay schedule-"
+               "independent (submission-order collection, chunk-index-"
+               "keyed trace merge)"
+    )
+    def _map_chunks_traced(
+        self,
+        func: ChunkFunc,
+        work: List[Any],
+        tracer: Tracer,
+        label: str,
+        call_index: int,
+    ) -> List[Any]:
+        """Traced dispatch: explicit pickling + worker-trace round trip.
+
+        The parent pickles payloads itself — instead of letting the
+        pool do it invisibly — so payload bytes and serialize time are
+        measurable; workers run :func:`run_traced_chunk`, which ships
+        back ``(result pickle, trace buffer)``; the parent unpickles
+        results (measured), derives per-chunk queue wait from done-
+        callback completion stamps, merges worker events keyed by chunk
+        index, and records a :class:`DispatchProfile`. The parent-side
+        buckets (serialize/submit/collect/teardown/retry/deserialize/
+        merge) partition the dispatch span's wall time, which is what
+        keeps ``accounted_fraction`` >= 0.9.
+        """
+        clock = tracer.clock
+        stats = self.stats
+        count = len(work)
+        inline = count == 1 and self.worker_fault is None
+        wrapped: Dict[int, Tuple[bytes, Dict[str, Any]]] = {}
+        submitted_at: List[float] = [0.0] * count
+        completed_at: Dict[int, float] = {}
+        failed: List[int] = []
+        submit_seconds = collect_seconds = 0.0
+        teardown_seconds = retry_seconds = 0.0
+        with tracer.span(label, executor=self.name, chunks=count):
+            wall_start = clock.now()
+            chunk_serialize: List[float] = []
+            blobs: List[bytes] = []
+            for payload in work:
+                t0 = clock.now()
+                blobs.append(
+                    pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+                chunk_serialize.append(clock.now() - t0)
+            if inline:
+                stats.inline_chunks += 1
+                submitted_at[0] = clock.now()
+                wrapped[0] = run_traced_chunk(
+                    (func, 0, blobs[0], self.profile_memory)
+                )
+                completed_at[0] = clock.now()
+                collect_seconds = completed_at[0] - submitted_at[0]
+            else:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.workers, count)
+                )
+                try:
+                    t0 = clock.now()
+                    futures: List["Future[Any]"] = []
+                    for index, blob in enumerate(blobs):
+                        fault = self.worker_fault
+                        submitted_at[index] = clock.now()
+                        if fault is not None and fault.should_kill(
+                            call_index, index
+                        ):
+                            stats.kills_armed += 1
+                            future = pool.submit(kill_current_worker)
+                        else:
+                            future = pool.submit(
+                                run_traced_chunk,
+                                (func, index, blob, self.profile_memory),
+                            )
+                        future.add_done_callback(
+                            _completion_marker(completed_at, index, clock)
+                        )
+                        futures.append(future)
+                    submit_seconds = clock.now() - t0
+                    for index in range(count):
+                        t0 = clock.now()
+                        try:
+                            wrapped[index] = futures[index].result()
+                        except BrokenProcessPool:
+                            # Same contract as the untraced path: only
+                            # a dead worker is retried; real exceptions
+                            # from ``func`` propagate unchanged.
+                            failed.append(index)
+                        collect_seconds += clock.now() - t0
+                finally:
+                    t0 = clock.now()
+                    pool.shutdown(wait=True)
+                    teardown_seconds = clock.now() - t0
+                stats.worker_chunks += count - len(failed)
+                t0 = clock.now()
+                for index in failed:
+                    # Deterministic retry, still traced: the in-process
+                    # rerun produces the same result bytes and a trace
+                    # attributed to the parent pid.
+                    wrapped[index] = run_traced_chunk(
+                        (func, index, blobs[index], self.profile_memory)
+                    )
+                    completed_at[index] = clock.now()
+                    stats.worker_retries += 1
+                retry_seconds = clock.now() - t0
+
+            deserialize_seconds = 0.0
+            results: List[Any] = []
+            profiles: List[ChunkProfile] = []
+            traces: List[Dict[str, Any]] = []
+            for index in range(count):
+                result_blob, trace = wrapped[index]
+                t0 = clock.now()
+                results.append(pickle.loads(result_blob))
+                result_deserialize = clock.now() - t0
+                deserialize_seconds += result_deserialize
+                traces.append(trace)
+                done = completed_at.get(index, submitted_at[index])
+                round_trip = max(0.0, done - submitted_at[index])
+                worker_seconds = float(trace.get("worker_seconds", 0.0))
+                peak = trace.get("tracemalloc_peak_bytes")
+                profiles.append(
+                    ChunkProfile(
+                        chunk=index,
+                        worker=int(trace.get("pid", 0)),
+                        inline=inline,
+                        retried=index in failed,
+                        payload_bytes_in=len(blobs[index]),
+                        payload_bytes_out=len(result_blob),
+                        serialize_seconds=chunk_serialize[index],
+                        deserialize_seconds=float(
+                            trace.get("deserialize_seconds", 0.0)
+                        ),
+                        compute_seconds=float(
+                            trace.get("compute_seconds", 0.0)
+                        ),
+                        result_serialize_seconds=float(
+                            trace.get("serialize_seconds", 0.0)
+                        ),
+                        result_deserialize_seconds=result_deserialize,
+                        queue_seconds=max(0.0, round_trip - worker_seconds),
+                        round_trip_seconds=round_trip,
+                        tracemalloc_peak_bytes=(
+                            int(peak) if peak is not None else None
+                        ),
+                    )
+                )
+            t0 = clock.now()
+            merge_worker_events(tracer, traces)
+            merge_seconds = clock.now() - t0
+            tracer.count("parallel.chunks", count)
+            tracer.count(
+                "parallel.payload_bytes_in", sum(len(b) for b in blobs)
+            )
+            tracer.count(
+                "parallel.payload_bytes_out",
+                sum(p.payload_bytes_out for p in profiles),
+            )
+            if failed:
+                tracer.count("parallel.worker_retries", len(failed))
+            peaks = [
+                p.tracemalloc_peak_bytes
+                for p in profiles
+                if p.tracemalloc_peak_bytes is not None
+            ]
+            if peaks:
+                tracer.gauge(
+                    "parallel.tracemalloc_peak_bytes", float(max(peaks))
+                )
+            wall_seconds = clock.now() - wall_start
+        self.profile.add(
+            DispatchProfile(
+                label=label,
+                map_call=call_index,
+                wall_seconds=wall_seconds,
+                serialize_seconds=sum(chunk_serialize),
+                submit_seconds=submit_seconds,
+                collect_seconds=collect_seconds,
+                teardown_seconds=teardown_seconds,
+                retry_seconds=retry_seconds,
+                deserialize_seconds=deserialize_seconds,
+                merge_seconds=merge_seconds,
+                chunks=profiles,
+            )
+        )
+        return results
+
+    def profile_echo(self) -> Dict[str, Any]:
+        return self.profile.to_block(
+            executor=self.name,
+            workers=self.workers,
+            parent_pid=os.getpid(),
+            profile_memory=self.profile_memory,
+        )
+
+
+def _completion_marker(
+    completed_at: Dict[int, float], index: int, clock: Clock
+) -> Callable[["Future[Any]"], None]:
+    """A done-callback stamping when a chunk's future settled.
+
+    Fires on the pool's callback thread the instant the future
+    completes — before the parent thread unblocks from ``result()`` on
+    an *earlier* chunk — so per-chunk queue wait is not inflated by the
+    parent's submission-order collection. Dict assignment is atomic
+    under the GIL; distinct chunks write distinct keys.
+    """
+
+    def mark(_future: "Future[Any]") -> None:
+        completed_at[index] = clock.now()
+
+    return mark
+
 
 def make_executor(
-    workers: int, chunk_size: Optional[int] = None
+    workers: int,
+    chunk_size: Optional[int] = None,
+    profile_memory: bool = False,
 ) -> Executor:
     """The executor for a ``--workers N`` request (serial when N <= 1)."""
     if workers <= 1:
         return SerialExecutor(chunk_size=chunk_size)
-    return MultiprocessExecutor(workers, chunk_size=chunk_size)
+    return MultiprocessExecutor(
+        workers, chunk_size=chunk_size, profile_memory=profile_memory
+    )

@@ -12,9 +12,27 @@ pairs touch), keeping pickling cost proportional to the chunk.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
+import pickle
+import tracemalloc
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Tuple,
+)
 
-from repro.contracts import fork_safe, picklable_work, pure
+from repro.contracts import fork_safe, impure, picklable_work, pure
+from repro.obs.worker import (
+    WORKER_CHUNK_SPAN,
+    WORKER_COMPUTE_SPAN,
+    WORKER_DESERIALIZE_SPAN,
+    WORKER_SERIALIZE_SPAN,
+    WorkerTracer,
+)
 from repro.similarity.features import extract_features
 
 if TYPE_CHECKING:
@@ -23,9 +41,12 @@ if TYPE_CHECKING:
     from repro.records.dataset import Dataset
     from repro.records.itembag import Item
 
-__all__ = ["score_pair_chunk", "classify_pair_chunk"]
+__all__ = ["score_pair_chunk", "classify_pair_chunk", "run_traced_chunk"]
 
 Pair = Tuple[int, int]
+
+#: (chunk function, chunk index, pickled chunk payload, profile memory?)
+TracedChunk = Tuple[Callable[[Any], Any], int, bytes, bool]
 
 #: (scorer, item bags restricted to the chunk's records, pairs to score)
 ScoreChunk = Tuple["BlockScorer", Dict[int, FrozenSet["Item"]], List[Pair]]
@@ -68,3 +89,49 @@ def classify_pair_chunk(payload: ClassifyChunk) -> List[Tuple[Pair, float]]:
         vector = extract_features(dataset[a], dataset[b], names=feature_names)
         scored.append(((a, b), model.score(vector)))
     return scored
+
+
+@picklable_work
+@fork_safe
+@impure(
+    reason="reads the worker clock and pid to attribute per-chunk time; "
+           "the wrapped chunk function stays pure, so the unpickled "
+           "result is identical to the untraced path's"
+)
+def run_traced_chunk(payload: TracedChunk) -> Tuple[bytes, Dict[str, Any]]:
+    """Run one chunk under a :class:`WorkerTracer`; ship trace + result.
+
+    The traced executor pickles the chunk payload itself (measuring
+    bytes and serialize time parent-side), so this wrapper receives raw
+    bytes: it times the unpickle, runs the *same* module-level chunk
+    function the untraced path runs under a ``worker.compute`` span —
+    optionally under ``tracemalloc`` — and times the result pickle.
+    Returns ``(result pickle, worker-trace payload)``; the parent
+    unpickles the result (measuring that too) and merges the trace
+    keyed by chunk index. Runs identically in a pool worker, inline,
+    or in a crash retry — only the pid in the trace differs.
+    """
+    func, chunk_index, blob, profile_memory = payload
+    tracer = WorkerTracer()
+    peak: Optional[int] = None
+    with tracer.span(WORKER_CHUNK_SPAN, chunk=chunk_index):
+        with tracer.span(WORKER_DESERIALIZE_SPAN):
+            chunk_payload = pickle.loads(blob)
+        if profile_memory:
+            tracemalloc.start()
+        try:
+            with tracer.span(WORKER_COMPUTE_SPAN):
+                result = func(chunk_payload)
+        finally:
+            if profile_memory:
+                peak = tracemalloc.get_traced_memory()[1]
+                tracemalloc.stop()
+        with tracer.span(WORKER_SERIALIZE_SPAN):
+            result_blob = pickle.dumps(
+                result, protocol=pickle.HIGHEST_PROTOCOL
+            )
+    return result_blob, tracer.export(
+        chunk_index,
+        result_bytes=len(result_blob),
+        tracemalloc_peak_bytes=peak,
+    )

@@ -23,6 +23,7 @@ from repro.obs import (
     RunReport,
     Tracer,
     strip_timestamps,
+    strip_volatile,
 )
 from repro.version import repro_version
 
@@ -122,6 +123,36 @@ class TestTracer:
         assert sink.events[-1]["event"] == "span_end"
         assert tracer._stack == []  # stack unwound
 
+    def test_error_span_records_exception_type(self):
+        sink = InMemorySink()
+        tracer = Tracer(clock=ManualClock(tick=1.0), sinks=[sink])
+        with pytest.raises(KeyError):
+            with tracer.span("doomed", minsup=3):
+                raise KeyError("gone")
+        end = sink.events[-1]
+        assert end["event"] == "span_end"
+        assert end["attrs"] == {"minsup": 3, "error": "KeyError"}
+        # A clean exit of the same span carries no error attr.
+        with tracer.span("fine", minsup=3):
+            pass
+        assert sink.events[-1]["attrs"] == {"minsup": 3}
+
+    def test_error_span_flushes_jsonl_sink(self, tmp_path):
+        # The crash-forensics contract: everything emitted up to and
+        # including the failing span_end is on disk before the
+        # exception propagates, even though the sink is never closed.
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        tracer = Tracer(clock=ManualClock(tick=1.0), sinks=[sink])
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("doomed"):
+                    raise RuntimeError("boom")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        ends = [e for e in lines if e["event"] == "span_end"]
+        assert [e["name"] for e in ends] == ["doomed", "outer"]
+        assert all(e["attrs"]["error"] == "RuntimeError" for e in ends)
+
     def test_durations_from_injected_clock(self):
         tracer = Tracer(clock=ManualClock(tick=1.0))
         with tracer.span("a"):
@@ -168,9 +199,59 @@ class TestSinks:
             sink.close()
             assert not handle.closed
 
+    def test_jsonl_sink_flush_makes_lines_visible(self, tmp_path):
+        # Flush is the abnormal-exit story: events written so far must
+        # reach disk without closing the sink.
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"a": 1})
+        sink.flush()
+        assert path.read_text() == '{"a": 1}\n'
+        sink.emit({"b": 2})
+        sink.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_jsonl_sink_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.emit({"a": 1})
+        sink.close()
+        sink.close()  # second close must be a no-op, not an error
+
+    def test_jsonl_sink_flush_after_close_is_noop(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.flush()
+
+    def test_jsonl_sink_close_flushes_foreign_handle(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with open(path, "w") as handle:
+            sink = JsonlSink(handle)
+            sink.emit({"a": 1})
+            sink.close()
+            # Left open for the caller, but flushed: the line is on disk.
+            assert not handle.closed
+            assert path.read_text() == '{"a": 1}\n'
+
+    def test_base_sink_flush_is_a_noop(self):
+        NullSink().flush()
+
     def test_strip_timestamps(self):
         event = {"event": "span_end", "t": 1.5, "duration": 0.5, "name": "x"}
         assert strip_timestamps(event) == {"event": "span_end", "name": "x"}
+
+    def test_strip_volatile_removes_schedule_attrs(self):
+        event = {
+            "event": "span_end", "t": 1.5, "duration": 0.5, "name": "x",
+            "attrs": {"worker": 1234, "chunk": 2},
+        }
+        assert strip_volatile(event) == {
+            "event": "span_end", "name": "x", "attrs": {"chunk": 2},
+        }
+
+    def test_strip_volatile_drops_empty_attrs(self):
+        event = {"event": "span_start", "name": "x",
+                 "attrs": {"worker": 99}}
+        assert strip_volatile(event) == {"event": "span_start", "name": "x"}
 
 
 class TestAggregator:
@@ -240,7 +321,7 @@ class TestRunReport:
         assert set(payload) == {
             "schema", "version", "total_seconds", "stages",
             "counters", "gauges", "config", "corpus", "resilience",
-            "parallel",
+            "parallel", "parallel_profile",
         }
 
     def test_format_table_lists_stages_and_counters(self):
@@ -250,6 +331,82 @@ class TestRunReport:
         assert "things" in text
         assert "total" in text
         assert repro_version() in text
+
+    # -- forward compatibility: parallel_profile is additive in v1 ----------
+
+    def _legacy_payload(self):
+        """A report JSON as written before the parallel_profile block."""
+        payload = self._traced_report().to_dict()
+        del payload["parallel_profile"]
+        return payload
+
+    def test_legacy_payload_without_profile_loads(self):
+        report = RunReport.from_dict(self._legacy_payload())
+        assert report.parallel_profile == {}
+        assert report.schema_version == SCHEMA_VERSION
+
+    def test_legacy_payload_renders_table_and_timeline(self):
+        # Old reports must keep rendering: the table without a profile
+        # line, the timeline as a notice — never a KeyError.
+        report = RunReport.from_dict(self._legacy_payload())
+        table = report.format_table()
+        assert "stage.one" in table
+        assert "parallel profile:" not in table
+        timeline = report.format_timeline()
+        assert "no parallel profile recorded" in timeline
+
+    def test_report_with_profile_round_trips(self, tmp_path):
+        profile = {
+            "executor": "multiprocess",
+            "workers": 2,
+            "parent_pid": 100,
+            "profile_memory": False,
+            "dispatches": [{
+                "label": "parallel.map", "map_call": 0, "chunks": 1,
+                "wall_seconds": 1.0, "compute_seconds": 0.6,
+                "queue_seconds": 0.2, "pickle_seconds": 0.1,
+                "payload_bytes_in": 2048, "accounted_fraction": 0.95,
+            }],
+            "chunks": [{
+                "chunk": 0, "worker": 101, "compute_seconds": 0.6,
+            }],
+            "lanes": [{
+                "worker": 101, "role": "worker", "chunks": 1,
+                "compute_seconds": 0.6, "queue_seconds": 0.2,
+                "pickle_seconds": 0.1, "payload_bytes_in": 2048,
+                "payload_bytes_out": 512,
+            }],
+            "totals": {
+                "dispatches": 1, "chunks": 1, "wall_seconds": 1.0,
+                "compute_seconds": 0.6, "queue_seconds": 0.2,
+                "pickle_seconds": 0.1, "accounted_seconds": 0.95,
+                "accounted_fraction": 0.95,
+                "tracemalloc_peak_bytes": None,
+            },
+        }
+        payload = self._traced_report().to_dict()
+        payload["parallel_profile"] = profile
+        path = tmp_path / "profiled.report.json"
+        path.write_text(json.dumps(payload))
+        loaded = RunReport.from_json(path)
+        assert loaded.parallel_profile == profile
+        assert "parallel profile: 1 dispatches" in loaded.format_table()
+        timeline = loaded.format_timeline()
+        assert "parallel timeline" in timeline
+        assert "accounting: 95.0%" in timeline
+
+    def test_timeline_tolerates_sparse_profile_keys(self):
+        # A block from a different build missing optional keys must
+        # still render — every access is defensive.
+        report = RunReport.from_dict(self._legacy_payload())
+        report.parallel_profile = {
+            "chunks": [{"chunk": 0}],
+            "lanes": [{}],
+            "dispatches": [{}],
+        }
+        timeline = report.format_timeline()
+        assert "parallel timeline" in timeline
+        assert "accounting:" in timeline
 
 
 class TestPipelineInstrumentation:
@@ -370,6 +527,26 @@ class TestCliObservability:
         assert "mfiblocks.minsup" in output
         assert "counters:" in output
         assert "total" in output
+
+    def test_profile_timeline_serial_prints_notice(self, corpus_path,
+                                                   capsys):
+        assert cli_main([
+            "profile", str(corpus_path), "--ng", "3.0",
+            "--max-minsup", "4", "--timeline",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "no parallel profile recorded" in output
+
+    def test_profile_timeline_parallel_prints_lanes(self, corpus_path,
+                                                    capsys):
+        assert cli_main([
+            "profile", str(corpus_path), "--ng", "3.0",
+            "--max-minsup", "4", "--workers", "2", "--timeline",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "parallel timeline" in output
+        assert "overhead vs compute" in output
+        assert "accounting:" in output
 
     def test_profile_writes_report_and_trace(self, corpus_path, tmp_path,
                                              capsys):

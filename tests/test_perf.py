@@ -1,0 +1,447 @@
+"""The perf-regression ledger: record, diff, verdicts, and the CLI.
+
+Pins the contracts in :mod:`repro.obs.perf` (docs/OBSERVABILITY.md):
+
+* a ledger is byte-stable on re-record of identical reports (no
+  timestamps — the repo-wide wall-clock ban extends to tooling);
+* timing diffs are ratio-based with a noise floor, counters compare
+  exactly (drift is its own failure class), and ``parallel.*``
+  measurement counters are exempt;
+* ``repro perf diff`` is warn-only by default and ``--strict`` turns a
+  regression verdict into exit 1 — mirroring ``--assert-speedup``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs import RunReport, StageStats
+from repro.obs.perf import (
+    DEFAULT_THRESHOLD,
+    LEDGER_SCHEMA,
+    MIN_SECONDS,
+    LedgerEntry,
+    PerfLedger,
+    diff_reports,
+    run_diff,
+)
+from repro.version import repro_version
+
+
+def _report(
+    total=1.0,
+    stages=None,
+    counters=None,
+    parallel=None,
+):
+    """A hand-built report: deterministic, no tracer needed."""
+    stage_rows = [
+        StageStats(name=name, path=path, depth=depth, calls=1,
+                   total_seconds=seconds)
+        for name, path, depth, seconds in (
+            stages
+            or [("pipeline.run", "pipeline.run", 1, total),
+                ("pipeline.block", "pipeline.run/pipeline.block", 2,
+                 total / 2)]
+        )
+    ]
+    return RunReport(
+        version=repro_version(),
+        schema_version=1,
+        total_seconds=total,
+        stages=stage_rows,
+        counters=dict(
+            counters if counters is not None else {"pipeline.records": 50}
+        ),
+        parallel=dict(parallel or {}),
+    )
+
+
+def _write(report, path):
+    report.to_json(path)
+    return path
+
+
+@pytest.fixture()
+def ledger(tmp_path):
+    return PerfLedger(tmp_path / "baselines")
+
+
+# -- ledger persistence -------------------------------------------------------
+
+
+class TestPerfLedger:
+    def test_fresh_ledger_is_empty(self, ledger):
+        assert ledger.entries() == []
+        assert ledger.baseline("anything") is None
+
+    def test_record_round_trips_reports(self, ledger, tmp_path):
+        source = _write(_report(total=2.0), tmp_path / "bench.report.json")
+        [entry] = ledger.record([source], note="first")
+        assert entry.name == "bench"
+        assert entry.file == "bench.report.json"
+        assert entry.note == "first"
+        assert entry.repro_version == repro_version()
+        loaded = ledger.baseline("bench")
+        assert loaded is not None
+        assert loaded.total_seconds == pytest.approx(2.0)
+        assert [e.name for e in ledger.entries()] == ["bench"]
+
+    def test_record_strips_report_suffix_only_once(self, ledger, tmp_path):
+        source = _write(_report(), tmp_path / "plain.json")
+        [entry] = ledger.record([source])
+        assert entry.name == "plain"
+        assert entry.file == "plain.report.json"
+
+    def test_rerecord_replaces_same_name(self, ledger, tmp_path):
+        source = _write(_report(total=1.0), tmp_path / "b.report.json")
+        ledger.record([source], note="v1")
+        _write(_report(total=9.0), source)
+        ledger.record([source], note="v2")
+        entries = ledger.entries()
+        assert len(entries) == 1
+        assert entries[0].note == "v2"
+        assert ledger.baseline("b").total_seconds == pytest.approx(9.0)
+
+    def test_rerecord_identical_reports_is_byte_stable(
+        self, ledger, tmp_path
+    ):
+        # No timestamps anywhere: committing a refreshed baseline from
+        # unchanged results must not churn a single byte.
+        source = _write(_report(), tmp_path / "stable.report.json")
+        ledger.record([source], note="pin")
+        first = {
+            path.name: path.read_bytes()
+            for path in ledger.directory.iterdir()
+        }
+        ledger.record([source], note="pin")
+        second = {
+            path.name: path.read_bytes()
+            for path in ledger.directory.iterdir()
+        }
+        assert first == second
+
+    def test_index_schema(self, ledger, tmp_path):
+        ledger.record([_write(_report(), tmp_path / "a.report.json")])
+        payload = json.loads(ledger.index_path.read_text())
+        assert payload["schema"] == LEDGER_SCHEMA
+        assert payload["recorded_with"] == repro_version()
+        assert [e["name"] for e in payload["entries"]] == ["a"]
+
+    def test_entry_round_trip(self):
+        entry = LedgerEntry(
+            name="n", file="n.report.json", repro_version="1.0", note="x"
+        )
+        assert LedgerEntry.from_dict(entry.to_dict()) == entry
+
+
+# -- metric diffs -------------------------------------------------------------
+
+
+class TestDiffReports:
+    def test_identical_reports_are_ok(self):
+        rows = diff_reports("r", _report(), _report())
+        assert rows
+        assert all(row.status == "ok" for row in rows)
+
+    def test_regression_flagged_above_threshold(self):
+        rows = diff_reports(
+            "r", _report(total=1.0), _report(total=1.5), threshold=0.25
+        )
+        total = next(r for r in rows if r.metric == "total_seconds")
+        assert total.status == "regression"
+        assert total.ratio == pytest.approx(1.5)
+        assert total.direction == "lower-better"
+
+    def test_improvement_flagged_below_threshold(self):
+        rows = diff_reports(
+            "r", _report(total=1.0), _report(total=0.5), threshold=0.25
+        )
+        total = next(r for r in rows if r.metric == "total_seconds")
+        assert total.status == "improved"
+
+    def test_within_threshold_is_ok(self):
+        rows = diff_reports(
+            "r", _report(total=1.0), _report(total=1.2), threshold=0.25
+        )
+        total = next(r for r in rows if r.metric == "total_seconds")
+        assert total.status == "ok"
+
+    def test_noise_floor_suppresses_tiny_timings(self):
+        # 10x slower but both sides under MIN_SECONDS: scheduler noise.
+        fast = MIN_SECONDS / 100
+        rows = diff_reports(
+            "r", _report(total=fast), _report(total=fast * 10)
+        )
+        total = next(r for r in rows if r.metric == "total_seconds")
+        assert total.status == "ok"
+
+    def test_stage_rows_compared_to_depth_two_only(self):
+        stages = [
+            ("a", "a", 1, 1.0),
+            ("b", "a/b", 2, 0.5),
+            ("c", "a/b/c", 3, 0.25),
+        ]
+        rows = diff_reports(
+            "r", _report(stages=stages), _report(stages=stages)
+        )
+        metrics = {row.metric for row in rows}
+        assert "stage:a" in metrics
+        assert "stage:a/b" in metrics
+        assert "stage:a/b/c" not in metrics
+
+    def test_missing_current_stage_is_skipped(self):
+        base = _report(stages=[("a", "a", 1, 1.0), ("b", "b", 1, 1.0)])
+        cur = _report(stages=[("a", "a", 1, 1.0)])
+        metrics = {row.metric for row in diff_reports("r", base, cur)}
+        assert "stage:b" not in metrics
+
+    def test_counter_drift_is_flagged(self):
+        rows = diff_reports(
+            "r",
+            _report(counters={"pipeline.records": 50}),
+            _report(counters={"pipeline.records": 60}),
+        )
+        drift = next(r for r in rows if r.metric.startswith("counter:"))
+        assert drift.status == "drift"
+        assert drift.direction == "exact"
+
+    def test_missing_counter_reports_minus_one(self):
+        rows = diff_reports(
+            "r",
+            _report(counters={"pipeline.records": 50}),
+            _report(counters={}),
+        )
+        drift = next(r for r in rows if r.metric.startswith("counter:"))
+        assert drift.status == "drift"
+        assert drift.current == -1
+
+    def test_measurement_counters_exempt_from_drift(self):
+        rows = diff_reports(
+            "r",
+            _report(counters={"parallel.payload_bytes_in": 1000}),
+            _report(counters={"parallel.payload_bytes_in": 9999}),
+        )
+        assert not any(r.metric.startswith("counter:parallel") for r in rows)
+
+    def test_parallel_wall_and_speedup_compared(self):
+        base = _report(parallel={
+            "wall_seconds": 1.0, "speedup_vs_serial": 2.0,
+        })
+        cur = _report(parallel={
+            "wall_seconds": 2.0, "speedup_vs_serial": 1.0,
+        })
+        rows = {r.metric: r for r in diff_reports("r", base, cur)}
+        assert rows["parallel.wall_seconds"].status == "regression"
+        # Speedup halved: for a higher-is-better metric that regresses.
+        speedup = rows["parallel.speedup_vs_serial"]
+        assert speedup.status == "regression"
+        assert speedup.direction == "higher-better"
+
+    def test_speedup_improvement(self):
+        base = _report(parallel={"speedup_vs_serial": 1.0})
+        cur = _report(parallel={"speedup_vs_serial": 2.0})
+        rows = {r.metric: r for r in diff_reports("r", base, cur)}
+        assert rows["parallel.speedup_vs_serial"].status == "improved"
+
+    def test_null_speedup_skipped(self):
+        base = _report(parallel={"speedup_vs_serial": None})
+        cur = _report(parallel={"speedup_vs_serial": 2.0})
+        metrics = {r.metric for r in diff_reports("r", base, cur)}
+        assert "parallel.speedup_vs_serial" not in metrics
+
+
+# -- directory diff + verdicts ------------------------------------------------
+
+
+class TestRunDiff:
+    def _populate(self, tmp_path, baseline_total=1.0, current_total=1.0):
+        baselines = tmp_path / "baselines"
+        results = tmp_path / "results"
+        results.mkdir()
+        source = _write(
+            _report(total=baseline_total), tmp_path / "bench.report.json"
+        )
+        PerfLedger(baselines).record([source])
+        _write(_report(total=current_total), results / "bench.report.json")
+        return baselines, results
+
+    def test_no_ledger_is_a_usage_error(self, tmp_path):
+        result, error = run_diff(tmp_path / "nope", tmp_path)
+        assert result is None
+        assert "no ledger index" in error
+
+    def test_empty_index_is_a_usage_error(self, tmp_path):
+        directory = tmp_path / "baselines"
+        directory.mkdir()
+        (directory / "ledger.json").write_text('{"entries": []}')
+        result, error = run_diff(directory, tmp_path)
+        assert result is None
+        assert "no entries" in error
+
+    def test_ok_verdict(self, tmp_path):
+        baselines, results = self._populate(tmp_path)
+        result, error = run_diff(baselines, results)
+        assert error == ""
+        assert result.verdict == "ok"
+        assert result.regressions == []
+        assert "all" in result.format_table()
+        assert "verdict: ok" in result.format_table()
+
+    def test_regression_verdict_and_table(self, tmp_path):
+        baselines, results = self._populate(
+            tmp_path, baseline_total=1.0, current_total=2.0
+        )
+        result, _error = run_diff(baselines, results, threshold=0.25)
+        assert result.verdict == "regression"
+        table = result.format_table()
+        assert "REGRESSION" in table
+        assert "verdict: regression" in table
+
+    def test_missing_current_report_is_a_regression(self, tmp_path):
+        baselines, results = self._populate(tmp_path)
+        (results / "bench.report.json").unlink()
+        result, _error = run_diff(baselines, results)
+        assert result.missing == ["bench"]
+        assert result.verdict == "regression"
+        assert "MISSING" in result.format_table()
+
+    def test_json_verdict_schema(self, tmp_path):
+        baselines, results = self._populate(
+            tmp_path, baseline_total=1.0, current_total=2.0
+        )
+        result, _error = run_diff(baselines, results)
+        payload = result.to_dict()
+        assert payload["schema"] == LEDGER_SCHEMA
+        assert payload["threshold"] == pytest.approx(DEFAULT_THRESHOLD)
+        assert payload["verdict"] == "regression"
+        assert payload["regressions"]
+        row = payload["rows"][0]
+        assert set(row) == {
+            "report", "metric", "baseline", "current", "ratio",
+            "status", "direction",
+        }
+        # The verdict must be JSON-serializable as-is (CI artifact).
+        json.dumps(payload)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+class TestPerfCli:
+    def _record(self, tmp_path, total=1.0):
+        source = _write(_report(total=total), tmp_path / "bench.report.json")
+        ledger_dir = tmp_path / "baselines"
+        code = cli_main([
+            "perf", "record", str(source), "--ledger", str(ledger_dir),
+            "--note", "cli test",
+        ])
+        assert code == 0
+        return ledger_dir
+
+    def test_record_writes_ledger(self, tmp_path, capsys):
+        ledger_dir = self._record(tmp_path)
+        output = capsys.readouterr().out
+        assert "recorded baseline bench" in output
+        assert (ledger_dir / "ledger.json").exists()
+        assert (ledger_dir / "bench.report.json").exists()
+
+    def test_record_missing_report_exits_2(self, tmp_path, capsys):
+        code = cli_main([
+            "perf", "record", str(tmp_path / "absent.report.json"),
+            "--ledger", str(tmp_path / "baselines"),
+        ])
+        assert code == 2
+        assert "no such report" in capsys.readouterr().err
+
+    def test_diff_ok_exits_0(self, tmp_path, capsys):
+        ledger_dir = self._record(tmp_path)
+        results = tmp_path / "results"
+        results.mkdir()
+        _write(_report(total=1.0), results / "bench.report.json")
+        code = cli_main([
+            "perf", "diff", "--baseline", str(ledger_dir),
+            "--current", str(results),
+        ])
+        assert code == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_diff_regression_warns_by_default(self, tmp_path, capsys):
+        ledger_dir = self._record(tmp_path, total=1.0)
+        results = tmp_path / "results"
+        results.mkdir()
+        _write(_report(total=3.0), results / "bench.report.json")
+        code = cli_main([
+            "perf", "diff", "--baseline", str(ledger_dir),
+            "--current", str(results),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "verdict: regression" in captured.out
+        assert "warn-only" in captured.err
+
+    def test_diff_strict_exits_1(self, tmp_path, capsys):
+        ledger_dir = self._record(tmp_path, total=1.0)
+        results = tmp_path / "results"
+        results.mkdir()
+        _write(_report(total=3.0), results / "bench.report.json")
+        code = cli_main([
+            "perf", "diff", "--baseline", str(ledger_dir),
+            "--current", str(results), "--strict",
+        ])
+        assert code == 1
+
+    def test_diff_writes_json_artifact(self, tmp_path, capsys):
+        ledger_dir = self._record(tmp_path, total=1.0)
+        results = tmp_path / "results"
+        results.mkdir()
+        _write(_report(total=3.0), results / "bench.report.json")
+        out = tmp_path / "perf-diff.json"
+        code = cli_main([
+            "perf", "diff", "--baseline", str(ledger_dir),
+            "--current", str(results), "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["verdict"] == "regression"
+        assert "wrote verdict" in capsys.readouterr().out
+
+    def test_diff_threshold_flag(self, tmp_path, capsys):
+        ledger_dir = self._record(tmp_path, total=1.0)
+        results = tmp_path / "results"
+        results.mkdir()
+        # 1.4x: regression at the 0.25 default, ok at 0.5.
+        _write(_report(total=1.4), results / "bench.report.json")
+        code = cli_main([
+            "perf", "diff", "--baseline", str(ledger_dir),
+            "--current", str(results), "--threshold", "0.5",
+        ])
+        assert code == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_diff_without_ledger_exits_2(self, tmp_path, capsys):
+        code = cli_main([
+            "perf", "diff", "--baseline", str(tmp_path / "nope"),
+            "--current", str(tmp_path),
+        ])
+        assert code == 2
+        assert "no ledger index" in capsys.readouterr().err
+
+    def test_committed_seed_baselines_parse(self):
+        # The ledger committed under benchmarks/baselines/ must always
+        # load with the current schema — it is CI's comparison anchor.
+        from pathlib import Path
+
+        ledger = PerfLedger(
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "baselines"
+        )
+        entries = ledger.entries()
+        assert entries, "committed perf ledger is empty"
+        for entry in entries:
+            report = ledger.baseline(entry.name)
+            assert report is not None
+            assert report.schema_version == 1
