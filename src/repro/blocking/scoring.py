@@ -28,7 +28,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.contracts import deterministic, pure
+from repro.contracts import deterministic, hot_path, pure
 from repro.records.itembag import Item, ItemType
 from repro.similarity.items import (
     GeoLookup,
@@ -105,6 +105,7 @@ class BlockScorer:
     weights: Optional[Mapping[ItemType, float]] = None
     geo_lookup: Optional[GeoLookup] = None
 
+    @hot_path
     @pure
     def pair_similarity(self, a: FrozenSet[Item], b: FrozenSet[Item]) -> float:
         """Similarity between two records' item bags under the method."""
@@ -115,6 +116,7 @@ class BlockScorer:
             return weighted_jaccard_items(a, b, weights)
         return soft_jaccard_items(a, b, self.geo_lookup, self.weights)
 
+    @hot_path
     @pure
     def score_block(
         self,

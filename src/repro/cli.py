@@ -168,6 +168,8 @@ def build_parser() -> argparse.ArgumentParser:
                       default="human")
     lint.add_argument("--select", default=None,
                       help="comma-separated rule codes to run exclusively")
+    lint.add_argument("--ignore", default=None,
+                      help="comma-separated rule codes to skip")
     lint.add_argument("--statistics", action="store_true",
                       help="append per-rule counts")
     lint.add_argument("--contracts", action="store_true",
@@ -176,6 +178,15 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--parallel-safety", action="store_true",
                       help="also run the RL200-RL205 parallel-safety "
                            "checks (fork/pickle/merge contracts)")
+    lint.add_argument("--perf", action="store_true",
+                      help="also run the RL300-RL305 performance checks "
+                           "over @hot_path functions")
+    lint.add_argument("--profile-report", type=Path, default=None,
+                      help="RunReport JSON to rank --perf findings by "
+                           "measured run-time share")
+    lint.add_argument("--min-hot-fraction", type=float, default=None,
+                      help="measured share at or above which a --perf "
+                           "finding gates (default 0.02)")
 
     sanitize = commands.add_parser(
         "sanitize",
@@ -604,12 +615,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     lint_argv += ["--format", args.format]
     if args.select:
         lint_argv += ["--select", args.select]
+    if args.ignore:
+        lint_argv += ["--ignore", args.ignore]
     if args.statistics:
         lint_argv.append("--statistics")
     if args.contracts:
         lint_argv.append("--contracts")
     if args.parallel_safety:
         lint_argv.append("--parallel-safety")
+    if args.perf:
+        lint_argv.append("--perf")
+    if args.profile_report is not None:
+        lint_argv += ["--profile-report", str(args.profile_report)]
+    if args.min_hot_fraction is not None:
+        lint_argv += ["--min-hot-fraction", str(args.min_hot_fraction)]
 
     try:
         from tools.reprolint.cli import main as reprolint_main

@@ -47,6 +47,22 @@ markers for code that crosses a process boundary:
     reviewed as effectively immutable; RL201 still forbids writes to
     it anywhere reachable from worker code.
 
+The performance pass (``repro lint --perf``, rules RL300-RL305 in
+``tools/reprolint/perf_lint.py``) adds two cost markers. They make no
+determinism claim — a ``@hot_path`` function can be ``@pure`` or not —
+and they never silence the determinism or parallel-safety passes:
+
+``@hot_path``
+    A measured hot entry point: the profile baseline attributes real
+    run time to this function (or the vectorization plan targets it).
+    The perf pass roots its loop-cost analysis here, alongside executor
+    work roots.
+``@batch_kernel``
+    A batch implementation whose inner loop is the *point* (a
+    vectorized kernel, a tight primitive the plan already accepted).
+    The perf pass neither analyzes its body nor traverses into it —
+    the declared endpoint of a completed vectorization.
+
 At runtime the decorators only attach ``__repro_contracts__`` metadata
 (queryable via :func:`contracts_of`) and return the function unchanged:
 zero overhead, no wrapping, signatures and identities preserved. All
@@ -68,6 +84,8 @@ __all__ = [
     "fork_safe",
     "commutative_merge",
     "shared_readonly",
+    "hot_path",
+    "batch_kernel",
     "contracts_of",
 ]
 
@@ -149,6 +167,18 @@ def shared_readonly(func: F) -> F:
     """Declare the module-global state ``func`` reads as reviewed
     read-only; RL201 still forbids mutating it from worker code."""
     return _attach(func, "shared_readonly")
+
+
+def hot_path(func: F) -> F:
+    """Mark ``func`` as a measured hot entry point: a root of the
+    RL300-RL305 performance pass (``repro lint --perf``)."""
+    return _attach(func, "hot_path")
+
+
+def batch_kernel(func: F) -> F:
+    """Mark ``func`` as a batch kernel whose inner loop is intentional;
+    the performance pass neither analyzes nor traverses into it."""
+    return _attach(func, "batch_kernel")
 
 
 def contracts_of(func: Callable[..., Any]) -> Tuple[str, ...]:

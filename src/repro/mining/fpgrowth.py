@@ -36,6 +36,7 @@ from typing import (
 from repro.contracts import (
     commutative_merge,
     fork_safe,
+    hot_path,
     ordered_output,
     picklable_work,
     pure,
@@ -198,6 +199,7 @@ class _MFIStore:
             self._by_item.setdefault(item, set()).add(index)
 
 
+@hot_path
 @ordered_output
 def maximal_frequent_itemsets(
     transactions: Iterable[Collection[T]],
@@ -252,6 +254,7 @@ def maximal_frequent_itemsets(
     ]
 
 
+@hot_path
 def _fpmax(
     tree: FPTree,
     suffix: List[int],

@@ -33,6 +33,7 @@ import enum
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.contracts import hot_path
 from repro.records.itembag import record_to_items
 from repro.records.schema import PLACE_PARTS, PlacePart, PlaceType, VictimRecord
 from repro.similarity.dates import day_distance, month_distance, year_distance
@@ -406,6 +407,7 @@ def feature_spec(name: str) -> FeatureSpec:
         raise ValueError(f"unknown feature: {name!r}") from None
 
 
+@hot_path
 def extract_features(
     a: VictimRecord,
     b: VictimRecord,

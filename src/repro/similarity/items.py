@@ -30,7 +30,7 @@ from __future__ import annotations
 import math
 from typing import Callable, FrozenSet, Mapping, Optional
 
-from repro.contracts import pure
+from repro.contracts import hot_path, pure
 from repro.records.itembag import Item, ItemKind, ItemType
 from repro.similarity import dates
 from repro.geo import GeoPoint, geo_similarity
@@ -47,6 +47,7 @@ __all__ = [
 GeoLookup = Callable[[str], Optional[GeoPoint]]
 
 
+@hot_path
 @pure
 def expert_item_similarity(
     a: Item, b: Item, geo_lookup: Optional[GeoLookup] = None
@@ -86,6 +87,7 @@ def expert_item_similarity(
     return 1.0 if a.value == b.value else 0.0
 
 
+@hot_path
 @pure
 def jaccard_items(a: FrozenSet[Item], b: FrozenSet[Item]) -> float:
     """Plain Jaccard coefficient between two item sets."""
@@ -97,6 +99,7 @@ def jaccard_items(a: FrozenSet[Item], b: FrozenSet[Item]) -> float:
     return len(a & b) / len(union)
 
 
+@hot_path
 @pure
 def weighted_jaccard_items(
     a: FrozenSet[Item],
@@ -126,6 +129,7 @@ def weighted_jaccard_items(
     return inter_mass / union_mass
 
 
+@hot_path
 @pure
 def soft_jaccard_items(
     a: FrozenSet[Item],

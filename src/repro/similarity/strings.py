@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Sequence, Set
 
-from repro.contracts import pure
+from repro.contracts import hot_path, pure
 
 __all__ = [
     "jaccard",
@@ -89,6 +89,7 @@ def dice_qgrams(a: str, b: str, q: int = 2) -> float:
     return 2.0 * len(grams_a & grams_b) / total
 
 
+@hot_path
 @pure
 def jaro(a: str, b: str) -> float:
     """Jaro similarity between two strings.
@@ -139,6 +140,7 @@ def jaro(a: str, b: str) -> float:
     ) / 3.0
 
 
+@hot_path
 @pure
 def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1, max_prefix: int = 4) -> float:
     """Jaro-Winkler similarity: Jaro boosted by a shared-prefix bonus.

@@ -1,0 +1,16 @@
+"""RL300: a hot loop calling a Python function per element."""
+
+from contracts import hot_path, pure
+
+
+@pure
+def unit_cost(value):
+    return value * 2.0
+
+
+@hot_path
+def total_cost(values):
+    total = 0.0
+    for value in values:
+        total += unit_cost(value)  # one Python call per element
+    return total

@@ -1,0 +1,13 @@
+"""RL301: allocation inside the depth-2 inner loop."""
+
+from contracts import hot_path
+
+
+@hot_path
+def tabulate(rows):
+    count = 0
+    for row in rows:
+        for value in row:
+            cell = [value, value]  # fresh list per inner element
+            count = count + len(cell)
+    return count

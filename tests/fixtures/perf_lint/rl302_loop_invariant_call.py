@@ -1,0 +1,16 @@
+"""RL302: a call on loop-invariant operands recomputed per iteration."""
+
+from contracts import hot_path, pure
+
+
+@pure
+def area(shape):
+    return shape * shape
+
+
+@hot_path
+def render(shapes, base):
+    out = 0.0
+    for shape in shapes:
+        out = out + shape * area(base)  # area(base) never changes
+    return out

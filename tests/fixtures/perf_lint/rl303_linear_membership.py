@@ -1,0 +1,13 @@
+"""RL303: O(n) membership probe against a list local inside a loop."""
+
+from contracts import hot_path
+
+
+@hot_path
+def count_hits(values):
+    allowed = [2, 3, 5, 7]
+    hits = 0
+    for value in values:
+        if value in allowed:  # list scan per probe; a set is O(1)
+            hits = hits + 1
+    return hits

@@ -1,0 +1,11 @@
+"""RL304: quadratic string accumulation in a loop."""
+
+from contracts import hot_path
+
+
+@hot_path
+def join_labels(labels):
+    joined = ""
+    for label in labels:
+        joined += label  # reallocates the whole string every step
+    return joined

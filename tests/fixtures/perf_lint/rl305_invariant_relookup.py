@@ -1,0 +1,11 @@
+"""RL305: invariant ``len()`` recomputed every iteration of a hot loop."""
+
+from contracts import hot_path
+
+
+@hot_path
+def scale_all(values, config):
+    total = 0.0
+    for value in values:
+        total = total + value * len(config)  # len(config) is invariant
+    return total

@@ -1,0 +1,494 @@
+"""Tests for the RL300-series performance pass and its profile join.
+
+Rule-isolated violation fixtures under ``tests/fixtures/perf_lint/``
+(each fires exactly its own rule), profile-join units on the committed
+miniature RunReport, severity/ranking behaviour with and without a
+profile, the baseline-inventory round trip, byte-determinism across
+``PYTHONHASHSEED``, the RL303 autofixer, and the repo self-sweep that
+is the acceptance gate (clean modulo ``docs/PERF_LINT_BASELINE.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint.autofix import fix_membership_sets
+from tools.reprolint.callgraph import build_call_graph
+from tools.reprolint.config import load_config
+from tools.reprolint.engine import analyze_perf_paths, analyze_perf_sources
+from tools.reprolint.findings import Severity
+from tools.reprolint.perf_lint import (
+    PERF_RULES,
+    demote_inventoried,
+    parse_baseline,
+    render_baseline,
+)
+from tools.reprolint.profile_join import (
+    ProfileError,
+    ProfileJoin,
+    SpanProfile,
+    discover_span_sites,
+    load_report,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "perf_lint"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+REPORT = REPO_ROOT / "benchmarks" / "baselines" / "parallel_w1.report.json"
+BASELINE = REPO_ROOT / "docs" / "PERF_LINT_BASELINE.md"
+
+
+def perf_findings(source, path="src/module.py", profile=None, **kwargs):
+    """Run RL300-RL305 over one dedented fixture module."""
+    return analyze_perf_sources(
+        [(path, textwrap.dedent(source))], profile=profile, **kwargs
+    )
+
+
+#: One hot function whose span covers 80% of the mini report's run.
+HOT_SOURCE = """
+    from contracts import hot_path
+
+
+    def unit_cost(x):
+        return x + 1
+
+
+    @hot_path
+    def total_cost(tracer, values):
+        with tracer.span("stage.hot"):
+            total = 0
+            for value in values:
+                total = total + unit_cost(value)
+            return total
+"""
+
+
+class TestViolationFixtures:
+    @pytest.mark.parametrize(
+        "fixture",
+        sorted(FIXTURES.glob("rl3*.py")),
+        ids=lambda p: p.stem,
+    )
+    def test_fixture_fires_exactly_its_rule(self, fixture):
+        expected = fixture.stem.split("_")[0].upper()
+        found = analyze_perf_sources(
+            [("src/" + fixture.name, fixture.read_text(encoding="utf-8"))]
+        )
+        assert {pf.finding.rule for pf in found} == {expected}
+
+    def test_fixture_set_covers_every_rule(self):
+        prefixes = {
+            path.stem.split("_")[0].upper()
+            for path in FIXTURES.glob("rl3*.py")
+        }
+        assert prefixes == set(PERF_RULES)
+
+    def test_fixtures_fire_without_profile_as_warnings(self):
+        fixture = FIXTURES / "rl300_per_element_loop.py"
+        found = analyze_perf_sources(
+            [("src/" + fixture.name, fixture.read_text(encoding="utf-8"))]
+        )
+        assert found
+        for pf in found:
+            assert pf.finding.severity is Severity.WARNING
+            assert pf.share is None
+            assert not pf.hot
+
+
+class TestLoadReport:
+    def test_mini_report_self_times(self):
+        profile = load_report(FIXTURES / "mini_report.json")
+        assert profile.total_seconds == pytest.approx(1.0)
+        # Root total 1.0s minus direct children 0.8 + 0.1.
+        assert profile.self_seconds["pipeline.run"] == pytest.approx(0.1)
+        assert profile.self_seconds["stage.hot"] == pytest.approx(0.8)
+        assert profile.self_seconds["stage.cold"] == pytest.approx(0.1)
+        assert profile.share("stage.hot") == pytest.approx(0.8)
+        assert profile.share("not-a-span") == 0.0
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ProfileError):
+            load_report(tmp_path / "nope.json")
+
+    def test_non_report_json_raises(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"schema": 1, "rows": []}', encoding="utf-8")
+        with pytest.raises(ProfileError):
+            load_report(bogus)
+
+    def test_malformed_stage_raises(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(
+            '{"schema": 1, "stages": [{"name": "x"}]}', encoding="utf-8"
+        )
+        with pytest.raises(ProfileError):
+            load_report(bogus)
+
+    def test_total_falls_back_to_root_stage_sum(self, tmp_path):
+        report = tmp_path / "report.json"
+        report.write_text(
+            '{"schema": 1, "stages": ['
+            '{"name": "a", "path": "a", "depth": 0, "calls": 1,'
+            ' "total_seconds": 3.0},'
+            '{"name": "b", "path": "b", "depth": 0, "calls": 1,'
+            ' "total_seconds": 1.0}]}',
+            encoding="utf-8",
+        )
+        profile = load_report(report)
+        assert profile.total_seconds == pytest.approx(4.0)
+        assert profile.share("a") == pytest.approx(0.75)
+
+
+class TestSpanSiteDiscovery:
+    def test_string_literal_argument(self):
+        graph = build_call_graph(
+            [
+                (
+                    "src/mod.py",
+                    textwrap.dedent(
+                        """
+                        def run(tracer, items):
+                            with tracer.span("stage.hot"):
+                                return sorted(items)
+                        """
+                    ),
+                )
+            ]
+        )
+        assert discover_span_sites(graph) == {"stage.hot": {"mod:run"}}
+
+    def test_module_level_constant_argument(self):
+        graph = build_call_graph(
+            [
+                (
+                    "src/mod.py",
+                    textwrap.dedent(
+                        """
+                        HOT_SPAN = "stage.hot"
+
+                        def run(tracer, items):
+                            with tracer.span(HOT_SPAN):
+                                return sorted(items)
+                        """
+                    ),
+                )
+            ]
+        )
+        assert discover_span_sites(graph) == {"stage.hot": {"mod:run"}}
+
+    def test_imported_constant_chased_to_origin_module(self):
+        graph = build_call_graph(
+            [
+                ("src/names.py", 'HOT_SPAN = "stage.hot"\n'),
+                (
+                    "src/mod.py",
+                    textwrap.dedent(
+                        """
+                        from names import HOT_SPAN
+
+                        def run(tracer, items):
+                            with tracer.span(HOT_SPAN):
+                                return sorted(items)
+                        """
+                    ),
+                ),
+            ]
+        )
+        assert discover_span_sites(graph) == {"stage.hot": {"mod:run"}}
+
+    def test_computed_names_are_skipped(self):
+        graph = build_call_graph(
+            [
+                (
+                    "src/mod.py",
+                    textwrap.dedent(
+                        """
+                        def run(tracer, stage, items):
+                            with tracer.span(f"stage.{stage}"):
+                                return sorted(items)
+                        """
+                    ),
+                )
+            ]
+        )
+        assert discover_span_sites(graph) == {}
+
+
+class TestProfileJoin:
+    SOURCE = textwrap.dedent(
+        """
+        def helper(x):
+            return x + 1
+
+        def cold_stage(tracer, items):
+            with tracer.span("stage.cold"):
+                return [helper(i) for i in items]
+
+        def hot_stage(tracer, items):
+            with tracer.span("stage.hot"):
+                return cold_stage(tracer, items)
+
+        def unrelated(x):
+            return x
+        """
+    )
+
+    def join(self):
+        graph = build_call_graph([("src/mod.py", self.SOURCE)])
+        return ProfileJoin(graph, load_report(FIXTURES / "mini_report.json"))
+
+    def test_share_reaches_span_site_and_callees(self):
+        join = self.join()
+        assert join.share_of("mod:hot_stage") == pytest.approx(0.8)
+        # Attributed by stage.hot (as a visited callee) plus its own span.
+        assert join.share_of("mod:cold_stage") == pytest.approx(0.9)
+
+    def test_self_time_stops_at_another_spans_site(self):
+        # stage.hot's self time must not flow past cold_stage's door:
+        # helper's only measured share is stage.cold's own 10%.
+        assert self.join().share_of("mod:helper") == pytest.approx(0.1)
+
+    def test_unreached_function_is_unmeasured(self):
+        assert self.join().share_of("mod:unrelated") is None
+
+    def test_share_is_capped_at_one(self):
+        graph = build_call_graph(
+            [("src/mod.py", "def f(x):\n    return x\n")]
+        )
+        join = ProfileJoin(
+            graph,
+            SpanProfile({"a": 0.7, "b": 0.6}, 1.0),
+            declared_sites={"a": ("mod:f",), "b": ("mod:f",)},
+        )
+        assert join.share_of("mod:f") == pytest.approx(1.0)
+
+
+class TestSeverityAndRanking:
+    def mini_profile(self):
+        return load_report(FIXTURES / "mini_report.json")
+
+    def test_hot_finding_is_error_with_share_suffix(self):
+        found = perf_findings(HOT_SOURCE, profile=self.mini_profile())
+        assert len(found) == 1
+        pf = found[0]
+        assert pf.finding.rule == "RL300"
+        assert pf.hot
+        assert pf.share == pytest.approx(0.8)
+        assert pf.finding.severity is Severity.ERROR
+        assert "[hot: 80.0% of measured run time]" in pf.finding.message
+
+    def test_min_hot_fraction_demotes_to_cold_warning(self):
+        found = perf_findings(
+            HOT_SOURCE, profile=self.mini_profile(), min_hot_fraction=0.9
+        )
+        assert len(found) == 1
+        pf = found[0]
+        assert not pf.hot
+        assert pf.finding.severity is Severity.WARNING
+        assert "[cold: 80.0%" in pf.finding.message
+
+    def test_unmeasured_hot_path_is_cold_warning(self):
+        source = HOT_SOURCE + """
+
+    @hot_path
+    def untraced(values):
+        total = 0
+        for value in values:
+            total = total + unit_cost(value)
+        return total
+"""
+        found = perf_findings(source, profile=self.mini_profile())
+        by_message = {
+            pf.finding.message: pf
+            for pf in found
+            if "untraced" in pf.finding.message
+        }
+        assert by_message
+        for pf in by_message.values():
+            assert pf.share is None
+            assert pf.finding.severity is Severity.WARNING
+            assert "[cold: no measured time]" in pf.finding.message
+
+    def test_without_profile_no_share_suffix(self):
+        found = perf_findings(HOT_SOURCE)
+        assert len(found) == 1
+        assert "[hot" not in found[0].finding.message
+        assert "[cold" not in found[0].finding.message
+        assert found[0].finding.severity is Severity.WARNING
+
+    def test_hot_findings_ranked_by_share_first(self):
+        source = textwrap.dedent(
+            """
+            from contracts import hot_path
+
+
+            def unit_cost(x):
+                return x + 1
+
+
+            @hot_path
+            def cold_loop(tracer, values):
+                with tracer.span("stage.cold"):
+                    total = 0
+                    for value in values:
+                        total = total + unit_cost(value)
+                    return total
+
+
+            @hot_path
+            def hot_loop(tracer, values):
+                with tracer.span("stage.hot"):
+                    total = 0
+                    for value in values:
+                        total = total + unit_cost(value)
+                    return total
+            """
+        )
+        found = perf_findings(source, profile=self.mini_profile())
+        shares = [pf.share for pf in found if pf.hot]
+        assert len(shares) >= 2
+        assert shares == sorted(shares, reverse=True)
+        assert found[0].share == pytest.approx(0.8)
+
+
+class TestBaselineRoundTrip:
+    def findings(self):
+        profile = load_report(FIXTURES / "mini_report.json")
+        return perf_findings(HOT_SOURCE, profile=profile)
+
+    def test_render_parse_demote_round_trip(self):
+        found = self.findings()
+        text = render_baseline(found, "benchmarks/mini_report.json")
+        inventory = parse_baseline(text)
+        key = ("RL300", "module:total_cost", "src/module.py")
+        assert inventory == {key: 1}
+        demoted = demote_inventoried(found, inventory)
+        assert len(demoted) == 1
+        assert demoted[0].finding.severity is Severity.WARNING
+        assert demoted[0].finding.message.endswith("(inventoried)")
+
+    def test_excess_findings_stay_errors(self):
+        found = self.findings()
+        inventory = {
+            ("RL300", "module:total_cost", "src/module.py"): 0,
+        }
+        demoted = demote_inventoried(found, inventory)
+        assert demoted[0].finding.severity is Severity.ERROR
+
+    def test_cold_findings_listed_but_never_counted(self):
+        found = perf_findings(HOT_SOURCE)  # no profile: all cold
+        text = render_baseline(found, "benchmarks/mini_report.json")
+        assert "## Cold findings" in text
+        assert parse_baseline(text) == {}
+
+
+class TestRL303Autofix:
+    PATH = "src/rl303_linear_membership.py"
+
+    def source(self):
+        return (FIXTURES / "rl303_linear_membership.py").read_text(
+            encoding="utf-8"
+        )
+
+    def test_hoists_invariant_operand_into_set(self):
+        fixed = fix_membership_sets([(self.PATH, self.source())])
+        assert set(fixed) == {self.PATH}
+        new = fixed[self.PATH]
+        assert "allowed_set = set(allowed)" in new
+        assert "in allowed_set:" in new
+        assert "in allowed:" not in new
+
+    def test_fix_is_idempotent(self):
+        fixed = fix_membership_sets([(self.PATH, self.source())])
+        assert fix_membership_sets([(self.PATH, fixed[self.PATH])]) == {}
+
+    def test_suppressed_site_is_not_rewritten(self):
+        suppressed = self.source().replace(
+            "if value in allowed:",
+            "if value in allowed:  # reprolint: disable=RL303",
+        )
+        assert "disable=RL303" in suppressed
+        assert fix_membership_sets([(self.PATH, suppressed)]) == {}
+
+
+class TestDeterminism:
+    def run_cli(self, hashseed):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hashseed
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        )
+        return subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "tools.reprolint",
+                "src",
+                "tools",
+                "--perf",
+                "--profile-report",
+                str(REPORT.relative_to(REPO_ROOT)),
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            timeout=300,
+        )
+
+    def test_output_is_byte_stable_across_hashseed(self):
+        first = self.run_cli("0")
+        second = self.run_cli("424242")
+        assert first.returncode == 0, first.stdout.decode()
+        assert second.returncode == 0, second.stdout.decode()
+        assert first.stdout == second.stdout
+        assert first.stderr == second.stderr
+
+
+class TestRepoSweep:
+    def sweep(self):
+        config = load_config()
+        roots = [
+            REPO_ROOT / prefix
+            for prefix in config.contract_packages
+            if (REPO_ROOT / prefix).is_dir()
+        ]
+        if not roots:
+            pytest.skip("repository checkout required")
+        return analyze_perf_paths(
+            roots,
+            config=config,
+            root=REPO_ROOT,
+            profile=load_report(REPORT),
+        )
+
+    def test_committed_baseline_matches_regenerated_inventory(self):
+        found = self.sweep()
+        regenerated = render_baseline(
+            found, str(REPORT.relative_to(REPO_ROOT))
+        )
+        assert regenerated == BASELINE.read_text(encoding="utf-8")
+
+    def test_repo_clean_modulo_committed_baseline(self):
+        found = self.sweep()
+        inventory = parse_baseline(BASELINE.read_text(encoding="utf-8"))
+        demoted = demote_inventoried(found, inventory)
+        errors = [
+            pf.finding
+            for pf in demoted
+            if pf.finding.severity is Severity.ERROR
+        ]
+        assert errors == []
+
+    def test_baseline_covers_paper_hot_paths(self):
+        # The acceptance criterion: the inventory must tie the scoring
+        # loops and the FP-growth expansion loops to measured shares.
+        text = BASELINE.read_text(encoding="utf-8")
+        assert "src/repro/similarity/items.py" in text
+        assert "src/repro/mining/fpgrowth.py" in text
+        assert "repro.mining.fpgrowth:_fpmax" in text

@@ -1,30 +1,40 @@
 """Autofixes: mechanical rewrites for rules with one correct remedy.
 
-Only RL007 (missing ``from __future__ import annotations``) qualifies
-today — the fix is a single unambiguous insertion. The fixer is:
+Two rules qualify today. RL007 (missing ``from __future__ import
+annotations``) — a single unambiguous insertion — and RL303 (O(n)
+membership test in a loop), whose remedy is equally mechanical: hoist
+the loop-invariant list/tuple operand into ``name_set = set(name)``
+directly above the loop and probe the set instead. Both fixers are:
 
 * **idempotent** — fixing an already-fixed module returns it unchanged,
-  byte for byte;
-* **surgical** — the import lands directly below the module docstring
-  (or above the first statement when there is none), leaving shebangs,
-  encoding cookies, and leading comments untouched;
-* **consistent with the rule** — a module RL007 would not flag
-  (docstring-only, or outside ``future-required-packages``) is returned
-  unchanged, so ``--fix`` can never introduce a diff the lint did not
-  ask for.
+  byte for byte (the RL303 rewrite leaves a ``set(...)``-typed operand,
+  which the rule no longer matches);
+* **surgical** — the RL007 import lands directly below the module
+  docstring; the RL303 hoist lands at the loop's own indentation and
+  only the flagged membership operands are renamed;
+* **consistent with the rule** — a site the lint would not flag
+  (suppressed, config-ignored, mutated in the loop, not a sequence
+  local) is never rewritten, so ``--fix`` can never introduce a diff
+  the lint did not ask for.
 """
 
 from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from tools.reprolint.config import Config
-from tools.reprolint.engine import _discover, _relative_path, lint_file
+from tools.reprolint.engine import (
+    _discover,
+    _read_sources,
+    _relative_path,
+    analyze_perf_sources,
+    lint_file,
+)
 from tools.reprolint.rules.rl007_future import FutureAnnotationsRule
 
-__all__ = ["fix_future_annotations", "fix_paths"]
+__all__ = ["fix_future_annotations", "fix_membership_sets", "fix_paths"]
 
 _IMPORT_LINE = "from __future__ import annotations\n"
 
@@ -58,6 +68,111 @@ def fix_future_annotations(source: str) -> str:
     return "".join([*lines[:insert_at], insertion, *lines[insert_at:]])
 
 
+def fix_membership_sets(
+    sources: Sequence[tuple],
+    config: Optional[Config] = None,
+) -> Dict[str, str]:
+    """Fixed texts for files with hoistable RL303 membership tests.
+
+    Runs the performance pass over the (path, source) set (the unit of
+    analysis is the whole call graph, as for linting) and rewrites only
+    the sites it flags — suppressions and config filters therefore gate
+    the fixer exactly as they gate the finding. Returns a mapping of
+    relative path -> new text for files that changed.
+    """
+    config = config or Config()
+    flagged: Dict[str, List[Tuple[int, int]]] = {}
+    for pf in analyze_perf_sources(sources, config=config):
+        if pf.finding.rule == "RL303":
+            flagged.setdefault(pf.finding.path, []).append(
+                (pf.finding.line, pf.finding.col)
+            )
+    texts = dict(sources)
+    out: Dict[str, str] = {}
+    for path in sorted(flagged):
+        updated = _apply_membership_fixes(texts[path], flagged[path])
+        if updated is not None and updated != texts[path]:
+            out[path] = updated
+    return out
+
+
+def _apply_membership_fixes(
+    source: str, positions: Sequence[Tuple[int, int]]
+) -> Optional[str]:
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return None
+    parents: Dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    wanted = set(positions)
+    # group key: (loop, operand name) -> operand Name nodes to rename
+    groups: Dict[Tuple[ast.AST, str], List[ast.Name]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if (node.lineno, node.col_offset + 1) not in wanted:
+            continue
+        operand = node.comparators[0] if node.comparators else None
+        if not isinstance(operand, ast.Name):
+            continue
+        loop = parents.get(node)
+        while loop is not None and not isinstance(
+            loop, (ast.For, ast.AsyncFor, ast.While)
+        ):
+            loop = parents.get(loop)
+        if loop is None:
+            continue
+        func = parents.get(loop)
+        while func is not None and not isinstance(
+            func, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            func = parents.get(func)
+        if func is None:
+            continue
+        set_name = f"{operand.id}_set"
+        if any(
+            isinstance(n, ast.Name) and n.id == set_name
+            for n in ast.walk(func)
+        ):
+            continue  # the hoisted name would shadow something real
+        groups.setdefault((loop, operand.id), []).append(operand)
+
+    if not groups:
+        return None
+    lines = source.splitlines(keepends=True)
+    renames: List[Tuple[int, int, str, str]] = []
+    insertions: Set[Tuple[int, str]] = set()
+    for (loop, name), operands in groups.items():
+        set_name = f"{name}_set"
+        ok = True
+        for operand in operands:
+            row, col = operand.lineno - 1, operand.col_offset
+            if not lines[row][col:].startswith(name):
+                ok = False  # source/AST mismatch: leave the file alone
+                break
+        if not ok:
+            continue
+        for operand in operands:
+            renames.append(
+                (operand.lineno - 1, operand.col_offset, name, set_name)
+            )
+        loop_row = loop.lineno - 1  # type: ignore[attr-defined]
+        text = lines[loop_row]
+        indent = text[: len(text) - len(text.lstrip())]
+        insertions.add((loop_row, f"{indent}{set_name} = set({name})\n"))
+    if not renames:
+        return None
+    for row, col, name, set_name in sorted(renames, reverse=True):
+        line = lines[row]
+        lines[row] = line[:col] + set_name + line[col + len(name):]
+    for row, text in sorted(insertions, reverse=True):
+        lines.insert(row, text)
+    return "".join(lines)
+
+
 def fix_paths(
     paths: Iterable[Path],
     config: Optional[Config] = None,
@@ -65,8 +180,10 @@ def fix_paths(
 ) -> List[str]:
     """Apply autofixes to every fixable file; returns rewritten paths.
 
-    Only files where RL007 actually fires (per config: required
-    packages, excludes, select/ignore, suppressions) are touched.
+    Only files where RL007 or RL303 actually fire (per config: required
+    packages, excludes, select/ignore, suppressions) are touched, and
+    RL303 rewrites are further restricted to files under the given
+    paths even though the analysis spans the contract packages.
     """
     config = config or Config()
     root = root or Path.cwd()
@@ -85,4 +202,22 @@ def fix_paths(
         if updated != source:
             file_path.write_text(updated, encoding="utf-8")
             fixed.append(_relative_path(file_path, root))
-    return fixed
+
+    selected = {
+        _relative_path(p, root) for p in _discover(paths, config, root)
+    }
+    contract_roots = [
+        root / prefix
+        for prefix in config.contract_packages
+        if (root / prefix).exists()
+    ]
+    graph_sources = _read_sources(contract_roots, config, root)
+    for relative, new_text in sorted(
+        fix_membership_sets(graph_sources, config=config).items()
+    ):
+        if relative not in selected:
+            continue
+        (root / relative).write_text(new_text, encoding="utf-8")
+        if relative not in fixed:
+            fixed.append(relative)
+    return sorted(fixed)

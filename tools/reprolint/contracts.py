@@ -59,6 +59,7 @@ from tools.reprolint.rules.rl005_wallclock import _CLOCK_CALLS
 __all__ = [
     "CONTRACT_RULES",
     "PARALLEL_KINDS",
+    "PERF_KINDS",
     "Contract",
     "check_contracts",
     "contracts_for",
@@ -83,6 +84,12 @@ PARALLEL_KINDS = (
     "commutative_merge",
     "shared_readonly",
 )
+
+#: Performance contract kinds (``tools/reprolint/perf_lint.py``). Cost
+#: markers only: they make no determinism or parallel-safety claim, so
+#: the RL100 and RL200 passes treat a function carrying *only* these as
+#: uncontracted (traversal does not stop at them).
+PERF_KINDS = ("hot_path", "batch_kernel")
 
 _HazardFn = Callable[[ast.AST], bool]
 
@@ -124,7 +131,7 @@ def contracts_for(
         if not (origin == "contracts" or origin.endswith(".contracts")):
             continue
         if name in ("pure", "deterministic", "ordered_output") or (
-            name in PARALLEL_KINDS
+            name in PARALLEL_KINDS or name in PERF_KINDS
         ):
             out.append(Contract(name, None, dec))
         elif name == "seeded":

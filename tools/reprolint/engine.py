@@ -21,6 +21,12 @@ from tools.reprolint.config import Config
 from tools.reprolint.contracts import check_contracts
 from tools.reprolint.findings import Finding, Severity
 from tools.reprolint.parallel_safety import check_parallel_safety
+from tools.reprolint.perf_lint import (
+    DEFAULT_MIN_HOT_FRACTION,
+    PerfFinding,
+    check_perf,
+)
+from tools.reprolint.profile_join import SpanProfile
 from tools.reprolint.rules import ALL_RULES, Rule
 from tools.reprolint.rules.base import RuleContext
 from tools.reprolint.suppressions import collect_suppressions
@@ -33,6 +39,8 @@ __all__ = [
     "analyze_contract_paths",
     "analyze_parallel_sources",
     "analyze_parallel_paths",
+    "analyze_perf_sources",
+    "analyze_perf_paths",
 ]
 
 
@@ -154,6 +162,55 @@ def analyze_parallel_paths(
     """Parallel-safety pass over every Python file under the paths."""
     return analyze_parallel_sources(
         _read_sources(paths, config, root), config=config
+    )
+
+
+def analyze_perf_sources(
+    sources: Sequence[tuple],
+    config: Optional[Config] = None,
+    profile: Optional[SpanProfile] = None,
+    min_hot_fraction: float = DEFAULT_MIN_HOT_FRACTION,
+) -> List[PerfFinding]:
+    """Run the performance pass (RL300-RL305) over (path, source) pairs.
+
+    Returns :class:`PerfFinding` (finding + share + hot flag) rather
+    than bare findings: callers need the ranking annotations for the
+    baseline inventory and the ranked human output. Suppressions and
+    config select/ignore/per-path-ignores apply as in the other passes.
+    """
+    config = config or Config()
+    graph = build_call_graph(list(sources))
+    suppressions = {
+        path: collect_suppressions(text) for path, text in sources
+    }
+    out: List[PerfFinding] = []
+    for pf in check_perf(
+        graph, profile=profile, min_hot_fraction=min_hot_fraction
+    ):
+        if not config.rule_enabled(pf.finding.rule, pf.finding.path):
+            continue
+        suppressed = suppressions.get(pf.finding.path)
+        if suppressed is not None and suppressed.is_suppressed(
+            pf.finding.line, pf.finding.rule
+        ):
+            continue
+        out.append(pf)
+    return out
+
+
+def analyze_perf_paths(
+    paths: Iterable[Path],
+    config: Optional[Config] = None,
+    root: Optional[Path] = None,
+    profile: Optional[SpanProfile] = None,
+    min_hot_fraction: float = DEFAULT_MIN_HOT_FRACTION,
+) -> List[PerfFinding]:
+    """Performance pass over every Python file under the paths."""
+    return analyze_perf_sources(
+        _read_sources(paths, config, root),
+        config=config,
+        profile=profile,
+        min_hot_fraction=min_hot_fraction,
     )
 
 

@@ -49,7 +49,7 @@ from tools.reprolint.callgraph import (
     _resolve_callable_expr,
     dotted_name,
 )
-from tools.reprolint.contracts import _finding, contracts_for
+from tools.reprolint.contracts import PERF_KINDS, _finding, contracts_for
 from tools.reprolint.findings import Finding
 from tools.reprolint.rules.base import attach_parents
 
@@ -526,9 +526,12 @@ class _ParallelChecker:
                 if callee in visited:
                     continue
                 visited.add(callee)
-                if self.contracts.get(callee):
+                if self.contracts.get(callee, set()) - set(PERF_KINDS):
                     # A contract boundary: verified as its own root (or
                     # trusted as declared). Compositional, like RL100.
+                    # Perf markers (@hot_path/@batch_kernel) are cost
+                    # annotations, not safety claims — they never stop
+                    # the traversal.
                     continue
                 callee_info = self.graph.functions.get(callee)
                 if callee_info is None:

@@ -16,6 +16,7 @@ from typing import Dict, List
 from tools.reprolint.contracts import CONTRACT_RULES
 from tools.reprolint.findings import Finding, Severity
 from tools.reprolint.parallel_safety import PARALLEL_RULES
+from tools.reprolint.perf_lint import PERF_RULES
 from tools.reprolint.rules import ALL_RULES
 
 __all__ = ["rule_catalogue", "render_sarif"]
@@ -41,6 +42,7 @@ def rule_catalogue() -> Dict[str, str]:
         catalogue[rule_cls.code] = rule_cls.name
     catalogue.update(CONTRACT_RULES)
     catalogue.update(PARALLEL_RULES)
+    catalogue.update(PERF_RULES)
     return catalogue
 
 
