@@ -24,6 +24,9 @@ stage-level checkpoint/resume, ``--on-bad-row``/``--quarantine-out``
 for malformed-row quarantine, and ``--budget-iterations`` /
 ``--budget-seconds`` for graceful degradation under stage budgets.
 ``chaos`` runs the seeded fault-injection scenarios end to end.
+``ingest`` streams arrival batches into a resolved base through the
+WAL-backed incremental resolver (``--wal-dir``/``--recover``), and
+``checkpoint gc`` prunes stale checkpoint directories.
 """
 
 from __future__ import annotations
@@ -230,7 +233,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated fault seeds (default: 0)")
     chaos.add_argument("--scenario", default="all",
                        choices=("all", "corrupt-rows", "truncated-checkpoint",
-                                "crash-resume", "budget", "worker-crash"),
+                                "crash-resume", "budget", "worker-crash",
+                                "crash-mid-batch", "torn-wal"),
                        help="which fault family to inject (default: all)")
     chaos.add_argument("--persons", type=int, default=40)
     chaos.add_argument("--corpus-seed", type=int, default=17)
@@ -239,6 +243,76 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--artifacts-dir", type=Path, default=None,
                        help="keep quarantine/diff artifacts here "
                             "(default: temporary, removed on success)")
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="stream arrival batches into a resolved base corpus, "
+             "optionally WAL-durable (docs/RESILIENCE.md, Durability)",
+    )
+    ingest.add_argument("base", type=Path,
+                        help="the already-resolved base corpus "
+                             "(.json or .csv)")
+    ingest.add_argument("arrivals", type=Path,
+                        help="newly arriving reports to absorb, in file "
+                             "order")
+    ingest.add_argument("--batch-size", type=int, default=64,
+                        help="records per atomic ingest batch "
+                             "(default: 64)")
+    ingest.add_argument("--wal-dir", type=Path, default=None,
+                        help="write-ahead log directory; makes every "
+                             "batch durable (begin/commit logged) and "
+                             "crash-recoverable")
+    ingest.add_argument("--recover", action="store_true",
+                        help="replay the committed batches in --wal-dir "
+                             "first (same base corpus and pipeline flags "
+                             "as the original run), then continue "
+                             "ingesting")
+    ingest.add_argument("--no-fsync", action="store_true",
+                        help="skip per-append fsync (benchmarking only; "
+                             "a crash may lose acknowledged batches)")
+    ingest.add_argument("--max-minsup", type=int, default=5)
+    ingest.add_argument("--ng", type=float, default=3.5)
+    ingest.add_argument("--expert-weighting", action="store_true")
+    ingest.add_argument("--expert-sim", action="store_true")
+    ingest.add_argument("--same-src", action="store_true")
+    ingest.add_argument("--certainty", type=float, default=0.0)
+    ingest.add_argument("--out", type=Path, default=None,
+                        help="write the final resolved pairs as CSV")
+    ingest.add_argument("--trace", type=Path, default=None,
+                        help="stream trace events to this JSONL file")
+    ingest.add_argument("--report", type=Path, default=None,
+                        help="write the structured run report (with the "
+                             "resilience.wal block) as JSON")
+    ingest.add_argument("--on-bad-row", default="fail",
+                        choices=("fail", "quarantine", "repair"),
+                        help="malformed or duplicate arrival rows: fail "
+                             "fast (default), quarantine, or "
+                             "repair-then-quarantine")
+    ingest.add_argument("--quarantine-out", type=Path, default=None,
+                        help="write quarantined rows as JSONL here")
+    # The incremental path needs a pre-trained classifier; the batch
+    # flags reuse _pipeline_config, which reads args.classify.
+    ingest.set_defaults(classify=False)
+
+    checkpoint = commands.add_parser(
+        "checkpoint",
+        help="maintain checkpoint directories (docs/RESILIENCE.md)",
+    )
+    checkpoint_commands = checkpoint.add_subparsers(
+        dest="checkpoint_command", required=True
+    )
+    checkpoint_gc = checkpoint_commands.add_parser(
+        "gc",
+        help="prune a checkpoint directory to its N newest stages and "
+             "delete torn .tmp leftovers",
+    )
+    checkpoint_gc.add_argument("directory", type=Path)
+    checkpoint_gc.add_argument("--keep", type=int, required=True,
+                               help="newest checkpoints to keep "
+                                    "(0 = remove all)")
+    checkpoint_gc.add_argument("--dry-run", action="store_true",
+                               help="list what would be removed without "
+                                    "deleting anything")
 
     perf = commands.add_parser(
         "perf",
@@ -694,6 +768,155 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return run_chaos(config)
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Stream arrivals through :class:`IncrementalResolver.add_records`.
+
+    The CLI face of the durable write path: arrivals are absorbed in
+    atomic batches, optionally begin/commit-logged to a WAL, and
+    ``--recover`` replays a crashed run's committed prefix before
+    continuing. Identity is enforced — recovery against a different
+    base corpus or pipeline configuration is refused, not guessed at.
+    """
+    from repro.core.incremental import IncrementalResolver
+    from repro.core.pipeline import corpus_stats
+    from repro.obs.report import RunReport
+    from repro.resilience.wal import WalError, WriteAheadLog
+
+    if args.recover and args.wal_dir is None:
+        print("repro ingest: --recover requires --wal-dir", file=sys.stderr)
+        return 2
+    if args.batch_size < 1:
+        print(f"repro ingest: --batch-size must be >= 1, "
+              f"got {args.batch_size}", file=sys.stderr)
+        return 2
+    config = _pipeline_config(args)
+    tracer = _build_tracer(args)
+    policy = _POLICY_BY_FLAG[args.on_bad_row]
+    quarantine = Quarantine()
+    base = _load_corpus(args.base)
+    arrivals = list(
+        _load_corpus(args.arrivals, policy=policy, quarantine=quarantine)
+    )
+    fsync = not args.no_fsync
+
+    try:
+        if args.recover:
+            resolver, recovery = IncrementalResolver.recover(
+                args.wal_dir, base, config, fsync=fsync
+            )
+            print(f"recovered {recovery.batches_replayed} committed "
+                  f"batches ({recovery.records_replayed} records) "
+                  f"from {args.wal_dir}")
+            if recovery.dropped_batches:
+                dropped = ", ".join(
+                    str(batch) for batch in recovery.dropped_batches
+                )
+                print(f"WARNING: crash dropped uncommitted batch(es) "
+                      f"{dropped} ({recovery.dropped_records} records); "
+                      f"re-ingest them")
+            if recovery.torn_tail_bytes:
+                print(f"truncated {recovery.torn_tail_bytes} torn tail "
+                      f"bytes from the log")
+        else:
+            wal = (
+                WriteAheadLog(args.wal_dir, fsync=fsync)
+                if args.wal_dir is not None else None
+            )
+            resolver = IncrementalResolver(base, config, wal=wal)
+    except (WalError, ValueError) as error:
+        print(f"repro ingest: {error}", file=sys.stderr)
+        return 2
+
+    batches = [
+        arrivals[start:start + args.batch_size]
+        for start in range(0, len(arrivals), args.batch_size)
+    ]
+    added = 0
+    try:
+        for batch in batches:
+            result = resolver.add_records(
+                batch, policy=policy, quarantine=quarantine,
+                source=str(args.arrivals),
+            )
+            added += len(result.added)
+    except ValueError as error:
+        # FAIL_FAST duplicate: atomic-at-the-batch means nothing of the
+        # failing batch was applied (or logged as committed).
+        print(f"repro ingest: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if resolver.wal is not None:
+            resolver.wal.close()
+
+    tracer.count("ingest.batches", len(batches))
+    tracer.count("ingest.records_added", added)
+    if quarantine.n_quarantined:
+        tracer.count("ingest.rows_quarantined", quarantine.n_quarantined)
+        print(f"quarantined {quarantine.n_quarantined} rows")
+    if args.quarantine_out is not None:
+        quarantine.to_jsonl(args.quarantine_out)
+        print(f"wrote quarantine log to {args.quarantine_out}")
+
+    resolution = resolver.resolution()
+    crisp = resolution.resolve(args.certainty)
+    print(f"ingested {added} records in {len(batches)} batch(es) onto "
+          f"{len(base)} base records; {len(resolution)} ranked pairs, "
+          f"{len(crisp)} above certainty {args.certainty}")
+    wal_counters = resolver.wal_counters()
+    if wal_counters:
+        print(f"wal: {wal_counters['segments']} segment(s), "
+              f"{wal_counters['batches_committed']} batches committed, "
+              f"{wal_counters['replayed']} replayed, "
+              f"{wal_counters['torn_tail_dropped']} torn tail bytes "
+              f"dropped")
+
+    if args.report is not None:
+        resilience = {"degraded": False}
+        if wal_counters:
+            resilience["wal"] = wal_counters
+        if quarantine.n_quarantined:
+            resilience["quarantine"] = {
+                "rows": quarantine.n_quarantined,
+            }
+        RunReport.build(
+            tracer.aggregate,
+            config=config.to_echo(),
+            corpus=corpus_stats(base),
+            resilience=resilience,
+        ).to_json(args.report)
+        print(f"wrote run report to {args.report}")
+    tracer.close()
+    if args.trace is not None:
+        print(f"wrote trace events to {args.trace}")
+
+    if args.out is not None:
+        resolution.to_csv(args.out, certainty=args.certainty)
+        print(f"wrote {len(crisp)} pairs to {args.out}")
+    return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Checkpoint-directory maintenance (``repro checkpoint gc``)."""
+    from repro.resilience.checkpoints import gc_checkpoints
+
+    try:
+        report = gc_checkpoints(
+            args.directory, args.keep, dry_run=args.dry_run
+        )
+    except (FileNotFoundError, ValueError) as error:
+        print(f"repro checkpoint gc: {error}", file=sys.stderr)
+        return 2
+    verb = "would remove" if report.dry_run else "removed"
+    for name in report.removed:
+        print(f"{verb} {name}")
+    for name in report.orphans_removed:
+        print(f"{verb} {name} (torn temp file)")
+    print(f"kept {len(report.kept)} checkpoint(s); {verb} "
+          f"{len(report.removed) + len(report.orphans_removed)} file(s), "
+          f"{report.bytes_reclaimed} bytes")
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     """The perf-regression ledger (``repro perf record`` / ``diff``)."""
     import json as json_module
@@ -750,6 +973,8 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "sanitize": _cmd_sanitize,
     "chaos": _cmd_chaos,
+    "ingest": _cmd_ingest,
+    "checkpoint": _cmd_checkpoint,
     "perf": _cmd_perf,
 }
 

@@ -23,7 +23,12 @@ one worker mid-chunk (the ``repro chaos`` ``worker-crash`` scenario). A
 broken pool loses the results of every unfinished chunk; the executor
 recomputes exactly those chunks in-process — the work functions are
 deterministic, so the retry reproduces what the worker would have
-returned, and the merged output is unchanged.
+returned, and the merged output is unchanged. A *hung* worker (a
+:class:`~repro.resilience.faults.WorkerHangPlan` in tests; a deadlock or
+I/O stall in production) is handled the same way when a per-chunk
+``timeout`` is set: the overdue chunk is declared lost, recomputed
+in-process exactly once, and counted as ``parallel.chunks_timed_out`` —
+bounded retries, deterministic outcome.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ import abc
 import os
 import pickle
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
@@ -47,7 +53,12 @@ from repro.obs.worker import (
 )
 from repro.parallel.chunking import fixed_chunks, partition_evenly
 from repro.parallel.work import run_traced_chunk
-from repro.resilience.faults import WorkerCrashPlan, kill_current_worker
+from repro.resilience.faults import (
+    WorkerCrashPlan,
+    WorkerHangPlan,
+    hang_worker,
+    kill_current_worker,
+)
 
 __all__ = [
     "ExecutorStats",
@@ -78,6 +89,8 @@ class ExecutorStats:
     inline_chunks: int = 0
     worker_retries: int = 0
     kills_armed: int = 0
+    hangs_armed: int = 0
+    chunks_timed_out: int = 0
 
     def to_echo(self) -> Dict[str, int]:
         return {
@@ -87,6 +100,8 @@ class ExecutorStats:
             "inline_chunks": self.inline_chunks,
             "worker_retries": self.worker_retries,
             "kills_armed": self.kills_armed,
+            "hangs_armed": self.hangs_armed,
+            "chunks_timed_out": self.chunks_timed_out,
         }
 
 
@@ -201,6 +216,17 @@ class MultiprocessExecutor(Executor):
     up, :func:`~repro.resilience.faults.kill_current_worker` is
     submitted in its place, the pool breaks, and the lost chunks are
     recomputed in-process.
+
+    ``timeout`` bounds how long the parent waits for each chunk (the
+    collection loop walks futures in submission order, so a chunk's
+    budget starts when its predecessor is collected). An overdue chunk
+    is treated exactly like one lost to a crash: declared lost,
+    recomputed in-process once, and counted in
+    ``stats.chunks_timed_out``. The stuck worker is abandoned —
+    shutdown does not wait for it — so a single hang costs one timeout
+    plus one in-process recompute, never a stuck run. ``worker_hang``
+    is the matching chaos hook: the targeted chunk is replaced with
+    :func:`~repro.resilience.faults.hang_worker`.
     """
 
     name = "multiprocess"
@@ -211,9 +237,15 @@ class MultiprocessExecutor(Executor):
         chunk_size: Optional[int] = None,
         worker_fault: Optional[WorkerCrashPlan] = None,
         profile_memory: bool = False,
+        timeout: Optional[float] = None,
+        worker_hang: Optional[WorkerHangPlan] = None,
     ) -> None:
         super().__init__(workers, chunk_size)
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
         self.worker_fault = worker_fault
+        self.worker_hang = worker_hang
+        self.timeout = timeout
         self.profile_memory = profile_memory
         self.profile = ParallelProfile()
 
@@ -242,7 +274,11 @@ class MultiprocessExecutor(Executor):
             return self._map_chunks_traced(
                 func, work, tracer, label, call_index
             )
-        if len(work) == 1 and self.worker_fault is None:
+        if (
+            len(work) == 1
+            and self.worker_fault is None
+            and self.worker_hang is None
+        ):
             # One chunk gains nothing from a pool; skip the process cost.
             stats.inline_chunks += 1
             with tracer.span(label, executor=self.name, chunks=1):
@@ -250,37 +286,67 @@ class MultiprocessExecutor(Executor):
 
         results: Dict[int, Any] = {}
         failed: List[int] = []
+        timed_out: List[int] = []
         with tracer.span(label, executor=self.name, chunks=len(work)):
             max_workers = min(self.workers, len(work))
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+            try:
                 futures: List["Future[Any]"] = []
                 for index, payload in enumerate(work):
                     fault = self.worker_fault
+                    hang = self.worker_hang
                     if fault is not None and fault.should_kill(
                         call_index, index
                     ):
                         stats.kills_armed += 1
                         futures.append(pool.submit(kill_current_worker))
+                    elif hang is not None and hang.should_hang(
+                        call_index, index
+                    ):
+                        stats.hangs_armed += 1
+                        futures.append(pool.submit(hang_worker, hang.seconds))
                     else:
                         futures.append(pool.submit(func, payload))
                 for index in range(len(work)):
                     try:
-                        results[index] = futures[index].result()
+                        if self.timeout is not None:
+                            results[index] = futures[index].result(
+                                timeout=self.timeout
+                            )
+                        else:
+                            results[index] = futures[index].result()
                     except BrokenProcessPool:
                         # The worker died before returning this chunk;
                         # remember it and recompute below. Anything
                         # else (a real exception raised by ``func``)
                         # propagates unchanged.
                         failed.append(index)
-            stats.worker_chunks += len(work) - len(failed)
-            for index in failed:
+                    except FuturesTimeout:
+                        # The worker is wedged, not dead: same lost-
+                        # chunk treatment, but the pool must not be
+                        # waited on at shutdown.
+                        timed_out.append(index)
+                        futures[index].cancel()
+            finally:
+                # A hung worker must never park shutdown; abandon it
+                # (and any not-yet-started futures) when a timeout
+                # fired. A clean run keeps the graceful wait.
+                pool.shutdown(
+                    wait=not timed_out, cancel_futures=bool(timed_out)
+                )
+            lost = sorted(failed + timed_out)
+            stats.worker_chunks += len(work) - len(lost)
+            for index in lost:
                 # Deterministic retry: the same func + payload yields
                 # the same result the worker would have produced.
                 results[index] = func(work[index])
                 stats.worker_retries += 1
+            stats.chunks_timed_out += len(timed_out)
             tracer.count("parallel.chunks", len(work))
-            if failed:
-                tracer.count("parallel.worker_retries", len(failed))
+            if lost:
+                tracer.count("parallel.worker_retries", len(lost))
+            if timed_out:
+                tracer.count("parallel.chunks_timed_out", len(timed_out))
         return [results[index] for index in range(len(work))]
 
     @impure(
@@ -313,11 +379,17 @@ class MultiprocessExecutor(Executor):
         clock = tracer.clock
         stats = self.stats
         count = len(work)
-        inline = count == 1 and self.worker_fault is None
+        inline = (
+            count == 1
+            and self.worker_fault is None
+            and self.worker_hang is None
+        )
         wrapped: Dict[int, Tuple[bytes, Dict[str, Any]]] = {}
         submitted_at: List[float] = [0.0] * count
         completed_at: Dict[int, float] = {}
         failed: List[int] = []
+        timed_out: List[int] = []
+        lost: List[int] = []
         submit_seconds = collect_seconds = 0.0
         teardown_seconds = retry_seconds = 0.0
         with tracer.span(label, executor=self.name, chunks=count):
@@ -347,12 +419,18 @@ class MultiprocessExecutor(Executor):
                     futures: List["Future[Any]"] = []
                     for index, blob in enumerate(blobs):
                         fault = self.worker_fault
+                        hang = self.worker_hang
                         submitted_at[index] = clock.now()
                         if fault is not None and fault.should_kill(
                             call_index, index
                         ):
                             stats.kills_armed += 1
                             future = pool.submit(kill_current_worker)
+                        elif hang is not None and hang.should_hang(
+                            call_index, index
+                        ):
+                            stats.hangs_armed += 1
+                            future = pool.submit(hang_worker, hang.seconds)
                         else:
                             future = pool.submit(
                                 run_traced_chunk,
@@ -366,20 +444,33 @@ class MultiprocessExecutor(Executor):
                     for index in range(count):
                         t0 = clock.now()
                         try:
-                            wrapped[index] = futures[index].result()
+                            if self.timeout is not None:
+                                wrapped[index] = futures[index].result(
+                                    timeout=self.timeout
+                                )
+                            else:
+                                wrapped[index] = futures[index].result()
                         except BrokenProcessPool:
                             # Same contract as the untraced path: only
                             # a dead worker is retried; real exceptions
                             # from ``func`` propagate unchanged.
                             failed.append(index)
+                        except FuturesTimeout:
+                            # Wedged worker: lost-chunk treatment, and
+                            # shutdown must not wait for it below.
+                            timed_out.append(index)
+                            futures[index].cancel()
                         collect_seconds += clock.now() - t0
                 finally:
                     t0 = clock.now()
-                    pool.shutdown(wait=True)
+                    pool.shutdown(
+                        wait=not timed_out, cancel_futures=bool(timed_out)
+                    )
                     teardown_seconds = clock.now() - t0
-                stats.worker_chunks += count - len(failed)
+                lost = sorted(failed + timed_out)
+                stats.worker_chunks += count - len(lost)
                 t0 = clock.now()
-                for index in failed:
+                for index in lost:
                     # Deterministic retry, still traced: the in-process
                     # rerun produces the same result bytes and a trace
                     # attributed to the parent pid.
@@ -388,6 +479,7 @@ class MultiprocessExecutor(Executor):
                     )
                     completed_at[index] = clock.now()
                     stats.worker_retries += 1
+                stats.chunks_timed_out += len(timed_out)
                 retry_seconds = clock.now() - t0
 
             deserialize_seconds = 0.0
@@ -410,7 +502,7 @@ class MultiprocessExecutor(Executor):
                         chunk=index,
                         worker=int(trace.get("pid", 0)),
                         inline=inline,
-                        retried=index in failed,
+                        retried=index in lost,
                         payload_bytes_in=len(blobs[index]),
                         payload_bytes_out=len(result_blob),
                         serialize_seconds=chunk_serialize[index],
@@ -442,8 +534,10 @@ class MultiprocessExecutor(Executor):
                 "parallel.payload_bytes_out",
                 sum(p.payload_bytes_out for p in profiles),
             )
-            if failed:
-                tracer.count("parallel.worker_retries", len(failed))
+            if lost:
+                tracer.count("parallel.worker_retries", len(lost))
+            if timed_out:
+                tracer.count("parallel.chunks_timed_out", len(timed_out))
             peaks = [
                 p.tracemalloc_peak_bytes
                 for p in profiles
@@ -502,10 +596,14 @@ def make_executor(
     workers: int,
     chunk_size: Optional[int] = None,
     profile_memory: bool = False,
+    timeout: Optional[float] = None,
 ) -> Executor:
     """The executor for a ``--workers N`` request (serial when N <= 1)."""
     if workers <= 1:
         return SerialExecutor(chunk_size=chunk_size)
     return MultiprocessExecutor(
-        workers, chunk_size=chunk_size, profile_memory=profile_memory
+        workers,
+        chunk_size=chunk_size,
+        profile_memory=profile_memory,
+        timeout=timeout,
     )

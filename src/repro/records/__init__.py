@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.records.dataset import Dataset
+from repro.records.dataset import Dataset, record_from_dict, record_to_dict
 from repro.records.itembag import Item, ItemKind, ItemType, record_to_items
 from repro.records.schema import (
     Gender,
@@ -16,6 +16,8 @@ from repro.records.schema import (
 
 __all__ = [
     "Dataset",
+    "record_to_dict",
+    "record_from_dict",
     "Item",
     "ItemKind",
     "ItemType",

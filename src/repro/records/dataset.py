@@ -25,10 +25,11 @@ from repro.records.schema import (
     SourceRef,
     VictimRecord,
 )
+from repro.contracts import deterministic
 from repro.geo import GeoPoint
 from repro.resilience.quarantine import Quarantine, QuarantinePolicy
 
-__all__ = ["Dataset"]
+__all__ = ["Dataset", "record_to_dict", "record_from_dict"]
 
 
 class Dataset:
@@ -186,6 +187,25 @@ class Dataset:
             seen_ids.add(record.book_id)
             records.append(record)
         return cls(records, name=payload.get("name", "dataset"))
+
+
+@deterministic
+def record_to_dict(record: VictimRecord) -> dict:
+    """The canonical JSON-safe encoding of one record.
+
+    This is the single record codec of the repository: corpus files
+    (:meth:`Dataset.to_json`), the content fingerprint, and the
+    write-ahead log (:mod:`repro.resilience.wal`) all speak it, so a
+    WAL replay reconstructs records byte-for-byte identical to the
+    originals.
+    """
+    return _record_to_dict(record)
+
+
+@deterministic
+def record_from_dict(entry: dict) -> VictimRecord:
+    """Inverse of :func:`record_to_dict` (raises on malformed entries)."""
+    return _record_from_dict(entry)
 
 
 def _record_to_dict(record: VictimRecord) -> dict:

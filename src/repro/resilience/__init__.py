@@ -14,7 +14,11 @@ The resilience layer has four parts, threaded through the whole system
   flag;
 * **fault injection** (:mod:`repro.resilience.faults` and the
   ``repro chaos`` CLI, :mod:`repro.resilience.chaos`) — seeded crashes,
-  corruption, and truncation so recovery is asserted, not hoped for.
+  corruption, and truncation so recovery is asserted, not hoped for;
+* **write-ahead log** (:mod:`repro.resilience.wal`) — segment-rotating,
+  fsync'd durability for streaming ingestion: batches are begin/commit
+  logged so a crash mid-batch recovers to the committed prefix,
+  byte-identically.
 
 ``chaos`` is deliberately not imported here: it drives the full
 pipeline and importing it eagerly would cycle back into
@@ -27,16 +31,20 @@ from repro.resilience.budgets import BudgetMeter, StageBudget
 from repro.resilience.checkpoints import (
     CheckpointMiss,
     CheckpointStore,
+    GcReport,
     canonical_digest,
     chain_fingerprint,
+    gc_checkpoints,
 )
 from repro.resilience.faults import (
     FaultInjector,
     FaultPlan,
     SimulatedCrash,
     WorkerCrashPlan,
+    WorkerHangPlan,
     corrupt_csv_rows,
     exhausting_budget,
+    hang_worker,
     kill_current_worker,
     truncate_file,
 )
@@ -46,24 +54,40 @@ from repro.resilience.quarantine import (
     QuarantinePolicy,
     RowError,
 )
+from repro.resilience.wal import (
+    WalBatch,
+    WalError,
+    WalFaultPlan,
+    WalRecovery,
+    WriteAheadLog,
+)
 
 __all__ = [
     "BudgetMeter",
     "StageBudget",
     "CheckpointMiss",
     "CheckpointStore",
+    "GcReport",
     "canonical_digest",
     "chain_fingerprint",
+    "gc_checkpoints",
     "FaultInjector",
     "FaultPlan",
     "SimulatedCrash",
     "WorkerCrashPlan",
+    "WorkerHangPlan",
     "corrupt_csv_rows",
     "exhausting_budget",
+    "hang_worker",
     "kill_current_worker",
     "truncate_file",
     "Quarantine",
     "QuarantineEntry",
     "QuarantinePolicy",
     "RowError",
+    "WalBatch",
+    "WalError",
+    "WalFaultPlan",
+    "WalRecovery",
+    "WriteAheadLog",
 ]

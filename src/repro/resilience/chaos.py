@@ -38,6 +38,23 @@ deterministically seeded faults and asserts the recovery invariants of
     serial run — the parallel layer's recovery invariant
     (``docs/PARALLELISM.md``).
 
+``crash-mid-batch``
+    Stream the second half of the corpus into a WAL-backed
+    :class:`~repro.core.incremental.IncrementalResolver` (batch size
+    varies with the seed) and kill the process at **every** WAL append
+    boundary in turn. Recovery must replay exactly the committed
+    prefix, report exactly the batches a crash legitimately loses (one
+    after a ``begin``, none after a ``commit``), and — once the dropped
+    batches are re-ingested — reproduce the uninterrupted ranked CSV
+    **byte-identically**.
+
+``torn-wal``
+    Truncate the live WAL segment at **every** byte offset inside its
+    final record (the last batch's commit marker), as a torn write
+    would. Every tear must scan down to the same committed prefix with
+    the last batch reported dropped; full recoveries at sampled tear
+    points must re-ingest to byte-identical output.
+
 Faults are injected *deterministically* from ``--seed``, so a failing
 scenario replays exactly. On failure the harness keeps its artifacts
 (quarantine JSONL, output diffs, checkpoint directories) for posthoc
@@ -61,6 +78,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.contracts import impure
 from repro.core import PipelineConfig, UncertainERPipeline
+from repro.core.incremental import IncrementalResolver
 from repro.core.pipeline import PIPELINE_STAGES
 from repro.core.resolution import ResolutionResult
 from repro.datagen import build_corpus
@@ -68,6 +86,7 @@ from repro.obs import Tracer
 from repro.parallel.executor import MultiprocessExecutor
 from repro.records.dataset import Dataset
 from repro.records.io import read_csv, write_csv
+from repro.records.schema import VictimRecord
 from repro.resilience.budgets import StageBudget
 from repro.resilience.checkpoints import CheckpointStore
 from repro.resilience.faults import (
@@ -79,6 +98,7 @@ from repro.resilience.faults import (
     truncate_file,
 )
 from repro.resilience.quarantine import Quarantine, QuarantinePolicy
+from repro.resilience.wal import WalFaultPlan, WriteAheadLog
 
 __all__ = [
     "ChaosConfig",
@@ -376,6 +396,193 @@ def _scenario_worker_crash(
     )
 
 
+def _split_corpus(
+    config: ChaosConfig,
+) -> Tuple[Dataset, List[VictimRecord]]:
+    """Corpus split into a resolved base and a stream of arrivals."""
+    records = sorted(_build_dataset(config), key=lambda rec: rec.book_id)
+    half = len(records) // 2
+    return Dataset(records[:half], name="chaos-base"), records[half:]
+
+
+def _batched(
+    arrivals: Sequence[VictimRecord], size: int
+) -> List[List[VictimRecord]]:
+    return [
+        list(arrivals[start:start + size])
+        for start in range(0, len(arrivals), size)
+    ]
+
+
+@impure(reason="kills WAL-backed ingestion at every append boundary")
+def _scenario_crash_mid_batch(
+    config: ChaosConfig, seed: int, workdir: Path
+) -> ScenarioOutcome:
+    """A crash at any WAL write boundary must recover the committed prefix."""
+    base, arrivals = _split_corpus(config)
+    pipeline_config = _pipeline_config(config)
+    batches = _batched(arrivals, 6 + seed)
+
+    reference = IncrementalResolver(base, pipeline_config)
+    for batch in batches:
+        reference.add_records(batch)
+    expected = _ranked_bytes(
+        reference.resolution(), workdir / "uninterrupted.csv"
+    )
+
+    # Two appends per batch (begin, commit) — crash after each in turn.
+    # Even boundaries die with a begin on disk and no commit, so exactly
+    # that batch must be reported dropped; odd boundaries die after the
+    # commit is durable, so recovery must lose nothing.
+    for boundary in range(2 * len(batches)):
+        wal_dir = workdir / f"wal-append{boundary}"
+        plan = WalFaultPlan(crash_after_append=boundary)
+        doomed = IncrementalResolver(
+            base, pipeline_config, wal=WriteAheadLog(wal_dir, fault=plan)
+        )
+        try:
+            for batch in batches:
+                doomed.add_records(batch)
+        except SimulatedCrash:
+            pass
+        assert doomed.wal is not None
+        doomed.wal.close()
+        if not plan.fired:
+            return ScenarioOutcome(
+                "crash-mid-batch", seed, False,
+                f"crash at WAL append {boundary} never fired",
+            )
+
+        recovered, report = IncrementalResolver.recover(
+            wal_dir, base, pipeline_config
+        )
+        expected_drops = 1 if boundary % 2 == 0 else 0
+        if len(report.dropped_batches) != expected_drops:
+            return ScenarioOutcome(
+                "crash-mid-batch", seed, False,
+                f"crash after append {boundary} dropped batches "
+                f"{report.dropped_batches}, expected {expected_drops}",
+            )
+        reingested = 0
+        for batch in batches:
+            if batch[0].book_id not in recovered:
+                recovered.add_records(batch)
+                reingested += 1
+        if reingested != len(batches) - report.batches_replayed:
+            return ScenarioOutcome(
+                "crash-mid-batch", seed, False,
+                f"replayed {report.batches_replayed} + re-ingested "
+                f"{reingested} != {len(batches)} batches",
+            )
+        actual = _ranked_bytes(
+            recovered.resolution(), workdir / f"recovered-{boundary}.csv"
+        )
+        assert recovered.wal is not None
+        recovered.wal.close()
+        if actual != expected:
+            diff_path = workdir / f"diff-append{boundary}.patch"
+            diff_path.write_text(
+                _diff(expected, actual, f"recovered-after-append-{boundary}")
+            )
+            return ScenarioOutcome(
+                "crash-mid-batch", seed, False,
+                f"recovery after append {boundary} diverged "
+                f"(diff: {diff_path})",
+            )
+    return ScenarioOutcome(
+        "crash-mid-batch", seed, True,
+        f"byte-identical recovery at all {2 * len(batches)} WAL append "
+        f"boundaries ({len(batches)} batches of <= {6 + seed})",
+    )
+
+
+@impure(reason="truncates the live WAL segment at every tail byte offset")
+def _scenario_torn_wal(
+    config: ChaosConfig, seed: int, workdir: Path
+) -> ScenarioOutcome:
+    """Every torn tail must scan to the committed prefix and recover."""
+    base, arrivals = _split_corpus(config)
+    pipeline_config = _pipeline_config(config)
+    batches = _batched(arrivals, 6 + seed)
+    pristine = workdir / "wal-pristine"
+    resolver = IncrementalResolver(
+        base, pipeline_config, wal=WriteAheadLog(pristine)
+    )
+    for batch in batches:
+        resolver.add_records(batch)
+    expected = _ranked_bytes(
+        resolver.resolution(), workdir / "uninterrupted.csv"
+    )
+    assert resolver.wal is not None
+    resolver.wal.close()
+
+    live = sorted(pristine.glob("wal-*.log"))[-1]
+    data = live.read_bytes()
+    # The segment's final line is the last batch's commit marker; every
+    # proper prefix of it is a torn write a real crash could leave.
+    tail_start = data.rstrip(b"\n").rfind(b"\n") + 1
+    last_id = len(batches) - 1
+    offsets = range(tail_start, len(data))
+    sampled = {tail_start, (tail_start + len(data)) // 2, len(data) - 1}
+    recoveries = 0
+    for offset in offsets:
+        torn_dir = workdir / "wal-torn"
+        if torn_dir.exists():
+            shutil.rmtree(torn_dir)
+        shutil.copytree(pristine, torn_dir)
+        with open(torn_dir / live.name, "r+b") as handle:
+            handle.truncate(offset)
+        if offset in sampled:
+            recovered, report = IncrementalResolver.recover(
+                torn_dir, base, pipeline_config
+            )
+            ok = (
+                report.batches_replayed == last_id
+                and report.dropped_batches == (last_id,)
+            )
+            if ok:
+                recovered.add_records(batches[-1])
+                actual = _ranked_bytes(
+                    recovered.resolution(),
+                    workdir / f"recovered-offset{offset}.csv",
+                )
+                ok = actual == expected
+                if not ok:
+                    diff_path = workdir / f"diff-offset{offset}.patch"
+                    diff_path.write_text(
+                        _diff(expected, actual, f"torn-at-{offset}")
+                    )
+            assert recovered.wal is not None
+            recovered.wal.close()
+            recoveries += 1
+            if not ok:
+                return ScenarioOutcome(
+                    "torn-wal", seed, False,
+                    f"tear at byte {offset}: replayed "
+                    f"{report.batches_replayed}, dropped "
+                    f"{report.dropped_batches} — full recovery diverged "
+                    f"or lost the wrong batches",
+                )
+        else:
+            wal = WriteAheadLog(torn_dir)
+            ok = (
+                len(wal.committed_batches()) == last_id
+                and tuple(wal.recovery.uncommitted_batches) == (last_id,)
+            )
+            wal.close()
+            if not ok:
+                return ScenarioOutcome(
+                    "torn-wal", seed, False,
+                    f"tear at byte {offset} did not scan down to "
+                    f"{last_id} committed batches + batch {last_id} dropped",
+                )
+    return ScenarioOutcome(
+        "torn-wal", seed, True,
+        f"{len(offsets)} tear offsets scanned clean; {recoveries} full "
+        f"recoveries byte-identical after re-ingesting the dropped batch",
+    )
+
+
 _Scenario = Callable[[ChaosConfig, int, Path], ScenarioOutcome]
 
 #: Scenario registry, in execution order.
@@ -385,6 +592,8 @@ SCENARIOS: Dict[str, _Scenario] = {
     "truncated-checkpoint": _scenario_truncated_checkpoint,
     "budget": _scenario_budget,
     "worker-crash": _scenario_worker_crash,
+    "crash-mid-batch": _scenario_crash_mid_batch,
+    "torn-wal": _scenario_torn_wal,
 }
 
 
@@ -417,6 +626,11 @@ def run_chaos(config: ChaosConfig) -> int:
         print(
             f"chaos: {len(failures)}/{len(outcomes)} scenario runs failed; "
             f"artifacts kept in {root}",
+            file=sys.stderr,
+        )
+        print(
+            "chaos: kept checkpoint directories accumulate — prune with "
+            "`repro checkpoint gc <dir> --keep N` (add --dry-run to list)",
             file=sys.stderr,
         )
         return 1

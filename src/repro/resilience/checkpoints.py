@@ -37,17 +37,20 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
-from repro.contracts import deterministic
+from repro.contracts import deterministic, impure
 
 __all__ = [
     "CHECKPOINT_SCHEMA",
     "CheckpointMiss",
     "CheckpointStore",
+    "GcReport",
     "chain_fingerprint",
     "canonical_digest",
+    "gc_checkpoints",
 ]
 
 #: Version of the on-disk checkpoint layout. Readers reject other
@@ -241,3 +244,82 @@ class CheckpointStore:
     def summary(self) -> Tuple[int, int]:
         """(hits, misses) so far."""
         return len(self.hits), len(self.misses)
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """What a checkpoint GC pass kept, removed, and reclaimed.
+
+    ``dry_run`` records whether the listed removals actually happened;
+    a dry-run report is the promise of what a real pass *would* do, so
+    the CLI can show it for confirmation first.
+    """
+
+    directory: Path
+    keep: int
+    dry_run: bool
+    kept: Tuple[str, ...] = ()
+    removed: Tuple[str, ...] = ()
+    orphans_removed: Tuple[str, ...] = ()
+    bytes_reclaimed: int = 0
+
+    def to_echo(self) -> Dict[str, Any]:
+        """JSON-safe summary for reports and CLI output."""
+        return {
+            "directory": str(self.directory),
+            "keep": self.keep,
+            "dry_run": self.dry_run,
+            "kept": list(self.kept),
+            "removed": list(self.removed),
+            "orphans_removed": list(self.orphans_removed),
+            "bytes_reclaimed": self.bytes_reclaimed,
+        }
+
+
+@impure(reason="inspects file mtimes and (unless dry-run) unlinks files")
+def gc_checkpoints(
+    directory: Union[str, Path], keep: int, dry_run: bool = False
+) -> GcReport:
+    """Prune a checkpoint directory down to its ``keep`` newest stages.
+
+    Two kinds of garbage accumulate under long-lived checkpoint roots:
+
+    * **stale stages** — checkpoints whose fingerprints no longer match
+      any live run (a config tweak orphans the whole chain).  GC keeps
+      the ``keep`` newest ``*.ckpt.json`` files by modification time
+      (name as the deterministic tie-break) and removes the rest;
+    * **torn temp files** — ``*.ckpt.json.tmp`` left behind when a
+      crash hit between the temp write and ``os.replace``.  These are
+      never valid checkpoints and are always removed, regardless of
+      ``keep``.
+
+    With ``dry_run`` nothing is unlinked; the report lists what a real
+    pass would remove.  ``keep=0`` is allowed and removes every
+    checkpoint (``clear`` with a listing).
+    """
+    if keep < 0:
+        raise ValueError(f"keep must be >= 0, got {keep}")
+    root = Path(directory)
+    if not root.is_dir():
+        raise FileNotFoundError(f"not a checkpoint directory: {root}")
+    checkpoints = sorted(
+        root.glob(f"*{CheckpointStore.SUFFIX}"),
+        key=lambda path: (-path.stat().st_mtime, path.name),
+    )
+    orphans = sorted(root.glob(f"*{CheckpointStore.SUFFIX}.tmp"))
+    kept = checkpoints[:keep]
+    doomed = checkpoints[keep:]
+    reclaimed = 0
+    for path in doomed + orphans:
+        reclaimed += path.stat().st_size
+        if not dry_run:
+            path.unlink()
+    return GcReport(
+        directory=root,
+        keep=keep,
+        dry_run=dry_run,
+        kept=tuple(path.name for path in kept),
+        removed=tuple(path.name for path in doomed),
+        orphans_removed=tuple(path.name for path in orphans),
+        bytes_reclaimed=reclaimed,
+    )

@@ -19,7 +19,10 @@ stage the resume skipped) instead of hoping:
 * :class:`WorkerCrashPlan` / :func:`kill_current_worker` — abrupt death
   of one process-pool worker mid-chunk, so the parallel layer's
   deterministic chunk retry (``docs/PARALLELISM.md``) is exercised, not
-  assumed.
+  assumed;
+* :class:`WorkerHangPlan` / :func:`hang_worker` — one worker stalls
+  instead of dying, so the executor's per-chunk ``timeout`` must
+  convert the hang into the same lost-chunk in-process retry.
 
 All randomness flows from an explicit seed (``@seeded``); the same seed
 always corrupts the same rows.
@@ -30,6 +33,7 @@ from __future__ import annotations
 import csv
 import os
 import random
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Union
@@ -42,7 +46,9 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "WorkerCrashPlan",
+    "WorkerHangPlan",
     "kill_current_worker",
+    "hang_worker",
     "corrupt_csv_rows",
     "truncate_file",
     "exhausting_budget",
@@ -127,6 +133,58 @@ class WorkerCrashPlan:
             self.fired = True
             return True
         return False
+
+
+@dataclass
+class WorkerHangPlan:
+    """Stall one process-pool worker mid-chunk, exactly once.
+
+    The hung sibling of :class:`WorkerCrashPlan`: when the targeted
+    chunk of the targeted dispatch is submitted, the executor sends
+    :func:`hang_worker` to the pool in place of the real work. The
+    worker never returns within the executor's per-chunk ``timeout``,
+    the chunk is declared lost, and the executor recomputes it
+    in-process with the *real* function — a deterministic outcome from
+    a nondeterministic failure. ``seconds`` bounds how long the stuck
+    worker lingers (it must comfortably exceed the timeout under test,
+    but short enough that pool teardown at interpreter exit stays
+    cheap).
+    """
+
+    map_call: int = 0
+    chunk: int = 0
+    seconds: float = 5.0
+    fired: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.map_call < 0 or self.chunk < 0:
+            raise ValueError(
+                f"map_call and chunk must be >= 0, got "
+                f"({self.map_call}, {self.chunk})"
+            )
+        if self.seconds <= 0:
+            raise ValueError(f"seconds must be > 0, got {self.seconds}")
+
+    def should_hang(self, map_call: int, chunk: int) -> bool:
+        """True exactly once, when the targeted dispatch point is reached."""
+        if self.fired:
+            return False
+        if map_call == self.map_call and chunk == self.chunk:
+            self.fired = True
+            return True
+        return False
+
+
+@impure(reason="blocks the executing worker for a bounded wall-clock "
+               "interval (chaos fault)")
+def hang_worker(seconds: float) -> None:
+    """Emulate a wedged worker (deadlock, NFS stall, runaway regex).
+
+    Unlike :func:`kill_current_worker` the process stays alive and the
+    pool stays healthy — only this one future never completes in time.
+    Module-level so it pickles into a worker task.
+    """
+    time.sleep(seconds)
 
 
 @impure(reason="terminates the executing process abruptly (chaos fault)")

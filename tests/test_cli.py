@@ -192,3 +192,132 @@ class TestLint:
         dirty = tmp_path / "dirty.py"
         dirty.write_text("import random\nx = random.random()\n")
         assert main(["lint", str(dirty), "--select", "RL003"]) == 0
+
+
+class TestIngest:
+    @pytest.fixture()
+    def split_corpus(self, corpus_path, tmp_path):
+        dataset = Dataset.from_json(corpus_path)
+        ids = sorted(dataset.record_ids)
+        pivot = len(ids) * 2 // 3
+        base = tmp_path / "base.json"
+        arrivals = tmp_path / "arrivals.json"
+        dataset.subset(ids[:pivot], name="base").to_json(base)
+        dataset.subset(ids[pivot:], name="arrivals").to_json(arrivals)
+        return base, arrivals
+
+    def test_in_memory_ingest(self, split_corpus, capsys):
+        base, arrivals = split_corpus
+        code = main(["ingest", str(base), str(arrivals),
+                     "--batch-size", "8", "--expert-weighting"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ingested" in output
+        assert "wal:" not in output  # no WAL requested, no WAL line
+
+    def test_durable_ingest_report_and_csv(
+        self, split_corpus, tmp_path, capsys
+    ):
+        import json
+
+        base, arrivals = split_corpus
+        out = tmp_path / "pairs.csv"
+        report = tmp_path / "run.report.json"
+        code = main([
+            "ingest", str(base), str(arrivals), "--expert-weighting",
+            "--wal-dir", str(tmp_path / "wal"), "--batch-size", "8",
+            "--out", str(out), "--report", str(report),
+        ])
+        assert code == 0
+        assert "wal:" in capsys.readouterr().out
+        n_arrivals = len(Dataset.from_json(arrivals))
+        expected_batches = -(-n_arrivals // 8)  # ceil
+        wal_block = json.loads(report.read_text())["resilience"]["wal"]
+        assert wal_block["batches_committed"] == expected_batches
+        assert wal_block["replayed"] == 0
+        with open(out) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][:3] == ["book_id_a", "book_id_b", "similarity"]
+
+    def test_recover_is_byte_identical(self, split_corpus, tmp_path):
+        base, arrivals = split_corpus
+        wal_dir = tmp_path / "wal"
+        first = tmp_path / "first.csv"
+        assert main([
+            "ingest", str(base), str(arrivals), "--expert-weighting",
+            "--wal-dir", str(wal_dir), "--batch-size", "8",
+            "--out", str(first),
+        ]) == 0
+        second = tmp_path / "second.csv"
+        assert main([
+            "ingest", str(base), str(arrivals), "--expert-weighting",
+            "--wal-dir", str(wal_dir), "--recover",
+            "--on-bad-row", "quarantine", "--out", str(second),
+        ]) == 0
+        assert second.read_bytes() == first.read_bytes()
+
+    def test_wal_history_requires_recover(self, split_corpus, tmp_path):
+        base, arrivals = split_corpus
+        wal_dir = tmp_path / "wal"
+        assert main([
+            "ingest", str(base), str(arrivals), "--expert-weighting",
+            "--wal-dir", str(wal_dir), "--batch-size", "8",
+        ]) == 0
+        # Reusing a WAL with history without --recover is refused.
+        assert main([
+            "ingest", str(base), str(arrivals), "--expert-weighting",
+            "--wal-dir", str(wal_dir), "--batch-size", "8",
+        ]) == 2
+
+    def test_recover_against_wrong_config_refused(
+        self, split_corpus, tmp_path
+    ):
+        base, arrivals = split_corpus
+        wal_dir = tmp_path / "wal"
+        assert main([
+            "ingest", str(base), str(arrivals), "--expert-weighting",
+            "--wal-dir", str(wal_dir),
+        ]) == 0
+        assert main([
+            "ingest", str(base), str(arrivals), "--ng", "2.0",
+            "--wal-dir", str(wal_dir), "--recover",
+            "--on-bad-row", "quarantine",
+        ]) == 2
+
+    def test_recover_requires_wal_dir(self, split_corpus):
+        base, arrivals = split_corpus
+        assert main([
+            "ingest", str(base), str(arrivals), "--recover",
+        ]) == 2
+
+    def test_batch_size_must_be_positive(self, split_corpus):
+        base, arrivals = split_corpus
+        assert main([
+            "ingest", str(base), str(arrivals), "--batch-size", "0",
+        ]) == 2
+
+
+class TestCheckpointGcCli:
+    @staticmethod
+    def _seed_checkpoints(directory):
+        directory.mkdir()
+        for name in ("a", "b", "c"):
+            (directory / f"{name}.ckpt.json").write_text("{}")
+
+    def test_dry_run_then_real(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        self._seed_checkpoints(ckpt)
+        assert main([
+            "checkpoint", "gc", str(ckpt), "--keep", "1", "--dry-run",
+        ]) == 0
+        assert "would remove" in capsys.readouterr().out
+        assert len(list(ckpt.iterdir())) == 3
+        assert main(["checkpoint", "gc", str(ckpt), "--keep", "1"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert len(list(ckpt.iterdir())) == 1
+
+    def test_missing_directory_is_an_error(self, tmp_path, capsys):
+        assert main([
+            "checkpoint", "gc", str(tmp_path / "absent"), "--keep", "1",
+        ]) == 2
+        assert "checkpoint gc" in capsys.readouterr().err

@@ -9,6 +9,9 @@ from repro.core.incremental import IncrementalResolver
 from repro.core.pipeline import UncertainERPipeline
 from repro.records.dataset import Dataset
 from repro.records.schema import PlaceType
+from repro.resilience.faults import SimulatedCrash
+from repro.resilience.quarantine import Quarantine, QuarantinePolicy
+from repro.resilience.wal import WalError, WalFaultPlan, WriteAheadLog
 from tests.conftest import make_record
 
 
@@ -203,3 +206,159 @@ class TestAtomicity:
         with pytest.raises(ValueError, match="duplicate"):
             resolver.add_record(next(iter(dataset)))
         assert self._snapshot(resolver) == before
+
+
+def _split(small_corpus, head_fraction=0.6):
+    dataset, _persons = small_corpus
+    ids = sorted(dataset.record_ids)
+    pivot = int(len(ids) * head_fraction)
+    head = dataset.subset(ids[:pivot], name="head")
+    tail = [dataset[rid] for rid in ids[pivot:]]
+    return head, tail
+
+
+def _batched(records, size):
+    return [records[i:i + size] for i in range(0, len(records), size)]
+
+
+def _ranked_csv(resolver, path):
+    resolver.resolution().to_csv(path)
+    return path.read_bytes()
+
+
+_CONFIG = PipelineConfig(ng=3.0, expert_weighting=True)
+
+
+class TestBatchIngestion:
+    """add_records is the streaming write path: atomic, order-faithful."""
+
+    def test_batch_equals_sequential_adds(self, small_corpus, tmp_path):
+        head, tail = _split(small_corpus)
+        sequential = IncrementalResolver(head, _CONFIG)
+        for record in tail:
+            sequential.add_record(record)
+        batched = IncrementalResolver(head, _CONFIG)
+        for batch in _batched(tail, 7):
+            batched.add_records(batch)
+        assert _ranked_csv(sequential, tmp_path / "seq.csv") == _ranked_csv(
+            batched, tmp_path / "batch.csv"
+        )
+
+    def test_batch_result_fields(self, small_corpus):
+        head, tail = _split(small_corpus)
+        resolver = IncrementalResolver(head, _CONFIG)
+        result = resolver.add_records(tail[:5])
+        assert result.batch_id == 0
+        assert result.added == tuple(r.book_id for r in tail[:5])
+        assert result.quarantined == 0
+        assert result.dirty_items > 0
+        next_result = resolver.add_records(tail[5:8])
+        assert next_result.batch_id == 1
+
+    def test_duplicate_fails_fast_atomically(self, small_corpus):
+        head, tail = _split(small_corpus)
+        resolver = IncrementalResolver(head, _CONFIG)
+        size = len(resolver)
+        bad_batch = [tail[0], tail[1], tail[0]]  # intra-batch duplicate
+        with pytest.raises(ValueError, match="duplicate"):
+            resolver.add_records(bad_batch)
+        assert len(resolver) == size
+        assert tail[0].book_id not in resolver
+
+    def test_duplicate_quarantined_rest_committed(self, small_corpus):
+        head, tail = _split(small_corpus)
+        resolver = IncrementalResolver(head, _CONFIG)
+        quarantine = Quarantine()
+        result = resolver.add_records(
+            [tail[0], tail[1], tail[0]],
+            policy=QuarantinePolicy.QUARANTINE,
+            quarantine=quarantine,
+        )
+        assert result.added == (tail[0].book_id, tail[1].book_id)
+        assert result.quarantined == 1
+        assert quarantine.n_quarantined == 1
+
+    def test_empty_batch_consumes_no_batch_id(self, small_corpus):
+        head, _tail = _split(small_corpus)
+        resolver = IncrementalResolver(head, _CONFIG)
+        result = resolver.add_records([])
+        assert result.batch_id == 0
+        assert result.added == ()
+        assert resolver.add_records([]).batch_id == 0
+
+
+class TestDurability:
+    """WAL-backed ingestion: commit is durable, recovery is exact."""
+
+    def test_recover_is_byte_identical(self, small_corpus, tmp_path):
+        head, tail = _split(small_corpus)
+        durable = IncrementalResolver(
+            head, _CONFIG, wal=WriteAheadLog(tmp_path / "wal")
+        )
+        for batch in _batched(tail, 6):
+            durable.add_records(batch)
+        expected = _ranked_csv(durable, tmp_path / "live.csv")
+        durable.wal.close()
+
+        recovered, report = IncrementalResolver.recover(
+            tmp_path / "wal", head, _CONFIG
+        )
+        assert report.batches_replayed == len(_batched(tail, 6))
+        assert report.records_replayed == len(tail)
+        assert report.dropped_batches == ()
+        assert _ranked_csv(recovered, tmp_path / "rec.csv") == expected
+        recovered.wal.close()
+
+    def test_crash_mid_batch_drops_only_the_open_batch(
+        self, small_corpus, tmp_path
+    ):
+        head, tail = _split(small_corpus)
+        batches = _batched(tail, 6)
+        # Append index 2 is batch 1's begin: batch 0 must survive,
+        # batch 1 must be reported dropped.
+        plan = WalFaultPlan(crash_after_append=2)
+        doomed = IncrementalResolver(
+            head, _CONFIG, wal=WriteAheadLog(tmp_path / "wal", fault=plan)
+        )
+        with pytest.raises(SimulatedCrash):
+            for batch in batches:
+                doomed.add_records(batch)
+        doomed.wal.close()
+
+        recovered, report = IncrementalResolver.recover(
+            tmp_path / "wal", head, _CONFIG
+        )
+        assert report.batches_replayed == 1
+        assert report.dropped_batches == (1,)
+        assert report.dropped_records == len(batches[1])
+        assert recovered.wal_counters()["replayed"] == 1
+        # The dropped batch is re-ingestable under its old id.
+        result = recovered.add_records(batches[1])
+        assert result.batch_id == 1
+        recovered.wal.close()
+
+    def test_fresh_resolver_refuses_wal_history(self, small_corpus, tmp_path):
+        head, tail = _split(small_corpus)
+        durable = IncrementalResolver(
+            head, _CONFIG, wal=WriteAheadLog(tmp_path / "wal")
+        )
+        durable.add_records(tail[:4])
+        durable.wal.close()
+        with pytest.raises(ValueError, match="recover"):
+            IncrementalResolver(
+                head, _CONFIG, wal=WriteAheadLog(tmp_path / "wal")
+            )
+
+    def test_recover_refuses_wrong_base(self, small_corpus, tmp_path):
+        dataset, _persons = small_corpus
+        head, tail = _split(small_corpus)
+        durable = IncrementalResolver(
+            head, _CONFIG, wal=WriteAheadLog(tmp_path / "wal")
+        )
+        durable.add_records(tail[:4])
+        durable.wal.close()
+        with pytest.raises(WalError, match="fingerprint mismatch"):
+            IncrementalResolver.recover(tmp_path / "wal", dataset, _CONFIG)
+
+    def test_wal_counters_without_wal_is_empty(self, resolver):
+        assert resolver.wal_counters() == {}

@@ -42,6 +42,7 @@ from repro.resilience import (
     SimulatedCrash,
     StageBudget,
     WorkerCrashPlan,
+    WorkerHangPlan,
 )
 
 CONFIG = dict(max_minsup=4, ng=3.0, expert_weighting=True)
@@ -177,6 +178,53 @@ class TestExecutors:
         assert not plan.should_kill(1, 2)
         with pytest.raises(ValueError):
             WorkerCrashPlan(map_call=-1)
+
+    def test_hung_worker_times_out_and_is_retried(self):
+        payloads = [list(range(i, i + 3)) for i in range(0, 12, 3)]
+        expected = SerialExecutor().map_chunks(_square_chunk, payloads)
+        plan = WorkerHangPlan(map_call=0, chunk=1, seconds=30.0)
+        executor = MultiprocessExecutor(2, timeout=0.5, worker_hang=plan)
+        assert executor.map_chunks(_square_chunk, payloads) == expected
+        assert plan.fired
+        assert executor.stats.hangs_armed == 1
+        assert executor.stats.chunks_timed_out == 1
+        assert executor.stats.worker_retries >= 1
+
+    def test_hung_worker_timeout_traced(self):
+        payloads = [list(range(i, i + 3)) for i in range(0, 12, 3)]
+        expected = SerialExecutor().map_chunks(_square_chunk, payloads)
+        plan = WorkerHangPlan(map_call=0, chunk=0, seconds=30.0)
+        executor = MultiprocessExecutor(2, timeout=0.5, worker_hang=plan)
+        tracer = Tracer()
+        assert (
+            executor.map_chunks(_square_chunk, payloads, tracer=tracer)
+            == expected
+        )
+        tracer.close()
+        counters = tracer.aggregate.counters
+        assert counters["parallel.chunks_timed_out"] == 1
+        assert counters["parallel.worker_retries"] >= 1
+        assert executor.stats.chunks_timed_out == 1
+
+    def test_timeout_without_hang_changes_nothing(self):
+        payloads = [list(range(i, i + 3)) for i in range(0, 12, 3)]
+        expected = SerialExecutor().map_chunks(_square_chunk, payloads)
+        executor = MultiprocessExecutor(2, timeout=60.0)
+        assert executor.map_chunks(_square_chunk, payloads) == expected
+        assert executor.stats.chunks_timed_out == 0
+        assert executor.stats.worker_retries == 0
+
+    def test_timeout_and_hang_plan_validation(self):
+        with pytest.raises(ValueError):
+            MultiprocessExecutor(2, timeout=0.0)
+        with pytest.raises(ValueError):
+            WorkerHangPlan(seconds=0.0)
+        with pytest.raises(ValueError):
+            WorkerHangPlan(map_call=-1)
+        plan = WorkerHangPlan(map_call=0, chunk=1)
+        assert not plan.should_hang(0, 0)
+        assert plan.should_hang(0, 1)
+        assert not plan.should_hang(0, 1)  # fires exactly once
 
 
 # -- serial-vs-parallel parity matrix -----------------------------------------

@@ -11,6 +11,7 @@ kill-and-resume byte-identity lives in ``test_end_to_end_determinism``.
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -28,6 +29,7 @@ from repro.resilience import (
     CheckpointStore,
     FaultInjector,
     FaultPlan,
+    GcReport,
     Quarantine,
     QuarantinePolicy,
     SimulatedCrash,
@@ -36,6 +38,7 @@ from repro.resilience import (
     chain_fingerprint,
     corrupt_csv_rows,
     exhausting_budget,
+    gc_checkpoints,
     truncate_file,
 )
 from repro.resilience.chaos import SCENARIOS, ChaosConfig, run_chaos
@@ -254,6 +257,76 @@ class TestCheckpointStore:
         assert canonical_digest({"a": 1, "b": 2}) == canonical_digest(
             {"b": 2, "a": 1}
         )
+
+
+class TestCheckpointGc:
+    @staticmethod
+    def _checkpoint(directory, stage, age):
+        """Write a fake checkpoint whose mtime is ``age`` seconds ago."""
+        path = directory / f"{stage}{CheckpointStore.SUFFIX}"
+        path.write_text(json.dumps({"stage": stage}))
+        stamp = path.stat().st_mtime - age
+        os.utime(path, (stamp, stamp))
+        return path
+
+    def test_keeps_n_newest_by_mtime(self, tmp_path):
+        for stage, age in (("a", 300), ("b", 200), ("c", 100), ("d", 0)):
+            self._checkpoint(tmp_path, stage, age)
+        report = gc_checkpoints(tmp_path, keep=2)
+        assert report.kept == ("d.ckpt.json", "c.ckpt.json")
+        assert report.removed == ("b.ckpt.json", "a.ckpt.json")
+        assert report.bytes_reclaimed > 0
+        survivors = sorted(p.name for p in tmp_path.iterdir())
+        assert survivors == ["c.ckpt.json", "d.ckpt.json"]
+
+    def test_orphan_tmp_files_always_removed(self, tmp_path):
+        self._checkpoint(tmp_path, "a", 0)
+        orphan = tmp_path / f"b{CheckpointStore.SUFFIX}.tmp"
+        orphan.write_text("half-written")
+        report = gc_checkpoints(tmp_path, keep=5)
+        assert report.removed == ()
+        assert report.orphans_removed == ("b.ckpt.json.tmp",)
+        assert not orphan.exists()
+
+    def test_dry_run_removes_nothing(self, tmp_path):
+        self._checkpoint(tmp_path, "a", 100)
+        self._checkpoint(tmp_path, "b", 0)
+        (tmp_path / f"c{CheckpointStore.SUFFIX}.tmp").write_text("x")
+        report = gc_checkpoints(tmp_path, keep=1, dry_run=True)
+        assert report.dry_run
+        assert report.removed == ("a.ckpt.json",)
+        assert report.orphans_removed == ("c.ckpt.json.tmp",)
+        assert len(list(tmp_path.iterdir())) == 3
+
+    def test_keep_zero_clears_everything(self, tmp_path):
+        self._checkpoint(tmp_path, "a", 100)
+        self._checkpoint(tmp_path, "b", 0)
+        report = gc_checkpoints(tmp_path, keep=0)
+        assert report.kept == ()
+        assert sorted(report.removed) == ["a.ckpt.json", "b.ckpt.json"]
+        assert list(tmp_path.iterdir()) == []
+
+    def test_non_checkpoint_files_untouched(self, tmp_path):
+        self._checkpoint(tmp_path, "a", 0)
+        bystander = tmp_path / "notes.txt"
+        bystander.write_text("keep me")
+        gc_checkpoints(tmp_path, keep=0)
+        assert bystander.exists()
+
+    def test_invalid_arguments(self, tmp_path):
+        with pytest.raises(ValueError):
+            gc_checkpoints(tmp_path, keep=-1)
+        with pytest.raises(FileNotFoundError):
+            gc_checkpoints(tmp_path / "absent", keep=1)
+
+    def test_report_echo_shape(self, tmp_path):
+        self._checkpoint(tmp_path, "a", 0)
+        echo = gc_checkpoints(tmp_path, keep=1).to_echo()
+        assert isinstance(echo, dict)
+        assert echo["keep"] == 1
+        assert echo["kept"] == ["a.ckpt.json"]
+        assert echo["removed"] == []
+        assert isinstance(gc_checkpoints(tmp_path, keep=1), GcReport)
 
 
 class TestBudgets:
