@@ -36,6 +36,19 @@ from repro.parallel import make_executor, partition_evenly
 WORKER_COUNTS = (1, 2, 4)
 SPEEDUP_TARGET = 1.8
 
+#: Both dispatch flavors are compared at this worker count: the legacy
+#: per-chunk-pickled payloads vs the shared-state (fork-inherited
+#: registry + shm-backed corpus) path that is now the default.
+MODE_WORKERS = 2
+
+#: The seed baseline for the batch-scoring throughput lane: before the
+#: batch kernels, the 1-CPU reference container scored 10,699 pairs in
+#: 0.1424 s inside ``mfiblocks.score`` (PR-7 ledger baseline,
+#: parallel_w1.report.json at commit e7c34cf) — about 75k pairs/s. The
+#: vectorized kernels must clear 5x that in the same lane.
+SEED_SCORE_PAIRS_PER_SEC = 75_000.0
+THROUGHPUT_TARGET = 5.0
+
 
 @pytest.fixture(scope="module")
 def corpus():
@@ -69,9 +82,9 @@ def _cpu_counts():
     return total, usable
 
 
-def _resolve(dataset, workers):
+def _resolve(dataset, workers, shared_state=None):
     tracer = Tracer()
-    executor = make_executor(workers)
+    executor = make_executor(workers, shared_state=shared_state)
     pipeline = UncertainERPipeline(
         PipelineConfig(ng=3.5, expert_weighting=True),
         tracer=tracer,
@@ -80,7 +93,40 @@ def _resolve(dataset, workers):
     start = time.perf_counter()
     resolution = pipeline.run(dataset)
     elapsed = time.perf_counter() - start
+    executor.close()
     return _ranked_lines(resolution), elapsed, tracer, executor
+
+
+def _score_throughput(tracer):
+    """(pairs, seconds, pairs/s) of the batch-scoring compute lane.
+
+    ``mfiblocks.score`` now times *only* kernel scoring (support
+    enumeration moved to ``mfiblocks.support``), so pairs_pre_cs_sn /
+    span-seconds is a clean throughput for the dispatch compute lane.
+    """
+    from repro.obs import RunReport
+
+    report = RunReport.build(tracer.aggregate)
+    seconds = sum(
+        stage.total_seconds
+        for stage in report.stages
+        if stage.name == "mfiblocks.score"
+    )
+    pairs = report.counters.get("mfiblocks.pairs_pre_cs_sn", 0)
+    rate = pairs / seconds if seconds > 0 else 0.0
+    return pairs, seconds, rate
+
+
+def _shared_stats(executor):
+    """The shared-dispatch counters for a report's parallel block."""
+    stats = executor.stats
+    return {
+        "shared_state": bool(getattr(executor, "shared_state", False)),
+        "shared_dispatches": stats.shared_dispatches,
+        "bytes_not_pickled": stats.bytes_not_pickled,
+        "shared_segment_bytes": stats.shared_segment_bytes,
+        "pools_created": stats.pools_created,
+    }
 
 
 def test_parallel_speedup_and_parity(corpus, benchmark, request):
@@ -115,22 +161,96 @@ def test_parallel_speedup_and_parity(corpus, benchmark, request):
     speedup_ok = (
         speedups[4] >= SPEEDUP_TARGET if cpu_usable >= 4 else None
     )
+
+    # The batch-scoring throughput lane: serial-run kernel pairs/sec
+    # against the pre-vectorization seed baseline. This is the verdict
+    # that holds on any box, 1-CPU CI included — it measures the
+    # kernels, not the pool.
+    pairs, score_seconds, pairs_per_sec = _score_throughput(tracers[1])
+    throughput_gain = pairs_per_sec / SEED_SCORE_PAIRS_PER_SEC
+    throughput_ok = throughput_gain >= THROUGHPUT_TARGET
+    batch_throughput = {
+        "pairs_pre_cs_sn": pairs,
+        "score_seconds": round(score_seconds, 6),
+        "pairs_per_second": round(pairs_per_sec, 1),
+        "baseline_pairs_per_second": SEED_SCORE_PAIRS_PER_SEC,
+        "throughput_gain": round(throughput_gain, 2),
+        "throughput_target": THROUGHPUT_TARGET,
+        "throughput_ok": throughput_ok,
+    }
+
     for workers in WORKER_COUNTS:
+        parallel_block = {
+            "workers": workers,
+            "cpu_count": cpu_count,
+            "cpu_usable": cpu_usable,
+            "wall_seconds": round(timings[workers], 4),
+            "speedup_vs_serial": round(speedups[workers], 3),
+            "speedup_target": SPEEDUP_TARGET,
+            "speedup_ok": speedup_ok,
+            **_shared_stats(executors[workers]),
+        }
+        if workers == 1:
+            parallel_block["batch_throughput"] = batch_throughput
         emit_report(
             f"parallel_w{workers}", tracers[workers],
             config={"label": f"resolve --workers {workers}"},
             corpus={"name": corpus.name, "n_records": len(corpus)},
-            parallel={
-                "workers": workers,
-                "cpu_count": cpu_count,
-                "cpu_usable": cpu_usable,
-                "wall_seconds": round(timings[workers], 4),
-                "speedup_vs_serial": round(speedups[workers], 3),
-                "speedup_target": SPEEDUP_TARGET,
-                "speedup_ok": speedup_ok,
-            },
+            parallel=parallel_block,
             parallel_profile=executors[workers].profile_echo(),
         )
+
+    # Dispatch-mode comparison at MODE_WORKERS: legacy pickled payloads
+    # vs the shared-state default. Identical bytes out is asserted; the
+    # wall-clock and bytes-not-pickled delta is the point of the mode.
+    pickled_lines, pickled_elapsed, pickled_tracer, pickled_executor = (
+        _resolve(corpus, MODE_WORKERS, shared_state=False)
+    )
+    assert pickled_lines == lines[1], (
+        "pickled-payload dispatch diverged from serial output"
+    )
+    assert not pickled_executor.stats.shared_dispatches
+    emit_report(
+        f"parallel_w{MODE_WORKERS}_pickled", pickled_tracer,
+        config={
+            "label": f"resolve --workers {MODE_WORKERS} (pickled payloads)"
+        },
+        corpus={"name": corpus.name, "n_records": len(corpus)},
+        parallel={
+            "workers": MODE_WORKERS,
+            "cpu_count": cpu_count,
+            "cpu_usable": cpu_usable,
+            "wall_seconds": round(pickled_elapsed, 4),
+            "speedup_vs_serial": round(timings[1] / pickled_elapsed, 3),
+            "speedup_target": SPEEDUP_TARGET,
+            "speedup_ok": speedup_ok,
+            **_shared_stats(pickled_executor),
+        },
+        parallel_profile=pickled_executor.profile_echo(),
+    )
+    shared_stats = _shared_stats(executors[MODE_WORKERS])
+    mode_table = format_series(
+        "mode", ["pickled", "shared"],
+        [
+            ("wall s", [pickled_elapsed, timings[MODE_WORKERS]]),
+            (
+                "MB not pickled",
+                [
+                    0.0,
+                    shared_stats["bytes_not_pickled"] / 1e6,
+                ],
+            ),
+            (
+                "shm MB",
+                [0.0, shared_stats["shared_segment_bytes"] / 1e6],
+            ),
+        ],
+        title=(
+            f"Executor dispatch modes - {MODE_WORKERS} workers, "
+            f"{len(corpus)} records (byte-identical ranked output)"
+        ),
+    )
+    emit("parallel_modes", mode_table)
 
     table = format_series(
         "workers", list(WORKER_COUNTS),
@@ -156,6 +276,18 @@ def test_parallel_speedup_and_parity(corpus, benchmark, request):
             pytest.fail(message)
         # Timing is machine-dependent: report the miss, don't gate on it.
         print(f"WARNING: speedup target missed: {message}", file=sys.stderr)
+
+    if not throughput_ok:
+        message = (
+            f"batch scoring expected >= {THROUGHPUT_TARGET}x the seed "
+            f"baseline ({SEED_SCORE_PAIRS_PER_SEC:.0f} pairs/s), got "
+            f"{throughput_gain:.2f}x ({pairs_per_sec:.0f} pairs/s)"
+        )
+        if request.config.getoption("--assert-speedup"):
+            pytest.fail(message)
+        print(
+            f"WARNING: throughput target missed: {message}", file=sys.stderr
+        )
 
     # Kernel for pytest-benchmark: the chunk-planning step that every
     # parallel dispatch pays, independent of pool scheduling noise.

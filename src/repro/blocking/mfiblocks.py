@@ -37,10 +37,12 @@ from repro.mining.pruning import prune_frequent_items
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.parallel.executor import Executor
 from repro.parallel.merge import max_merge_into
-from repro.parallel.work import score_pair_chunk
+from repro.parallel.shared import SharedStateHandle, publish_shared_state
+from repro.parallel.work import score_pair_chunk, score_pair_chunk_shared
 from repro.records.dataset import Dataset
 from repro.records.itembag import Item
 from repro.resilience.budgets import BudgetMeter, StageBudget
+from repro.similarity.interning import InternedCorpus
 
 __all__ = ["MFIBlocksConfig", "MFIBlocks"]
 
@@ -142,30 +144,60 @@ class MFIBlocks(BlockingAlgorithm):
             result = BlockingResult()
             meter = BudgetMeter(config.budget)
 
-            for minsup in range(config.max_minsup, 1, -1):
-                uncovered = [rid for rid in item_bags if rid not in covered]
-                if not uncovered:
-                    break
-                if meter.exhausted():
-                    break
-                meter.charge()
-                with tracer.span("mfiblocks.minsup", minsup=minsup):
-                    admitted = self._one_iteration(
-                        uncovered, item_bags, minsup, sn_filter, meter
-                    )
-                    for records, key, score in admitted:
-                        result.blocks.append(Block(records, key, score))
-                        covered.update(records)
-                    if self._parallel:
-                        self._score_pairs_parallel(admitted, item_bags, result)
-                    else:
-                        for records, _key, _score in admitted:
-                            self._score_pairs(records, item_bags, result)
-                tracer.count("mfiblocks.blocks_admitted", len(admitted))
-                if meter.degraded:
-                    # Mining was cut short: the admitted blocks are
-                    # valid but coverage stops here.
-                    break
+            # One interned corpus serves every minsup level: block and
+            # pair scoring run through the batch kernels against it
+            # (bit-identical to the scalar scorer, see
+            # repro/similarity/batch.py). When the executor supports
+            # pickle-free dispatch the corpus is published once here —
+            # outside the descent loop — so the forked warm pool stays
+            # valid across iterations.
+            with tracer.span("mfiblocks.intern"):
+                corpus = InternedCorpus(item_bags)
+            handle: Optional[SharedStateHandle] = None
+            executor = self.executor
+            if (
+                self._parallel
+                and executor is not None
+                and executor.shared_state
+            ):
+                handle = publish_shared_state(
+                    scorer=config.scoring, corpus=corpus
+                )
+                executor.stats.shared_segment_bytes = max(
+                    executor.stats.shared_segment_bytes, handle.segment_bytes
+                )
+            try:
+                for minsup in range(config.max_minsup, 1, -1):
+                    uncovered = [
+                        rid for rid in item_bags if rid not in covered
+                    ]
+                    if not uncovered:
+                        break
+                    if meter.exhausted():
+                        break
+                    meter.charge()
+                    with tracer.span("mfiblocks.minsup", minsup=minsup):
+                        admitted = self._one_iteration(
+                            uncovered, item_bags, corpus, minsup, sn_filter,
+                            meter,
+                        )
+                        for records, key, score in admitted:
+                            result.blocks.append(Block(records, key, score))
+                            covered.update(records)
+                        if self._parallel:
+                            self._score_pairs_parallel(
+                                admitted, item_bags, result, corpus, handle
+                            )
+                        else:
+                            self._score_pairs_batch(admitted, corpus, result)
+                    tracer.count("mfiblocks.blocks_admitted", len(admitted))
+                    if meter.degraded:
+                        # Mining was cut short: the admitted blocks are
+                        # valid but coverage stops here.
+                        break
+            finally:
+                if handle is not None:
+                    handle.close()
             if meter.degraded:
                 result.degraded = True
                 tracer.count("mfiblocks.budget_exhausted", 1)
@@ -179,6 +211,7 @@ class MFIBlocks(BlockingAlgorithm):
         self,
         uncovered: List[int],
         item_bags: Dict[int, FrozenSet[Item]],
+        corpus: InternedCorpus,
         minsup: int,
         sn_filter: SparseNeighborhoodFilter,
         meter: Optional[BudgetMeter] = None,
@@ -196,10 +229,14 @@ class MFIBlocks(BlockingAlgorithm):
         if not mfis:
             return []
 
-        with tracer.span("mfiblocks.score", minsup=minsup):
+        # Support finding and block scoring used to share one span;
+        # they are separated so ``mfiblocks.score`` measures exactly
+        # the batched scoring compute lane (the perf ledger's batch-
+        # throughput metric is pairs_pre_cs_sn / this span's seconds).
+        with tracer.span("mfiblocks.support", minsup=minsup):
             index = self._index_for(uncovered, item_bags)
             max_size = int(minsup * config.ng)
-            scored: List[Tuple[FrozenSet[int], FrozenSet[Item], float]] = []
+            candidates: List[Tuple[FrozenSet[int], FrozenSet[Item]]] = []
             seen_supports: Set[FrozenSet[int]] = set()
             rejected_size = 0
             for mfi in mfis:
@@ -210,8 +247,15 @@ class MFIBlocks(BlockingAlgorithm):
                 if support in seen_supports:
                     continue  # distinct MFIs can share a support set
                 seen_supports.add(support)
-                score = config.scoring.score_block(sorted(support), item_bags)
-                scored.append((support, mfi.items, score))
+                candidates.append((support, mfi.items))
+        with tracer.span("mfiblocks.score", minsup=minsup):
+            scores = config.scoring.score_blocks_batch(
+                [sorted(support) for support, _key in candidates], corpus
+            )
+            scored = [
+                (support, key, score)
+                for (support, key), score in zip(candidates, scores)
+            ]
         tracer.count("mfiblocks.blocks_rejected_size", rejected_size)
         with tracer.span("mfiblocks.sn_filter", minsup=minsup):
             admitted = sn_filter.filter_blocks(scored, minsup)
@@ -251,70 +295,99 @@ class MFIBlocks(BlockingAlgorithm):
                 break
         return frozenset(support)
 
-    def _score_pairs(
-        self,
-        records: FrozenSet[int],
-        item_bags: Dict[int, FrozenSet[Item]],
-        result: BlockingResult,
-    ) -> None:
-        """Record pair-level similarity for ranked resolution.
-
-        Each admitted block contributes its member pairs; the pair score
-        is the *record-pair* similarity under the configured scorer (not
-        the block mean), maximized across blocks — the similarity value
-        the uncertain-ER output associates with each match.
-        """
-        scorer = self.config.scoring
-        members = sorted(records)
-        for i, rid_a in enumerate(members):
-            bag_a = item_bags[rid_a]
-            for rid_b in members[i + 1:]:
-                similarity = scorer.pair_similarity(bag_a, item_bags[rid_b])
-                pair = (rid_a, rid_b)
-                current = result.pair_scores.get(pair)
-                if current is None or similarity > current:
-                    result.pair_scores[pair] = similarity
-
-    def _score_pairs_parallel(
-        self,
+    @staticmethod
+    def _unique_pairs(
         admitted: List[Tuple[FrozenSet[int], FrozenSet[Item], float]],
-        item_bags: Dict[int, FrozenSet[Item]],
-        result: BlockingResult,
-    ) -> None:
-        """One minsup level's pair scoring, chunked across workers.
-
-        Computes the same function as :meth:`_score_pairs` over all
-        admitted blocks: the unique candidate pairs are scored with the
-        identical ``pair_similarity`` call and max-merged into
-        ``pair_scores``. Chunking is a deterministic partition of the
-        sorted pair list and the max-merge is order-independent, so the
-        resulting mapping — and the ranked output downstream — is
-        byte-identical to the serial path (docs/PARALLELISM.md).
-        """
-        executor = self.executor
-        if executor is None:  # pragma: no cover - guarded by _parallel
-            raise RuntimeError("parallel scoring requires an executor")
-        pairs = sorted(
+    ) -> List[Tuple[int, int]]:
+        """The sorted, de-duplicated candidate pairs of admitted blocks."""
+        return sorted(
             {
                 pair
                 for records, _key, _score in admitted
                 for pair in pairs_of_block(records)
             }
         )
+
+    def _score_pairs_batch(
+        self,
+        admitted: List[Tuple[FrozenSet[int], FrozenSet[Item], float]],
+        corpus: InternedCorpus,
+        result: BlockingResult,
+    ) -> None:
+        """Record pair-level similarity for ranked resolution (serial).
+
+        Each admitted block contributes its member pairs; the pair
+        score is the *record-pair* similarity under the configured
+        scorer (not the block mean), maximized across blocks — the
+        similarity value the uncertain-ER output associates with each
+        match. Scoring runs through the batch kernels, which are
+        bit-identical per pair to ``pair_similarity``; the max-merge is
+        order-independent, so the mapping equals the historical
+        per-block loop's.
+        """
+        pairs = self._unique_pairs(admitted)
+        if not pairs:
+            return
+        scores = self.config.scoring.pair_similarity_batch(corpus, pairs)
+        max_merge_into(result.pair_scores, list(zip(pairs, scores)))
+
+    def _score_pairs_parallel(
+        self,
+        admitted: List[Tuple[FrozenSet[int], FrozenSet[Item], float]],
+        item_bags: Dict[int, FrozenSet[Item]],
+        result: BlockingResult,
+        corpus: InternedCorpus,
+        handle: Optional[SharedStateHandle],
+    ) -> None:
+        """One minsup level's pair scoring, chunked across workers.
+
+        Computes the same function as :meth:`_score_pairs_batch` over
+        all admitted blocks. With a published shared-state ``handle``
+        the chunks carry only ``(token, pairs)`` — the scorer and the
+        interned corpus come from the fork-inherited registry — and a
+        pair list below the executor's ``min_dispatch_items`` skips
+        dispatch entirely, running the same batch kernels inline.
+        Without a handle (shared state unsupported) the legacy pickled
+        payloads are used. All three routes score with bit-identical
+        kernels, chunking is a deterministic partition of the sorted
+        pair list, and the max-merge is order-independent, so the
+        resulting mapping — and the ranked output downstream — is
+        byte-identical across routes and worker counts
+        (docs/PARALLELISM.md).
+        """
+        executor = self.executor
+        if executor is None:  # pragma: no cover - guarded by _parallel
+            raise RuntimeError("parallel scoring requires an executor")
+        pairs = self._unique_pairs(admitted)
         if not pairs:
             return
         scorer = self.config.scoring
-        payloads = []
-        for chunk in executor.plan_chunks(pairs):
-            # Ship only the item bags this chunk's pairs touch.
-            bags: Dict[int, FrozenSet[Item]] = {}
-            for rid_a, rid_b in chunk:
-                bags[rid_a] = item_bags[rid_a]
-                bags[rid_b] = item_bags[rid_b]
-            payloads.append((scorer, bags, chunk))
-        chunk_results = executor.map_chunks(
-            score_pair_chunk, payloads,
-            tracer=self.tracer, label="mfiblocks.score_pairs",
-        )
+        if handle is not None:
+            if len(pairs) < executor.min_dispatch_items:
+                # Too small to amortize dispatch: same kernels, inline.
+                scores = scorer.pair_similarity_batch(corpus, pairs)
+                max_merge_into(result.pair_scores, list(zip(pairs, scores)))
+                return
+            payloads: List[object] = [
+                (handle.token, chunk) for chunk in executor.plan_chunks(pairs)
+            ]
+            chunk_results = executor.map_chunks(
+                score_pair_chunk_shared, payloads,
+                tracer=self.tracer, label="mfiblocks.score_pairs",
+                shared_bytes=handle.baseline_bytes,
+            )
+        else:
+            payloads = []
+            for chunk in executor.plan_chunks(pairs):
+                # Ship only the item bags this chunk's pairs touch.
+                bags: Dict[int, FrozenSet[Item]] = {}
+                for rid_a, rid_b in chunk:
+                    bags[rid_a] = item_bags[rid_a]
+                    bags[rid_b] = item_bags[rid_b]
+                payloads.append((scorer, bags, chunk))
+            chunk_results = executor.map_chunks(
+                score_pair_chunk, payloads,
+                tracer=self.tracer, label="mfiblocks.score_pairs",
+            )
         for chunk_result in chunk_results:
             max_merge_into(result.pair_scores, chunk_result)

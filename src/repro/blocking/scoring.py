@@ -28,8 +28,14 @@ import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.contracts import deterministic, hot_path, pure
+from repro.contracts import batch_kernel, deterministic, hot_path, pure
 from repro.records.itembag import Item, ItemType
+from repro.similarity.batch import (
+    jaccard_items_batch,
+    soft_jaccard_items_batch,
+    weighted_jaccard_items_batch,
+)
+from repro.similarity.interning import InternedCorpus
 from repro.similarity.items import (
     GeoLookup,
     jaccard_items,
@@ -140,6 +146,61 @@ class BlockScorer:
                 total += self.pair_similarity(bag_a, item_bags[rid_b])
                 n_pairs += 1
         return total / n_pairs
+
+    @batch_kernel
+    @pure
+    def pair_similarity_batch(
+        self, corpus: InternedCorpus, pairs: Sequence[Tuple[int, int]]
+    ) -> List[float]:
+        """Batch form of :meth:`pair_similarity` over an interned corpus.
+
+        Returns one float per pair, bit-equal to the scalar method on
+        the corresponding item bags (see :mod:`repro.similarity.batch`).
+        """
+        if self.method is ScoringMethod.UNIFORM:
+            return jaccard_items_batch(corpus, pairs)
+        if self.method is ScoringMethod.WEIGHTED:
+            weights = self.weights if self.weights is not None else DEFAULT_EXPERT_WEIGHTS
+            return weighted_jaccard_items_batch(corpus, pairs, weights)
+        return soft_jaccard_items_batch(corpus, pairs, self.geo_lookup, self.weights)
+
+    @batch_kernel
+    @pure
+    def score_blocks_batch(
+        self,
+        blocks: Sequence[Sequence[int]],
+        corpus: InternedCorpus,
+    ) -> List[float]:
+        """Batch form of :meth:`score_block` for many blocks at once.
+
+        All member pairs across all blocks are scored in one kernel
+        call; per-block accumulation then replays :meth:`score_block`'s
+        pair order and sequential float addition, so each returned mean
+        is byte-identical to the scalar aggregate.
+        """
+        members_list: List[List[int]] = []
+        spans: List[Tuple[int, int]] = []
+        pairs: List[Tuple[int, int]] = []
+        for records in blocks:
+            members = sorted(records)
+            members_list.append(members)
+            start = len(pairs)
+            for i, rid_a in enumerate(members):
+                for rid_b in members[i + 1:]:
+                    pairs.append((rid_a, rid_b))
+            spans.append((start, len(pairs)))
+        sims = self.pair_similarity_batch(corpus, pairs)
+        out: List[float] = []
+        for index, members in enumerate(members_list):
+            if len(members) < 2:
+                out.append(0.0)
+                continue
+            start, end = spans[index]
+            total = 0.0
+            for value in sims[start:end]:
+                total += value
+            out.append(total / (end - start))
+        return out
 
 
 @pure

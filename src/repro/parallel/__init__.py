@@ -31,10 +31,19 @@ from repro.parallel.executor import (
     make_executor,
 )
 from repro.parallel.merge import max_merge_into, merge_scored_chunks
+from repro.parallel.shared import (
+    SharedStateHandle,
+    publish_shared_state,
+    shared_generation,
+    shared_state,
+    shared_state_supported,
+)
 from repro.parallel.work import (
     classify_pair_chunk,
+    classify_pair_chunk_shared,
     run_traced_chunk,
     score_pair_chunk,
+    score_pair_chunk_shared,
 )
 
 __all__ = [
@@ -48,7 +57,14 @@ __all__ = [
     "make_executor",
     "max_merge_into",
     "merge_scored_chunks",
+    "SharedStateHandle",
+    "publish_shared_state",
+    "shared_generation",
+    "shared_state",
+    "shared_state_supported",
     "classify_pair_chunk",
+    "classify_pair_chunk_shared",
     "run_traced_chunk",
     "score_pair_chunk",
+    "score_pair_chunk_shared",
 ]

@@ -48,6 +48,11 @@ class AdversarialScheduleExecutor(Executor):
 
     name = "adversarial-schedule"
 
+    #: Chunks run in-process, where the shared-state registry is simply
+    #: the parent's — so the hostile schedule also exercises the
+    #: pickle-free dispatch path the real pool uses.
+    shared_state = True
+
     def __init__(
         self,
         workers: int,
@@ -78,6 +83,7 @@ class AdversarialScheduleExecutor(Executor):
         payloads: Sequence[Any],
         tracer: Optional[Tracer] = None,
         label: str = "parallel.map",
+        shared_bytes: Optional[int] = None,
     ) -> List[Any]:
         tracer = tracer if tracer is not None else NULL_TRACER
         stats = self.stats
@@ -86,6 +92,9 @@ class AdversarialScheduleExecutor(Executor):
         work = list(payloads)
         stats.chunks += len(work)
         stats.inline_chunks += len(work)
+        if shared_bytes is not None:
+            stats.shared_dispatches += 1
+            stats.bytes_not_pickled += shared_bytes * len(work)
         if not work:
             self.schedule_log.append([])
             return []

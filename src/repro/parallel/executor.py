@@ -36,6 +36,7 @@ from __future__ import annotations
 import abc
 import os
 import pickle
+import weakref
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -52,6 +53,7 @@ from repro.obs.worker import (
     merge_worker_events,
 )
 from repro.parallel.chunking import fixed_chunks, partition_evenly
+from repro.parallel.shared import shared_generation, shared_state_supported
 from repro.parallel.work import run_traced_chunk
 from repro.resilience.faults import (
     WorkerCrashPlan,
@@ -91,6 +93,10 @@ class ExecutorStats:
     kills_armed: int = 0
     hangs_armed: int = 0
     chunks_timed_out: int = 0
+    shared_dispatches: int = 0
+    bytes_not_pickled: int = 0
+    shared_segment_bytes: int = 0
+    pools_created: int = 0
 
     def to_echo(self) -> Dict[str, int]:
         return {
@@ -102,6 +108,10 @@ class ExecutorStats:
             "kills_armed": self.kills_armed,
             "hangs_armed": self.hangs_armed,
             "chunks_timed_out": self.chunks_timed_out,
+            "shared_dispatches": self.shared_dispatches,
+            "bytes_not_pickled": self.bytes_not_pickled,
+            "shared_segment_bytes": self.shared_segment_bytes,
+            "pools_created": self.pools_created,
         }
 
 
@@ -114,6 +124,17 @@ class Executor(abc.ABC):
     """
 
     name: str = "executor"
+
+    #: Whether callers should use pickle-free shared-state payloads
+    #: (``repro.parallel.shared``) with this executor. Subclasses that
+    #: run chunks in-process (or fork workers) may enable it.
+    shared_state: bool = False
+
+    #: Below this many work items a shared-capable caller should score
+    #: inline with the batch kernels instead of paying dispatch; 0
+    #: means "always dispatch". Advisory — results are identical either
+    #: way, this only moves where the chunk runs.
+    min_dispatch_items: int = 0
 
     def __init__(self, workers: int, chunk_size: Optional[int] = None) -> None:
         if workers < 1:
@@ -128,6 +149,9 @@ class Executor(abc.ABC):
     def parallel(self) -> bool:
         """True when this executor actually dispatches to workers."""
         return self.workers > 1
+
+    def close(self) -> None:
+        """Release any retained resources (warm pools); idempotent."""
 
     @deterministic
     def plan_chunks(self, items: Sequence[T]) -> List[List[T]]:
@@ -165,8 +189,15 @@ class Executor(abc.ABC):
         payloads: Sequence[Any],
         tracer: Optional[Tracer] = None,
         label: str = "parallel.map",
+        shared_bytes: Optional[int] = None,
     ) -> List[Any]:
-        """Apply ``func`` to every payload; results in submission order."""
+        """Apply ``func`` to every payload; results in submission order.
+
+        ``shared_bytes`` is set by shared-state dispatches: the pickled
+        size of the published objects each payload *omits*. Executors
+        use it only for ``bytes_not_pickled`` accounting — it never
+        influences execution.
+        """
 
 
 class SerialExecutor(Executor):
@@ -184,6 +215,7 @@ class SerialExecutor(Executor):
         payloads: Sequence[Any],
         tracer: Optional[Tracer] = None,
         label: str = "parallel.map",
+        shared_bytes: Optional[int] = None,
     ) -> List[Any]:
         tracer = tracer if tracer is not None else NULL_TRACER
         stats = self.stats
@@ -231,6 +263,10 @@ class MultiprocessExecutor(Executor):
 
     name = "multiprocess"
 
+    #: Workers are forked, so they inherit the shared-state registry;
+    #: callers should prefer pickle-free payloads when supported.
+    shared_state = True
+
     def __init__(
         self,
         workers: int,
@@ -239,15 +275,69 @@ class MultiprocessExecutor(Executor):
         profile_memory: bool = False,
         timeout: Optional[float] = None,
         worker_hang: Optional[WorkerHangPlan] = None,
+        shared_state: Optional[bool] = None,
+        min_dispatch_items: int = 512,
     ) -> None:
         super().__init__(workers, chunk_size)
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
+        if min_dispatch_items < 0:
+            raise ValueError(
+                f"min_dispatch_items must be >= 0, got {min_dispatch_items}"
+            )
         self.worker_fault = worker_fault
         self.worker_hang = worker_hang
         self.timeout = timeout
         self.profile_memory = profile_memory
         self.profile = ParallelProfile()
+        if shared_state is not None:
+            self.shared_state = shared_state
+        self.shared_state = self.shared_state and shared_state_supported()
+        self.min_dispatch_items = min_dispatch_items
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_generation = -1
+        self._pool_finalizer: Optional[weakref.finalize] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The warm worker pool, rebuilt only when it must be.
+
+        A pool is reusable while the shared-state registry generation
+        it forked under is current — workers inherit the registry at
+        fork, so a publish/close after the fork makes their snapshot
+        stale. Faulted or timed-out pools are discarded by the dispatch
+        paths. The pool is always ``self.workers`` wide (workers spawn
+        lazily, so an undersized dispatch never pays for idle slots).
+        """
+        generation = shared_generation()
+        pool = self._pool
+        if pool is not None and self._pool_generation == generation:
+            return pool
+        self._discard_pool(wait=True)
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        self._pool = pool
+        self._pool_generation = generation
+        # GC safety net: an executor dropped without close() must not
+        # leave idle workers behind for the rest of the process.
+        self._pool_finalizer = weakref.finalize(
+            self, _abandon_pool, pool
+        )
+        self.stats.pools_created += 1
+        return pool
+
+    def _discard_pool(self, wait: bool) -> None:
+        """Shut the warm pool down (broken, stale, or at close())."""
+        pool = self._pool
+        if pool is None:
+            return
+        self._pool = None
+        self._pool_generation = -1
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        pool.shutdown(wait=wait, cancel_futures=not wait)
+
+    def close(self) -> None:
+        self._discard_pool(wait=True)
 
     @impure(
         reason="spawns OS worker processes whose completion order is "
@@ -261,6 +351,7 @@ class MultiprocessExecutor(Executor):
         payloads: Sequence[Any],
         tracer: Optional[Tracer] = None,
         label: str = "parallel.map",
+        shared_bytes: Optional[int] = None,
     ) -> List[Any]:
         tracer = tracer if tracer is not None else NULL_TRACER
         stats = self.stats
@@ -270,6 +361,9 @@ class MultiprocessExecutor(Executor):
         stats.chunks += len(work)
         if not work:
             return []
+        if shared_bytes is not None:
+            stats.shared_dispatches += 1
+            stats.bytes_not_pickled += shared_bytes * len(work)
         if tracer.enabled:
             return self._map_chunks_traced(
                 func, work, tracer, label, call_index
@@ -288,26 +382,36 @@ class MultiprocessExecutor(Executor):
         failed: List[int] = []
         timed_out: List[int] = []
         with tracer.span(label, executor=self.name, chunks=len(work)):
-            max_workers = min(self.workers, len(work))
-            pool = ProcessPoolExecutor(max_workers=max_workers)
+            pool = self._ensure_pool()
             try:
                 futures: List["Future[Any]"] = []
-                for index, payload in enumerate(work):
-                    fault = self.worker_fault
-                    hang = self.worker_hang
-                    if fault is not None and fault.should_kill(
-                        call_index, index
-                    ):
-                        stats.kills_armed += 1
-                        futures.append(pool.submit(kill_current_worker))
-                    elif hang is not None and hang.should_hang(
-                        call_index, index
-                    ):
-                        stats.hangs_armed += 1
-                        futures.append(pool.submit(hang_worker, hang.seconds))
-                    else:
-                        futures.append(pool.submit(func, payload))
+                try:
+                    for index, payload in enumerate(work):
+                        fault = self.worker_fault
+                        hang = self.worker_hang
+                        if fault is not None and fault.should_kill(
+                            call_index, index
+                        ):
+                            stats.kills_armed += 1
+                            futures.append(pool.submit(kill_current_worker))
+                        elif hang is not None and hang.should_hang(
+                            call_index, index
+                        ):
+                            stats.hangs_armed += 1
+                            futures.append(
+                                pool.submit(hang_worker, hang.seconds)
+                            )
+                        else:
+                            futures.append(pool.submit(func, payload))
+                except BrokenProcessPool:
+                    # A warm worker died while chunks were still being
+                    # submitted; everything unsubmitted is lost and
+                    # recomputed below, like any other broken-pool loss.
+                    pass
                 for index in range(len(work)):
+                    if index >= len(futures):
+                        failed.append(index)
+                        continue
                     try:
                         if self.timeout is not None:
                             results[index] = futures[index].result(
@@ -328,12 +432,12 @@ class MultiprocessExecutor(Executor):
                         timed_out.append(index)
                         futures[index].cancel()
             finally:
-                # A hung worker must never park shutdown; abandon it
-                # (and any not-yet-started futures) when a timeout
-                # fired. A clean run keeps the graceful wait.
-                pool.shutdown(
-                    wait=not timed_out, cancel_futures=bool(timed_out)
-                )
+                # A clean dispatch keeps the pool warm for the next
+                # call. A broken pool is useless and a hung worker
+                # must never park shutdown — discard without waiting
+                # (not-yet-started futures are cancelled).
+                if failed or timed_out:
+                    self._discard_pool(wait=False)
             lost = sorted(failed + timed_out)
             stats.worker_chunks += len(work) - len(lost)
             for index in lost:
@@ -411,37 +515,43 @@ class MultiprocessExecutor(Executor):
                 completed_at[0] = clock.now()
                 collect_seconds = completed_at[0] - submitted_at[0]
             else:
-                pool = ProcessPoolExecutor(
-                    max_workers=min(self.workers, count)
-                )
+                pool = self._ensure_pool()
                 try:
                     t0 = clock.now()
                     futures: List["Future[Any]"] = []
-                    for index, blob in enumerate(blobs):
-                        fault = self.worker_fault
-                        hang = self.worker_hang
-                        submitted_at[index] = clock.now()
-                        if fault is not None and fault.should_kill(
-                            call_index, index
-                        ):
-                            stats.kills_armed += 1
-                            future = pool.submit(kill_current_worker)
-                        elif hang is not None and hang.should_hang(
-                            call_index, index
-                        ):
-                            stats.hangs_armed += 1
-                            future = pool.submit(hang_worker, hang.seconds)
-                        else:
-                            future = pool.submit(
-                                run_traced_chunk,
-                                (func, index, blob, self.profile_memory),
+                    try:
+                        for index, blob in enumerate(blobs):
+                            fault = self.worker_fault
+                            hang = self.worker_hang
+                            submitted_at[index] = clock.now()
+                            if fault is not None and fault.should_kill(
+                                call_index, index
+                            ):
+                                stats.kills_armed += 1
+                                future = pool.submit(kill_current_worker)
+                            elif hang is not None and hang.should_hang(
+                                call_index, index
+                            ):
+                                stats.hangs_armed += 1
+                                future = pool.submit(hang_worker, hang.seconds)
+                            else:
+                                future = pool.submit(
+                                    run_traced_chunk,
+                                    (func, index, blob, self.profile_memory),
+                                )
+                            future.add_done_callback(
+                                _completion_marker(completed_at, index, clock)
                             )
-                        future.add_done_callback(
-                            _completion_marker(completed_at, index, clock)
-                        )
-                        futures.append(future)
+                            futures.append(future)
+                    except BrokenProcessPool:
+                        # A warm worker died mid-submission; everything
+                        # unsubmitted is lost and recomputed below.
+                        pass
                     submit_seconds = clock.now() - t0
                     for index in range(count):
+                        if index >= len(futures):
+                            failed.append(index)
+                            continue
                         t0 = clock.now()
                         try:
                             if self.timeout is not None:
@@ -463,9 +573,10 @@ class MultiprocessExecutor(Executor):
                         collect_seconds += clock.now() - t0
                 finally:
                     t0 = clock.now()
-                    pool.shutdown(
-                        wait=not timed_out, cancel_futures=bool(timed_out)
-                    )
+                    # Same retention policy as the untraced path: keep
+                    # the pool warm unless this dispatch broke it.
+                    if failed or timed_out:
+                        self._discard_pool(wait=False)
                     teardown_seconds = clock.now() - t0
                 lost = sorted(failed + timed_out)
                 stats.worker_chunks += count - len(lost)
@@ -574,6 +685,16 @@ class MultiprocessExecutor(Executor):
         )
 
 
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """weakref.finalize target: reap a warm pool its executor dropped.
+
+    Must not reference the executor (the finalizer fires because it is
+    gone). No waiting — idle workers exit as soon as they see the
+    shutdown sentinel.
+    """
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 def _completion_marker(
     completed_at: Dict[int, float], index: int, clock: Clock
 ) -> Callable[["Future[Any]"], None]:
@@ -597,6 +718,8 @@ def make_executor(
     chunk_size: Optional[int] = None,
     profile_memory: bool = False,
     timeout: Optional[float] = None,
+    shared_state: Optional[bool] = None,
+    min_dispatch_items: int = 512,
 ) -> Executor:
     """The executor for a ``--workers N`` request (serial when N <= 1)."""
     if workers <= 1:
@@ -606,4 +729,6 @@ def make_executor(
         chunk_size=chunk_size,
         profile_memory=profile_memory,
         timeout=timeout,
+        shared_state=shared_state,
+        min_dispatch_items=min_dispatch_items,
     )

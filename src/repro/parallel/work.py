@@ -25,7 +25,13 @@ from typing import (
     Tuple,
 )
 
-from repro.contracts import fork_safe, impure, picklable_work, pure
+from repro.contracts import (
+    fork_safe,
+    impure,
+    picklable_work,
+    pure,
+    shared_readonly,
+)
 from repro.obs.worker import (
     WORKER_CHUNK_SPAN,
     WORKER_COMPUTE_SPAN,
@@ -33,15 +39,23 @@ from repro.obs.worker import (
     WORKER_SERIALIZE_SPAN,
     WorkerTracer,
 )
-from repro.similarity.features import extract_features
+from repro.parallel.shared import shared_state
+from repro.similarity.features import extract_features, extract_features_batch
 
 if TYPE_CHECKING:
     from repro.blocking.scoring import BlockScorer
     from repro.classify.adtree import ADTreeModel
     from repro.records.dataset import Dataset
     from repro.records.itembag import Item
+    from repro.similarity.interning import InternedCorpus
 
-__all__ = ["score_pair_chunk", "classify_pair_chunk", "run_traced_chunk"]
+__all__ = [
+    "score_pair_chunk",
+    "score_pair_chunk_shared",
+    "classify_pair_chunk",
+    "classify_pair_chunk_shared",
+    "run_traced_chunk",
+]
 
 Pair = Tuple[int, int]
 
@@ -55,6 +69,10 @@ ScoreChunk = Tuple["BlockScorer", Dict[int, FrozenSet["Item"]], List[Pair]]
 ClassifyChunk = Tuple[
     "Dataset", "ADTreeModel", Optional[Tuple[str, ...]], List[Pair]
 ]
+
+#: (published shared-state token, pairs to score) — the pickle-free
+#: payload shape; everything heavy lives behind the token.
+SharedPairChunk = Tuple[str, List[Pair]]
 
 
 @picklable_work
@@ -75,6 +93,29 @@ def score_pair_chunk(payload: ScoreChunk) -> List[Tuple[Pair, float]]:
 
 @picklable_work
 @fork_safe
+@shared_readonly
+def score_pair_chunk_shared(
+    payload: SharedPairChunk,
+) -> List[Tuple[Pair, float]]:
+    """Pickle-free variant of :func:`score_pair_chunk`.
+
+    The payload carries only a token and the chunk's pairs; the scorer
+    and the interned corpus come from the fork-inherited shared-state
+    registry (:mod:`repro.parallel.shared`), which workers read but
+    never write. Scoring runs through the batch kernels, which are
+    bit-identical to the scalar ``pair_similarity`` per pair — so the
+    result matches :func:`score_pair_chunk` byte for byte.
+    """
+    token, pairs = payload
+    state = shared_state(token)
+    scorer: "BlockScorer" = state["scorer"]
+    corpus: "InternedCorpus" = state["corpus"]
+    scores = scorer.pair_similarity_batch(corpus, pairs)
+    return [(pair, score) for pair, score in zip(pairs, scores)]
+
+
+@picklable_work
+@fork_safe
 @pure
 def classify_pair_chunk(payload: ClassifyChunk) -> List[Tuple[Pair, float]]:
     """ADTree confidences for one chunk of candidate pairs.
@@ -89,6 +130,30 @@ def classify_pair_chunk(payload: ClassifyChunk) -> List[Tuple[Pair, float]]:
         vector = extract_features(dataset[a], dataset[b], names=feature_names)
         scored.append(((a, b), model.score(vector)))
     return scored
+
+
+@picklable_work
+@fork_safe
+@shared_readonly
+def classify_pair_chunk_shared(
+    payload: SharedPairChunk,
+) -> List[Tuple[Pair, float]]:
+    """Pickle-free variant of :func:`classify_pair_chunk`.
+
+    Dataset, model and feature-name subset resolve through the shared-
+    state registry; feature vectors come from the batch extractor,
+    which is value-identical to ``extract_features`` per pair, so the
+    confidences match the legacy chunk function exactly.
+    """
+    token, pairs = payload
+    state = shared_state(token)
+    dataset: "Dataset" = state["dataset"]
+    model: "ADTreeModel" = state["model"]
+    feature_names: Optional[Tuple[str, ...]] = state["feature_names"]
+    vectors = extract_features_batch(dataset, pairs, names=feature_names)
+    return [
+        (pair, model.score(vector)) for pair, vector in zip(pairs, vectors)
+    ]
 
 
 @picklable_work

@@ -31,14 +31,28 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro.contracts import hot_path
+import numpy as np
+
+from repro.contracts import batch_kernel, hot_path
 from repro.records.itembag import record_to_items
 from repro.records.schema import PLACE_PARTS, PlacePart, PlaceType, VictimRecord
 from repro.similarity.dates import day_distance, month_distance, year_distance
 from repro.geo import haversine_km
 from repro.similarity.strings import jaccard_qgrams, jaro_winkler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.records.dataset import Dataset
 
 __all__ = [
     "FeatureKind",
@@ -47,6 +61,7 @@ __all__ = [
     "FEATURES",
     "FEATURE_NAMES",
     "extract_features",
+    "extract_features_batch",
     "soundex",
     "SAME_YES",
     "SAME_PARTIAL",
@@ -423,3 +438,457 @@ def extract_features(
         feature_spec(name) for name in names
     )
     return {spec.name: spec.extract(a, b) for spec in selected}
+
+
+# -- batch extraction ---------------------------------------------------------
+#
+# ``extract_features_batch`` computes the same feature vectors as
+# ``extract_features``, value-for-value, for a whole chunk of pairs at
+# once. Candidate pairs inside a block share records and — thanks to
+# multi-source reporting — the same few name spellings, so the batch
+# form (a) computes per-record artifacts (name tuples, place-part sets,
+# item bags) once per record instead of once per pair, (b) memoizes the
+# expensive string metrics per *value pair*, and (c) vectorizes the
+# date arithmetic with numpy. Every memoized entry is produced by the
+# scalar helper itself and the integer date math is exact in float64,
+# so each column is equal per pair to the scalar extractor; the
+# property suite in ``tests/test_batch_kernels.py`` pins this.
+
+_MemoKey = Tuple[object, ...]
+
+
+class _BatchFeatureExtractor:
+    """One batch call's per-record artifacts and value-pair memos."""
+
+    __slots__ = ("pairs", "records", "_record_memo", "_value_memo")
+
+    def __init__(self, dataset: "Dataset", pairs: Sequence[Tuple[str, str]]):
+        self.pairs = pairs
+        self.records: Dict[str, VictimRecord] = {
+            rid: dataset[rid]
+            for rid in sorted({rid for pair in pairs for rid in pair})
+        }
+        self._record_memo: Dict[_MemoKey, object] = {}
+        self._value_memo: Dict[_MemoKey, object] = {}
+
+    def per_record(
+        self,
+        tag: _MemoKey,
+        rid: str,
+        build: Callable[[VictimRecord], object],
+    ) -> object:
+        key = tag + (rid,)
+        try:
+            return self._record_memo[key]
+        except KeyError:
+            value = self._record_memo[key] = build(self.records[rid])
+            return value
+
+    def best_metric(
+        self,
+        tag: str,
+        reduce_fn: Callable[..., float],
+        metric: Callable[[str, str], float],
+        values_a: Tuple[object, ...],
+        values_b: Tuple[object, ...],
+    ) -> float:
+        """``reduce_fn(metric(x, y) for x, y in product)``, memoized twice.
+
+        The outer memo keys on the value tuples (record pairs repeat
+        them), the inner on individual value pairs (different records
+        repeat the same spellings). Both return the scalar helper's own
+        floats, so the reduction is over identical values.
+        """
+        key: _MemoKey = (tag, values_a, values_b)
+        memo = self._value_memo
+        try:
+            return memo[key]  # type: ignore[return-value]
+        except KeyError:
+            pass
+        inner = tag + "1"
+        best = reduce_fn(
+            self.pair_metric(inner, metric, x, y)
+            for x in values_a
+            for y in values_b
+        )
+        memo[key] = best
+        return best
+
+    def pair_metric(
+        self,
+        tag: str,
+        metric: Callable[[str, str], float],
+        x: object,
+        y: object,
+    ) -> float:
+        key: _MemoKey = (tag, x, y)
+        memo = self._value_memo
+        try:
+            return memo[key]  # type: ignore[return-value]
+        except KeyError:
+            value = memo[key] = metric(x, y)  # type: ignore[arg-type]
+            return value
+
+
+_ColumnBuilder = Callable[[_BatchFeatureExtractor], List[FeatureValue]]
+
+
+def _batch_same_name(attribute: str) -> _ColumnBuilder:
+    tag: _MemoKey = ("nameset", attribute)
+
+    def build(record: VictimRecord) -> object:
+        return set(record.names(attribute))
+
+    def column(ex: _BatchFeatureExtractor) -> List[FeatureValue]:
+        out: List[FeatureValue] = []
+        for a, b in ex.pairs:
+            names_a = ex.per_record(tag, a, build)
+            names_b = ex.per_record(tag, b, build)
+            if not names_a or not names_b:
+                out.append(None)
+            elif names_a == names_b:
+                out.append(SAME_YES)
+            elif names_a & names_b:  # type: ignore[operator]
+                out.append(SAME_PARTIAL)
+            else:
+                out.append(SAME_NO)
+        return out
+
+    return column
+
+
+def _lowered_qgram_jaccard(x: str, y: str) -> float:
+    return jaccard_qgrams(x.lower(), y.lower())
+
+
+def _lowered_jaro_winkler(x: str, y: str) -> float:
+    return jaro_winkler(x.lower(), y.lower())
+
+
+def _batch_name_metric(
+    attribute: str, tag: str, metric: Callable[[str, str], float]
+) -> _ColumnBuilder:
+    names_tag: _MemoKey = ("names", attribute)
+
+    def build(record: VictimRecord) -> object:
+        return record.names(attribute)
+
+    def column(ex: _BatchFeatureExtractor) -> List[FeatureValue]:
+        out: List[FeatureValue] = []
+        for a, b in ex.pairs:
+            names_a = ex.per_record(names_tag, a, build)
+            names_b = ex.per_record(names_tag, b, build)
+            if not names_a or not names_b:
+                out.append(None)
+            else:
+                out.append(
+                    ex.best_metric(tag, max, metric, names_a, names_b)  # type: ignore[arg-type]
+                )
+        return out
+
+    return column
+
+
+def _batch_name_soundex(attribute: str) -> _ColumnBuilder:
+    tag: _MemoKey = ("soundex", attribute)
+
+    def build(record: VictimRecord) -> object:
+        names = record.names(attribute)
+        if not names:
+            return None
+        return {soundex(name) for name in names}
+
+    def column(ex: _BatchFeatureExtractor) -> List[FeatureValue]:
+        out: List[FeatureValue] = []
+        for a, b in ex.pairs:
+            codes_a = ex.per_record(tag, a, build)
+            codes_b = ex.per_record(tag, b, build)
+            if codes_a is None or codes_b is None:
+                out.append(None)
+            else:
+                out.append(
+                    SAME_YES if codes_a & codes_b else SAME_NO  # type: ignore[operator]
+                )
+        return out
+
+    return column
+
+
+def _batch_birth_component(component: str) -> _ColumnBuilder:
+    attr = f"birth_{component}"
+    if component == "day":
+        cycle, checker = 31, day_distance
+    elif component == "month":
+        cycle, checker = 12, month_distance
+    else:
+        cycle, checker = 0, year_distance
+
+    def column(ex: _BatchFeatureExtractor) -> List[FeatureValue]:
+        count = len(ex.pairs)
+        a_arr = np.zeros(count, dtype=np.int64)
+        b_arr = np.zeros(count, dtype=np.int64)
+        valid = np.zeros(count, dtype=bool)
+        records = ex.records
+        for index, (a, b) in enumerate(ex.pairs):
+            value_a = getattr(records[a], attr)
+            value_b = getattr(records[b], attr)
+            if value_a is not None and value_b is not None:
+                valid[index] = True
+                a_arr[index] = value_a
+                b_arr[index] = value_b
+        diff = np.abs(a_arr - b_arr)
+        if cycle:
+            in_range = (
+                (a_arr >= 1) & (a_arr <= cycle) & (b_arr >= 1) & (b_arr <= cycle)
+            )
+            bad = valid & ~in_range
+            if bad.any():
+                # Replicate the scalar helper's range ValueError.
+                first = int(np.flatnonzero(bad)[0])
+                checker(int(a_arr[first]), int(b_arr[first]))
+            dist = np.minimum(diff, cycle - diff)
+        else:
+            dist = diff
+        # Distances are small exact integers; int64 → float64 is exact.
+        values: List[float] = dist.astype(np.float64).tolist()
+        valid_list: List[bool] = valid.tolist()
+        return [
+            values[index] if valid_list[index] else None
+            for index in range(count)
+        ]
+
+    return column
+
+
+_DOB_TAG: _MemoKey = ("dob",)
+
+
+def _dob_triple(record: VictimRecord) -> object:
+    return (record.birth_year, record.birth_month, record.birth_day)
+
+
+def _batch_full_dob(ex: _BatchFeatureExtractor) -> List[FeatureValue]:
+    count = len(ex.pairs)
+    days_a = np.zeros(count, dtype=np.int64)
+    days_b = np.zeros(count, dtype=np.int64)
+    valid = np.zeros(count, dtype=bool)
+    for index, (a, b) in enumerate(ex.pairs):
+        year_a, month_a, day_a = ex.per_record(_DOB_TAG, a, _dob_triple)  # type: ignore[misc]
+        year_b, month_b, day_b = ex.per_record(_DOB_TAG, b, _dob_triple)  # type: ignore[misc]
+        if None in (year_a, year_b, month_a, month_b, day_a, day_b):
+            continue
+        valid[index] = True
+        days_a[index] = year_a * 365 + (month_a - 1) * 30 + day_a
+        days_b[index] = year_b * 365 + (month_b - 1) * 30 + day_b
+    values: List[float] = (
+        np.abs(days_a - days_b).astype(np.float64).tolist()
+    )
+    valid_list: List[bool] = valid.tolist()
+    return [
+        values[index] if valid_list[index] else None for index in range(count)
+    ]
+
+
+def _batch_same_place_part(
+    place_type: PlaceType, part: PlacePart
+) -> _ColumnBuilder:
+    tag: _MemoKey = ("placepart", place_type, part)
+
+    def build(record: VictimRecord) -> object:
+        return {
+            place.part(part)
+            for place in record.places_of(place_type)
+            if place.part(part) is not None
+        }
+
+    def column(ex: _BatchFeatureExtractor) -> List[FeatureValue]:
+        out: List[FeatureValue] = []
+        for a, b in ex.pairs:
+            parts_a = ex.per_record(tag, a, build)
+            parts_b = ex.per_record(tag, b, build)
+            if not parts_a or not parts_b:
+                out.append(None)
+            else:
+                out.append(
+                    SAME_YES if parts_a & parts_b else SAME_NO  # type: ignore[operator]
+                )
+        return out
+
+    return column
+
+
+def _batch_geo_dist(place_type: PlaceType) -> _ColumnBuilder:
+    tag: _MemoKey = ("coords", place_type)
+
+    def build(record: VictimRecord) -> object:
+        return tuple(
+            place.coords
+            for place in record.places_of(place_type)
+            if place.coords is not None
+        )
+
+    def column(ex: _BatchFeatureExtractor) -> List[FeatureValue]:
+        out: List[FeatureValue] = []
+        for a, b in ex.pairs:
+            coords_a = ex.per_record(tag, a, build)
+            coords_b = ex.per_record(tag, b, build)
+            if not coords_a or not coords_b:
+                out.append(None)
+            else:
+                out.append(
+                    ex.best_metric(
+                        "geo", min, haversine_km, coords_a, coords_b  # type: ignore[arg-type]
+                    )
+                )
+        return out
+
+    return column
+
+
+def _batch_same_source(ex: _BatchFeatureExtractor) -> List[FeatureValue]:
+    records = ex.records
+    return [
+        SAME_YES if records[a].source.key == records[b].source.key else SAME_NO
+        for a, b in ex.pairs
+    ]
+
+
+def _batch_same_gender(ex: _BatchFeatureExtractor) -> List[FeatureValue]:
+    records = ex.records
+    out: List[FeatureValue] = []
+    for a, b in ex.pairs:
+        gender_a = records[a].gender
+        gender_b = records[b].gender
+        if gender_a is None or gender_b is None:
+            out.append(None)
+        else:
+            out.append(SAME_YES if gender_a is gender_b else SAME_NO)
+    return out
+
+
+def _batch_same_profession(ex: _BatchFeatureExtractor) -> List[FeatureValue]:
+    records = ex.records
+    out: List[FeatureValue] = []
+    for a, b in ex.pairs:
+        prof_a = records[a].profession
+        prof_b = records[b].profession
+        if prof_a is None or prof_b is None:
+            out.append(None)
+        else:
+            out.append(SAME_YES if prof_a == prof_b else SAME_NO)
+    return out
+
+
+_ITEMS_TAG: _MemoKey = ("items",)
+_PATTERN_TAG: _MemoKey = ("pattern",)
+
+
+def _record_pattern(record: VictimRecord) -> object:
+    return record.pattern()
+
+
+def _batch_item_jaccard(ex: _BatchFeatureExtractor) -> List[FeatureValue]:
+    out: List[FeatureValue] = []
+    for a, b in ex.pairs:
+        items_a = ex.per_record(_ITEMS_TAG, a, record_to_items)
+        items_b = ex.per_record(_ITEMS_TAG, b, record_to_items)
+        inter = len(items_a & items_b)  # type: ignore[operator]
+        union = len(items_a) + len(items_b) - inter  # type: ignore[arg-type]
+        out.append(inter / union if union else None)
+    return out
+
+
+def _batch_n_shared_items(ex: _BatchFeatureExtractor) -> List[FeatureValue]:
+    return [
+        float(
+            len(
+                ex.per_record(_ITEMS_TAG, a, record_to_items)
+                & ex.per_record(_ITEMS_TAG, b, record_to_items)  # type: ignore[operator]
+            )
+        )
+        for a, b in ex.pairs
+    ]
+
+
+def _batch_pattern_overlap(ex: _BatchFeatureExtractor) -> List[FeatureValue]:
+    out: List[FeatureValue] = []
+    for a, b in ex.pairs:
+        pattern_a = ex.per_record(_PATTERN_TAG, a, _record_pattern)
+        pattern_b = ex.per_record(_PATTERN_TAG, b, _record_pattern)
+        inter = len(pattern_a & pattern_b)  # type: ignore[operator]
+        union = len(pattern_a) + len(pattern_b) - inter  # type: ignore[arg-type]
+        out.append(inter / union if union else None)
+    return out
+
+
+def _build_batch_columns() -> Dict[str, _ColumnBuilder]:
+    columns: Dict[str, _ColumnBuilder] = {}
+    for code, attribute in _NAME_CODES:
+        columns[f"same{code}"] = _batch_same_name(attribute)
+        columns[f"{code}dist"] = _batch_name_metric(
+            attribute, "qgram", _lowered_qgram_jaccard
+        )
+    for index, component in enumerate(("day", "month", "year"), start=1):
+        columns[f"B{index}dist"] = _batch_birth_component(component)
+    for code, place_type in _PLACE_CODES:
+        for part in PLACE_PARTS:
+            columns[f"same{code}{part.value.capitalize()}"] = (
+                _batch_same_place_part(place_type, part)
+            )
+        columns[f"{code}GeoDist"] = _batch_geo_dist(place_type)
+    columns["sameSource"] = _batch_same_source
+    columns["sameGender"] = _batch_same_gender
+    columns["sameProfession"] = _batch_same_profession
+    columns["soundexFN"] = _batch_name_soundex("first")
+    columns["soundexLN"] = _batch_name_soundex("last")
+    columns["FNjw"] = _batch_name_metric("first", "jw", _lowered_jaro_winkler)
+    columns["LNjw"] = _batch_name_metric("last", "jw", _lowered_jaro_winkler)
+    columns["fullDOBdist"] = _batch_full_dob
+    columns["itemJaccard"] = _batch_item_jaccard
+    columns["nSharedItems"] = _batch_n_shared_items
+    columns["patternOverlap"] = _batch_pattern_overlap
+    return columns
+
+
+#: Column builders for every registered feature, by name.
+_BATCH_COLUMNS: Dict[str, _ColumnBuilder] = _build_batch_columns()
+
+if set(_BATCH_COLUMNS) != set(FEATURE_NAMES):  # pragma: no cover - invariant
+    raise AssertionError("batch column registry out of sync with FEATURES")
+
+
+@batch_kernel
+def extract_features_batch(
+    dataset: "Dataset",
+    pairs: Sequence[Tuple[str, str]],
+    names: Optional[Tuple[str, ...]] = None,
+) -> List[FeatureVector]:
+    """Feature vectors for a chunk of pairs; ≡ :func:`extract_features`.
+
+    Returns one :data:`FeatureVector` per pair, in pair order, with the
+    keys in the same (selected-spec) order the scalar extractor uses.
+    A feature absent from the batch registry falls back to its scalar
+    ``extract`` per pair, so subset selection via ``names`` behaves
+    identically — including the ``ValueError`` on unknown names.
+    """
+    selected = FEATURES if names is None else tuple(
+        feature_spec(name) for name in names
+    )
+    pair_list = list(pairs)
+    if not pair_list:
+        return []
+    extractor = _BatchFeatureExtractor(dataset, pair_list)
+    columns: List[List[FeatureValue]] = []
+    for spec in selected:
+        builder = _BATCH_COLUMNS.get(spec.name)
+        if builder is None:
+            records = extractor.records
+            columns.append(
+                [spec.extract(records[a], records[b]) for a, b in pair_list]
+            )
+        else:
+            columns.append(builder(extractor))
+    return [
+        {spec.name: columns[j][index] for j, spec in enumerate(selected)}
+        for index in range(len(pair_list))
+    ]

@@ -1,0 +1,287 @@
+"""Property tests: batch kernels are bit-identical to their scalar twins.
+
+The vectorized kernels (``repro.similarity.batch``, the batch feature
+extractor in ``repro.similarity.features``, and the ``BlockScorer``
+batch methods) each promise byte-for-byte the floats of the scalar
+reference they replace. Hypothesis hunts for the counterexample on:
+
+* random corpora over every item type, with unicode/transliteration
+  noise in the values (mixed scripts, diacritics, apostrophes);
+* random weight tables including negative, huge, subnormal, inf and
+  NaN weights (the exact-arithmetic fast path must *decline* those and
+  delegate, not drift);
+* empty and degenerate sets, self-pairs, duplicated pairs;
+* arbitrary chunkings — splitting the pair list anywhere and
+  concatenating the per-chunk results must reproduce the whole-batch
+  output exactly, which is what makes executor chunk planning invisible
+  in the ranked output.
+
+Comparisons go through ``repr`` so ``-0.0`` vs ``0.0`` and NaN count
+as drift/equality correctly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import GeoPoint
+from repro.records.itembag import Item, ItemType
+from repro.similarity.batch import (
+    jaccard_items_batch,
+    soft_jaccard_items_batch,
+    weighted_jaccard_items_batch,
+)
+from repro.similarity.features import (
+    FEATURE_NAMES,
+    extract_features,
+    extract_features_batch,
+)
+from repro.similarity.interning import InternedCorpus
+from repro.similarity.items import (
+    jaccard_items,
+    soft_jaccard_items,
+    weighted_jaccard_items,
+)
+from tools.golden_kernels import golden_dataset
+
+#: Unicode noise: latin + diacritics + Hebrew + Cyrillic + digits and
+#: the punctuation that survives transliteration.
+VALUE_ALPHABET = (
+    "abcdefgh 0123456789"
+    "ÀàäöüßŁłčćżŹźșţ"
+    "אבגדה"
+    "абвгд"
+    "-'’."
+)
+
+GAZETTEER = {
+    "Torino": GeoPoint(45.0703, 7.6869),
+    "Moncalieri": GeoPoint(44.9997, 7.6822),
+    "Auschwitz": GeoPoint(50.0343, 19.2098),
+}
+
+
+def lookup(name):
+    return GAZETTEER.get(name)
+
+
+def reprs(values):
+    return [repr(value) for value in values]
+
+
+values = st.text(alphabet=VALUE_ALPHABET, max_size=8)
+geo_values = st.one_of(values, st.sampled_from(sorted(GAZETTEER)))
+item_types = st.sampled_from(list(ItemType))
+items = st.builds(
+    Item,
+    item_types,
+    values,
+)
+bags = st.frozensets(items, max_size=12)
+
+weight_values = st.one_of(
+    st.floats(
+        min_value=0.0,
+        max_value=16.0,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    st.sampled_from(
+        [
+            -1.0,
+            0.0,
+            0.5,
+            1.0,
+            2.5,
+            1e300,
+            5e-324,
+            float("inf"),
+            float("nan"),
+        ]
+    ),
+)
+weight_tables = st.dictionaries(item_types, weight_values, max_size=8)
+
+
+@st.composite
+def corpora_with_pairs(draw, bag_strategy=bags, max_records=8, max_pairs=12):
+    """(item_bags, pairs) with self-pairs and duplicates allowed."""
+    n = draw(st.integers(min_value=1, max_value=max_records))
+    item_bags = {rid: draw(bag_strategy) for rid in range(n)}
+    rid = st.integers(min_value=0, max_value=n - 1)
+    pairs = draw(st.lists(st.tuples(rid, rid), max_size=max_pairs))
+    return item_bags, pairs
+
+
+class TestItemKernelsMatchScalar:
+    @settings(max_examples=80, deadline=None)
+    @given(corpora_with_pairs())
+    def test_jaccard(self, case):
+        item_bags, pairs = case
+        corpus = InternedCorpus(item_bags)
+        batch = jaccard_items_batch(corpus, pairs)
+        scalar = [
+            jaccard_items(item_bags[a], item_bags[b]) for a, b in pairs
+        ]
+        assert reprs(batch) == reprs(scalar)
+
+    @settings(max_examples=80, deadline=None)
+    @given(corpora_with_pairs(), weight_tables)
+    def test_weighted_jaccard(self, case, weights):
+        item_bags, pairs = case
+        corpus = InternedCorpus(item_bags)
+        batch = weighted_jaccard_items_batch(corpus, pairs, weights)
+        scalar = [
+            weighted_jaccard_items(item_bags[a], item_bags[b], weights)
+            for a, b in pairs
+        ]
+        assert reprs(batch) == reprs(scalar)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        corpora_with_pairs(
+            bag_strategy=st.frozensets(
+                st.builds(Item, item_types, geo_values), max_size=10
+            )
+        ),
+        st.one_of(st.none(), weight_tables),
+        st.booleans(),
+    )
+    def test_soft_jaccard(self, case, weights, with_geo):
+        item_bags, pairs = case
+        geo = lookup if with_geo else None
+        corpus = InternedCorpus(item_bags)
+        batch = soft_jaccard_items_batch(corpus, pairs, geo, weights)
+        scalar = [
+            soft_jaccard_items(item_bags[a], item_bags[b], geo, weights)
+            for a, b in pairs
+        ]
+        assert reprs(batch) == reprs(scalar)
+
+    def test_empty_corpus_and_empty_pairs(self):
+        corpus = InternedCorpus({})
+        assert jaccard_items_batch(corpus, []) == []
+        assert weighted_jaccard_items_batch(corpus, [], {}) == []
+        assert soft_jaccard_items_batch(corpus, [], None, None) == []
+
+    def test_empty_and_identical_bags(self):
+        bag = frozenset({Item(ItemType.FIRST_NAME, "Guido")})
+        item_bags = {0: frozenset(), 1: bag, 2: bag}
+        corpus = InternedCorpus(item_bags)
+        pairs = [(0, 0), (0, 1), (1, 2), (2, 2)]
+        for kernel, scalar in (
+            (
+                lambda c, p: jaccard_items_batch(c, p),
+                lambda a, b: jaccard_items(a, b),
+            ),
+            (
+                lambda c, p: weighted_jaccard_items_batch(
+                    c, p, {ItemType.FIRST_NAME: 2.0}
+                ),
+                lambda a, b: weighted_jaccard_items(
+                    a, b, {ItemType.FIRST_NAME: 2.0}
+                ),
+            ),
+        ):
+            assert reprs(kernel(corpus, pairs)) == reprs(
+                [scalar(item_bags[a], item_bags[b]) for a, b in pairs]
+            )
+
+
+class TestChunkingInvariance:
+    """Any partition of the pair list reproduces the whole batch."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(corpora_with_pairs(max_pairs=16), weight_tables, st.data())
+    def test_item_kernels(self, case, weights, data):
+        item_bags, pairs = case
+        corpus = InternedCorpus(item_bags)
+        cuts = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(pairs)),
+                max_size=4,
+            )
+        )
+        bounds = sorted({0, *cuts, len(pairs)})
+        chunks = [
+            pairs[start:end] for start, end in zip(bounds, bounds[1:])
+        ] or [[]]
+        for kernel in (
+            lambda c, p: jaccard_items_batch(c, p),
+            lambda c, p: weighted_jaccard_items_batch(c, p, weights),
+            lambda c, p: soft_jaccard_items_batch(c, p, lookup, weights),
+        ):
+            whole = kernel(corpus, pairs)
+            pieces = [
+                value for chunk in chunks for value in kernel(corpus, chunk)
+            ]
+            assert reprs(pieces) == reprs(whole)
+
+
+class TestBatchFeatureExtractor:
+    """extract_features_batch == extract_features, pair by pair."""
+
+    @classmethod
+    def setup_class(cls):
+        cls.dataset = golden_dataset()
+        cls.rids = sorted(cls.dataset.record_ids)[:60]
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_matches_scalar_on_real_records(self, data):
+        rid = st.sampled_from(self.rids)
+        pairs = data.draw(st.lists(st.tuples(rid, rid), max_size=8))
+        batch = extract_features_batch(self.dataset, pairs)
+        for pair, vector in zip(pairs, batch):
+            a, b = pair
+            scalar = extract_features(self.dataset[a], self.dataset[b])
+            assert list(vector) == list(scalar)
+            for name in scalar:
+                left, right = vector[name], scalar[name]
+                if isinstance(left, float) or isinstance(right, float):
+                    assert repr(left) == repr(right)
+                else:
+                    assert left == right
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_feature_subsets(self, data):
+        names = tuple(
+            data.draw(
+                st.lists(
+                    st.sampled_from(FEATURE_NAMES),
+                    min_size=1,
+                    max_size=6,
+                    unique=True,
+                )
+            )
+        )
+        rid = st.sampled_from(self.rids)
+        pairs = data.draw(st.lists(st.tuples(rid, rid), max_size=5))
+        batch = extract_features_batch(self.dataset, pairs, names=names)
+        for pair, vector in zip(pairs, batch):
+            a, b = pair
+            scalar = extract_features(
+                self.dataset[a], self.dataset[b], names=names
+            )
+            assert list(vector) == list(scalar) == list(names)
+            assert reprs(vector.values()) == reprs(scalar.values())
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_chunking_invariance(self, data):
+        rid = st.sampled_from(self.rids)
+        pairs = data.draw(st.lists(st.tuples(rid, rid), max_size=10))
+        cut = data.draw(st.integers(min_value=0, max_value=len(pairs)))
+        whole = extract_features_batch(self.dataset, pairs)
+        pieces = extract_features_batch(
+            self.dataset, pairs[:cut]
+        ) + extract_features_batch(self.dataset, pairs[cut:])
+        assert len(whole) == len(pieces)
+        for left, right in zip(whole, pieces):
+            assert list(left) == list(right)
+            assert reprs(left.values()) == reprs(right.values())
+
+    def test_empty_pair_list(self):
+        assert extract_features_batch(self.dataset, []) == []

@@ -1,0 +1,149 @@
+"""Golden-vector regression suite for the batch similarity kernels.
+
+``tests/fixtures/golden_kernels/`` pins the exact bytes the kernels
+produced when the fixtures were last regenerated (see
+``tools/golden_kernels.py``): a 200-pair corpus with its expected
+48-column feature matrix and its ranked pair-similarity scores under
+all three scoring methods. Any drift — batch kernel, scalar reference,
+or generator — fails here with a per-feature diff, so an accidental
+ULP-level change cannot hide inside an end-to-end aggregate.
+
+Intentional changes regenerate with::
+
+    PYTHONPATH=src python -m tools.golden_kernels --write
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.similarity.features import FEATURE_NAMES, extract_features
+from tools.golden_kernels import (
+    FEATURES_CSV,
+    N_PAIRS,
+    RANKED_CSV,
+    compute_feature_rows,
+    compute_ranked_rows,
+    golden_dataset,
+    golden_pairs,
+    load_features_csv,
+    load_ranked_csv,
+)
+
+
+def _same_value(expected, actual) -> bool:
+    """Bit-exact feature equality (repr catches -0.0 and NaN)."""
+    if expected is None or actual is None:
+        return expected is None and actual is None
+    if isinstance(expected, str) or isinstance(actual, str):
+        return expected == actual
+    return repr(float(expected)) == repr(float(actual))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return golden_dataset()
+
+
+@pytest.fixture(scope="module")
+def pairs(dataset):
+    return golden_pairs(dataset)
+
+
+class TestFixtureShape:
+    def test_fixtures_are_committed(self):
+        assert FEATURES_CSV.is_file(), "run tools/golden_kernels.py --write"
+        assert RANKED_CSV.is_file(), "run tools/golden_kernels.py --write"
+
+    def test_feature_matrix_dimensions(self):
+        names, fixture_pairs, rows = load_features_csv()
+        assert tuple(names) == FEATURE_NAMES
+        assert len(names) == 48
+        assert len(fixture_pairs) == N_PAIRS == 200
+        assert len(rows) == N_PAIRS
+
+    def test_pair_selection_is_reproducible(self, dataset, pairs):
+        _names, fixture_pairs, _rows = load_features_csv()
+        assert fixture_pairs == pairs
+
+
+class TestGoldenFeatureMatrix:
+    def test_batch_extractor_matches_committed_matrix(self, dataset, pairs):
+        names, fixture_pairs, expected_rows = load_features_csv()
+        actual_rows = compute_feature_rows(dataset, fixture_pairs)
+        diffs = []
+        for pair, expected, actual in zip(
+            fixture_pairs, expected_rows, actual_rows
+        ):
+            for name in names:
+                if not _same_value(expected[name], actual[name]):
+                    diffs.append(
+                        f"pair {pair} feature {name!r}: "
+                        f"expected {expected[name]!r}, got {actual[name]!r}"
+                    )
+        assert not diffs, self._format(diffs)
+
+    def test_scalar_extractor_matches_committed_matrix(self, dataset):
+        # The fixture pins the *scalar* reference too: batch == golden
+        # and scalar == golden together re-prove batch == scalar on
+        # every committed pair.
+        names, fixture_pairs, expected_rows = load_features_csv()
+        diffs = []
+        for pair, expected in zip(fixture_pairs, expected_rows):
+            a, b = pair
+            actual = extract_features(dataset[a], dataset[b])
+            for name in names:
+                if not _same_value(expected[name], actual[name]):
+                    diffs.append(
+                        f"pair {pair} feature {name!r}: "
+                        f"expected {expected[name]!r}, got {actual[name]!r}"
+                    )
+        assert not diffs, self._format(diffs)
+
+    @staticmethod
+    def _format(diffs):
+        shown = diffs[:20]
+        if len(diffs) > len(shown):
+            shown.append(f"... and {len(diffs) - len(shown)} more")
+        return "golden feature drift:\n" + "\n".join(shown)
+
+
+class TestGoldenRankedPairs:
+    def test_batch_scorers_match_committed_ranking(self, dataset, pairs):
+        expected = load_ranked_csv()
+        actual = compute_ranked_rows(dataset, pairs)
+        assert len(expected) == len(actual) == N_PAIRS
+        diffs = []
+        for exp, act in zip(expected, actual):
+            if exp[:3] != act[:3] or any(
+                not _same_value(e, a) for e, a in zip(exp[3:], act[3:])
+            ):
+                diffs.append(f"expected {exp!r}, got {act!r}")
+        assert not diffs, "golden ranking drift:\n" + "\n".join(diffs[:20])
+
+    def test_scalar_scorer_matches_committed_scores(self, dataset):
+        from repro.blocking.scoring import BlockScorer, ScoringMethod
+
+        bags = dataset.item_bags
+        scorers = {
+            "uniform": BlockScorer(method=ScoringMethod.UNIFORM),
+            "weighted": BlockScorer(method=ScoringMethod.WEIGHTED),
+            "soft": BlockScorer(method=ScoringMethod.EXPERT),
+        }
+        diffs = []
+        for _rank, a, b, uniform, weighted, soft in load_ranked_csv():
+            expected = {"uniform": uniform, "weighted": weighted, "soft": soft}
+            for key, scorer in scorers.items():
+                actual = scorer.pair_similarity(bags[a], bags[b])
+                if not _same_value(expected[key], actual):
+                    diffs.append(
+                        f"pair ({a}, {b}) {key}: "
+                        f"expected {expected[key]!r}, got {actual!r}"
+                    )
+        assert not diffs, "golden score drift:\n" + "\n".join(diffs[:20])
+
+    def test_ranking_is_sorted_by_weighted_desc(self):
+        rows = load_ranked_csv()
+        keys = [(-weighted, a, b) for _r, a, b, _u, weighted, _s in rows]
+        assert keys == sorted(keys)
+        assert [row[0] for row in rows] == list(range(1, len(rows) + 1))

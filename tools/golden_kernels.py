@@ -1,0 +1,260 @@
+"""Golden-vector fixtures pinning the batch similarity kernels.
+
+The batch kernels in ``repro.similarity.batch`` / ``repro.similarity
+.features`` / ``repro.blocking.scoring`` promise *bit-identical* output
+to their scalar references. ``tests/test_batch_kernels.py`` checks that
+promise against the scalar code as it exists today; this module pins it
+against the past as well: a committed corpus of record pairs with their
+expected 48-column feature matrix and ranked similarity scores, so a
+refactor that drifts either side (batch *or* scalar) by even one ULP
+fails ``tests/test_golden_kernels.py`` with a per-feature diff.
+
+Fixtures live in ``tests/fixtures/golden_kernels/``:
+
+* ``features.csv`` — one row per pair: ``a,b`` then the 48 features in
+  canonical order, floats serialized with ``repr`` (exact round-trip),
+  missing features as empty cells;
+* ``ranked_pairs.csv`` — the same pairs ranked by descending weighted
+  similarity: ``rank,a,b,uniform,weighted,soft`` covering all three
+  :class:`~repro.blocking.scoring.ScoringMethod` kernels.
+
+Regenerate after an *intentional* change of kernel semantics with::
+
+    PYTHONPATH=src python -m tools.golden_kernels --write
+
+and review the fixture diff like any other behavior change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURE_DIR = REPO_ROOT / "tests" / "fixtures" / "golden_kernels"
+FEATURES_CSV = FIXTURE_DIR / "features.csv"
+RANKED_CSV = FIXTURE_DIR / "ranked_pairs.csv"
+
+#: Corpus shape: large enough for every item type and name-noise mode
+#: to appear, small enough to keep the fixtures reviewable.
+N_PERSONS = 40
+SEED = 97
+MV_REPORTS = 6
+N_PAIRS = 200
+
+#: Strides over the sorted record ids; small strides hit same-person
+#: report pairs, large ones hit unrelated records.
+_STRIDES = (1, 2, 3, 5, 7, 11, 19, 31)
+
+Pair = Tuple[int, int]
+
+
+def golden_dataset():
+    """The deterministic fixture corpus (seeded generator output)."""
+    from repro.datagen.corpus import build_corpus
+
+    dataset, _persons = build_corpus(
+        n_persons=N_PERSONS,
+        seed=SEED,
+        mv_reports=MV_REPORTS,
+        name="golden-kernels",
+    )
+    return dataset
+
+
+def golden_pairs(dataset, count: int = N_PAIRS) -> List[Pair]:
+    """``count`` canonical pairs mixing near and far record ids."""
+    rids = sorted(dataset.record_ids)
+    pairs: List[Pair] = []
+    seen = set()
+    for stride in _STRIDES:
+        for i in range(len(rids) - stride):
+            pair = (rids[i], rids[i + stride])
+            if pair in seen:
+                continue
+            seen.add(pair)
+            pairs.append(pair)
+            if len(pairs) == count:
+                return pairs
+    return pairs
+
+
+def compute_feature_rows(
+    dataset, pairs: Sequence[Pair]
+) -> List[Dict[str, object]]:
+    """The expected feature matrix, via the batch extractor."""
+    from repro.similarity.features import extract_features_batch
+
+    return extract_features_batch(dataset, list(pairs))
+
+
+def compute_ranked_rows(
+    dataset, pairs: Sequence[Pair]
+) -> List[Tuple[int, int, int, float, float, float]]:
+    """(rank, a, b, uniform, weighted, soft) ranked by weighted desc."""
+    from repro.blocking.scoring import BlockScorer, ScoringMethod
+    from repro.similarity.interning import InternedCorpus
+
+    corpus = InternedCorpus(dataset.item_bags)
+    pair_list = list(pairs)
+    by_method = {
+        method: BlockScorer(method=method).pair_similarity_batch(
+            corpus, pair_list
+        )
+        for method in (
+            ScoringMethod.UNIFORM,
+            ScoringMethod.WEIGHTED,
+            ScoringMethod.EXPERT,
+        )
+    }
+    rows = [
+        (
+            pair[0],
+            pair[1],
+            by_method[ScoringMethod.UNIFORM][i],
+            by_method[ScoringMethod.WEIGHTED][i],
+            by_method[ScoringMethod.EXPERT][i],
+        )
+        for i, pair in enumerate(pair_list)
+    ]
+    rows.sort(key=lambda row: (-row[3], row[0], row[1]))
+    return [
+        (rank, a, b, uniform, weighted, soft)
+        for rank, (a, b, uniform, weighted, soft) in enumerate(rows, start=1)
+    ]
+
+
+def format_cell(value) -> str:
+    """Exact-round-trip serialization (empty cell for missing).
+
+    Feature values are floats, ``None``, or the trinary agreement
+    strings (``yes``/``partial``/``no``); floats use ``repr`` so the
+    committed text round-trips bit-exactly.
+    """
+    if value is None:
+        return ""
+    if isinstance(value, str):
+        return value
+    return repr(float(value))
+
+
+def parse_cell(cell: str):
+    """Inverse of :func:`format_cell`."""
+    if cell == "":
+        return None
+    try:
+        return float(cell)
+    except ValueError:
+        return cell
+
+
+def render_features(
+    pairs: Sequence[Pair],
+    rows: Sequence[Dict[str, object]],
+    names: Sequence[str],
+) -> str:
+    lines = [",".join(["a", "b", *names])]
+    for pair, row in zip(pairs, rows):
+        cells = [str(pair[0]), str(pair[1])]
+        cells.extend(format_cell(row[name]) for name in names)
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def render_ranked(
+    ranked: Sequence[Tuple[int, int, int, float, float, float]]
+) -> str:
+    lines = [",".join(["rank", "a", "b", "uniform", "weighted", "soft"])]
+    for rank, a, b, uniform, weighted, soft in ranked:
+        lines.append(
+            ",".join(
+                [
+                    str(rank),
+                    str(a),
+                    str(b),
+                    format_cell(uniform),
+                    format_cell(weighted),
+                    format_cell(soft),
+                ]
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def load_features_csv(
+    path: Path = FEATURES_CSV,
+) -> Tuple[List[str], List[Pair], List[Dict[str, object]]]:
+    """(feature names, pairs, rows) from the committed fixture."""
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        names = header[2:]
+        pairs: List[Pair] = []
+        rows: List[Dict[str, object]] = []
+        for record in reader:
+            pairs.append((int(record[0]), int(record[1])))
+            rows.append(
+                {
+                    name: parse_cell(cell)
+                    for name, cell in zip(names, record[2:])
+                }
+            )
+    return names, pairs, rows
+
+
+def load_ranked_csv(
+    path: Path = RANKED_CSV,
+) -> List[Tuple[int, int, int, float, float, float]]:
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        next(reader)
+        return [
+            (
+                int(rank),
+                int(a),
+                int(b),
+                float(uniform),
+                float(weighted),
+                float(soft),
+            )
+            for rank, a, b, uniform, weighted, soft in reader
+        ]
+
+
+def regenerate(root: Path = FIXTURE_DIR) -> Tuple[Path, Path]:
+    """Write both fixture files; returns their paths."""
+    from repro.similarity.features import FEATURE_NAMES
+
+    dataset = golden_dataset()
+    pairs = golden_pairs(dataset)
+    rows = compute_feature_rows(dataset, pairs)
+    ranked = compute_ranked_rows(dataset, pairs)
+    root.mkdir(parents=True, exist_ok=True)
+    features_path = root / FEATURES_CSV.name
+    ranked_path = root / RANKED_CSV.name
+    features_path.write_text(
+        render_features(pairs, rows, FEATURE_NAMES), encoding="utf-8"
+    )
+    ranked_path.write_text(render_ranked(ranked), encoding="utf-8")
+    return features_path, ranked_path
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="regenerate the committed fixtures in place",
+    )
+    args = parser.parse_args(argv)
+    if not args.write:
+        parser.error("pass --write to regenerate the fixtures")
+    for path in regenerate():
+        print(f"wrote {path.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
